@@ -1,0 +1,151 @@
+//! Terminal line charts.
+//!
+//! Every figure driver prints an ASCII rendition of its curve family so the
+//! paper's figures can be eyeballed straight from the terminal without any
+//! plotting toolchain.
+
+use crate::series::ExperimentResult;
+
+/// Renders the result as an ASCII chart of `width × height` characters
+/// (plus axes). Each series gets a distinct glyph; overlapping points show
+/// the later series' glyph.
+pub fn ascii_chart(result: &ExperimentResult, width: usize, height: usize) -> String {
+    const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    assert!(width >= 8 && height >= 4, "chart too small");
+    if result.x.is_empty() || result.series.is_empty() {
+        return format!("{} (no data)\n", result.title);
+    }
+
+    let xs = &result.x;
+    let (xmin, xmax) = (
+        xs.iter().cloned().fold(f64::INFINITY, f64::min),
+        xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    );
+    let all_y: Vec<f64> = result
+        .series
+        .iter()
+        .flat_map(|s| s.values.iter().cloned())
+        .collect();
+    let ymin_raw = all_y.iter().cloned().fold(f64::INFINITY, f64::min);
+    let ymax_raw = all_y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    // Pad degenerate ranges so everything maps into the grid.
+    let (ymin, ymax) = if (ymax_raw - ymin_raw).abs() < 1e-12 {
+        (ymin_raw - 1.0, ymax_raw + 1.0)
+    } else {
+        (ymin_raw, ymax_raw)
+    };
+    let xspan = if (xmax - xmin).abs() < 1e-12 { 1.0 } else { xmax - xmin };
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in result.series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (i, (&x, &y)) in xs.iter().zip(&s.values).enumerate() {
+            let cx = ((x - xmin) / xspan * (width - 1) as f64).round() as usize;
+            let cy = ((y - ymin) / (ymax - ymin) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = glyph;
+            // Connect to the previous point with a sparse line.
+            if i > 0 {
+                let px = ((xs[i - 1] - xmin) / xspan * (width - 1) as f64).round() as usize;
+                let py = ((s.values[i - 1] - ymin) / (ymax - ymin) * (height - 1) as f64).round()
+                    as usize;
+                let steps = cx.abs_diff(px).max(cy.abs_diff(py));
+                for t in 1..steps {
+                    let fx = px as f64 + (cx as f64 - px as f64) * t as f64 / steps as f64;
+                    let fy = py as f64 + (cy as f64 - py as f64) * t as f64 / steps as f64;
+                    let gx = (fx.round() as usize).min(width - 1);
+                    let gy = height - 1 - (fy.round() as usize).min(height - 1);
+                    if grid[gy][gx] == ' ' {
+                        grid[gy][gx] = '.';
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{}  [{}]\n", result.title, result.y_label));
+    out.push_str(&format!("{ymax:>10.1} ┤"));
+    out.push_str(&grid[0].iter().collect::<String>());
+    out.push('\n');
+    for row in grid.iter().take(height - 1).skip(1) {
+        out.push_str("           │");
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{ymin:>10.1} ┤"));
+    out.push_str(&grid[height - 1].iter().collect::<String>());
+    out.push('\n');
+    out.push_str("           └");
+    out.push_str(&"─".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "            {:<w$}{:>w2$}  ({})\n",
+        fmt_num(xmin),
+        fmt_num(xmax),
+        result.x_label,
+        w = width / 2,
+        w2 = width - width / 2
+    ));
+    let legend: Vec<String> = result
+        .series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("{} {}", GLYPHS[i % GLYPHS.len()], s.label))
+        .collect();
+    out.push_str(&format!("            legend: {}\n", legend.join("   ")));
+    out
+}
+
+fn fmt_num(x: f64) -> String {
+    if x == x.trunc() {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+
+    fn sample() -> ExperimentResult {
+        let mut r =
+            ExperimentResult::new("fig", "Demo", "alpha", "MB/s", vec![0.0, 0.5, 1.0]);
+        r.push_series(Series::new("up", vec![1.0, 2.0, 3.0]));
+        r.push_series(Series::new("down", vec![3.0, 2.0, 1.0]));
+        r
+    }
+
+    #[test]
+    fn renders_glyphs_and_legend() {
+        let chart = ascii_chart(&sample(), 40, 10);
+        assert!(chart.contains('*'), "first series glyph");
+        assert!(chart.contains('o'), "second series glyph");
+        assert!(chart.contains("legend: * up   o down"));
+        assert!(chart.contains("(alpha)"));
+        assert!(chart.contains("[MB/s]"));
+    }
+
+    #[test]
+    fn handles_flat_series() {
+        let mut r = ExperimentResult::new("f", "Flat", "x", "y", vec![0.0, 1.0]);
+        r.push_series(Series::new("flat", vec![5.0, 5.0]));
+        let chart = ascii_chart(&r, 20, 6);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn handles_empty() {
+        let r = ExperimentResult::new("f", "Empty", "x", "y", vec![]);
+        let chart = ascii_chart(&r, 20, 6);
+        assert!(chart.contains("no data"));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_tiny_canvas() {
+        let _ = ascii_chart(&sample(), 4, 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Labelled result series.
+//!
+//! An [`ExperimentResult`] is what every figure driver produces: an x-axis
+//! with named [`Series`] over it, plus free-form metadata. It serialises to
+//! JSON (written under `results/`) and renders to markdown/CSV through
+//! [`crate::table::Table`] and to the terminal through
+//! [`crate::plot::ascii_chart`].
+
+use serde::{Deserialize, Serialize};
+
+/// One named curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Curve label (e.g. a scheme name).
+    pub label: String,
+    /// y-values, aligned with the experiment's x-axis.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, values: Vec<f64>) -> Series {
+        Series {
+            label: label.into(),
+            values,
+        }
+    }
+}
+
+/// A complete experiment output: shared x-axis, one or more curves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Experiment identifier, e.g. `"fig6"`.
+    pub id: String,
+    /// Human title, e.g. `"Bandwidth vs. alpha"`.
+    pub title: String,
+    /// x-axis label.
+    pub x_label: String,
+    /// y-axis label.
+    pub y_label: String,
+    /// The x-axis values.
+    pub x: Vec<f64>,
+    /// The curves.
+    pub series: Vec<Series>,
+    /// Free-form notes (workload settings, seeds, deviations).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Creates an empty result frame.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+        x: Vec<f64>,
+    ) -> ExperimentResult {
+        ExperimentResult {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            x,
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curve length differs from the x-axis length.
+    pub fn push_series(&mut self, series: Series) {
+        assert_eq!(
+            series.values.len(),
+            self.x.len(),
+            "series '{}' length mismatch",
+            series.label
+        );
+        self.series.push(series);
+    }
+
+    /// Adds a note line.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Looks up a curve by label.
+    pub fn series_by_label(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// JSON serialisation (pretty, stable field order).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("serialisable result")
+    }
+
+    /// Parses a result back from JSON.
+    pub fn from_json(json: &str) -> Result<ExperimentResult, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentResult {
+        let mut r = ExperimentResult::new("fig6", "Bandwidth vs alpha", "alpha", "MB/s", vec![
+            0.0, 0.5, 1.0,
+        ]);
+        r.push_series(Series::new("pbp", vec![100.0, 120.0, 150.0]));
+        r.push_series(Series::new("opp", vec![50.0, 60.0, 80.0]));
+        r.push_note("seed 42");
+        r
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = sample();
+        let back = ExperimentResult::from_json(&r.to_json()).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn lookup() {
+        let r = sample();
+        assert_eq!(r.series_by_label("opp").unwrap().values[2], 80.0);
+        assert!(r.series_by_label("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_series_rejected() {
+        let mut r = sample();
+        r.push_series(Series::new("bad", vec![1.0]));
+    }
+}

@@ -1,0 +1,139 @@
+//! Batch summary statistics.
+//!
+//! Complements the streaming accumulators in `tapesim_des::stats` with
+//! whole-sample quantities the reports need: percentiles, confidence
+//! intervals, and simple comparisons between series.
+
+/// Summary of a finished sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased standard deviation.
+    pub stddev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Median (p50).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+/// Summarises a sample.
+///
+/// # Panics
+///
+/// Panics on an empty sample or non-finite values.
+pub fn summarize(values: &[f64]) -> Summary {
+    assert!(!values.is_empty(), "cannot summarise an empty sample");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = sorted.len();
+    let mean = sorted.iter().sum::<f64>() / n as f64;
+    let var = if n < 2 {
+        0.0
+    } else {
+        sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    };
+    Summary {
+        n,
+        mean,
+        stddev: var.sqrt(),
+        min: sorted[0],
+        median: percentile_sorted(&sorted, 50.0),
+        p95: percentile_sorted(&sorted, 95.0),
+        max: sorted[n - 1],
+    }
+}
+
+/// Percentile (nearest-rank with linear interpolation) of a **sorted**
+/// sample; `p` in `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=100.0).contains(&p), "p out of range: {p}");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Half-width of the normal-approximation 95% confidence interval of the
+/// mean.
+pub fn ci95_half_width(summary: &Summary) -> f64 {
+    if summary.n < 2 {
+        return 0.0;
+    }
+    1.96 * summary.stddev / (summary.n as f64).sqrt()
+}
+
+/// Relative speedup `a / b` (∞-safe: returns 0 when `b` is 0).
+pub fn speedup(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        0.0
+    } else {
+        a / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[4.0, 1.0, 3.0, 2.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.median - 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        // Var = (4+1+0+1+4)/4 = 2.5
+        assert!((s.stddev - 2.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 10.0);
+        assert_eq!(percentile_sorted(&sorted, 100.0), 40.0);
+        assert!((percentile_sorted(&sorted, 50.0) - 25.0).abs() < 1e-12);
+        // p95 of 4 points: rank 2.85 → 30 + 0.85·10
+        assert!((percentile_sorted(&sorted, 95.0) - 38.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_value_sample() {
+        let s = summarize(&[7.0]);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(ci95_half_width(&s), 0.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let small = summarize(&[1.0, 2.0, 3.0]);
+        let values: Vec<f64> = (0..300).map(|i| 1.0 + (i % 3) as f64).collect();
+        let large = summarize(&values);
+        assert!(ci95_half_width(&large) < ci95_half_width(&small));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = summarize(&[]);
+    }
+
+    #[test]
+    fn speedup_safe() {
+        assert_eq!(speedup(4.0, 2.0), 2.0);
+        assert_eq!(speedup(4.0, 0.0), 0.0);
+    }
+}

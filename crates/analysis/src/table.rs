@@ -1,0 +1,177 @@
+//! Result tables with markdown and CSV rendering.
+
+use crate::series::ExperimentResult;
+use std::fmt::Write as _;
+
+/// A simple column-oriented table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// GitHub-flavoured markdown rendering with aligned columns.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(line, " {cell:<w$} |");
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{:-<width$}|", "", width = w + 2);
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// RFC 4180-ish CSV rendering (quotes cells containing commas/quotes).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(
+                &row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Builds the standard table of an [`ExperimentResult`]: x first, one
+    /// column per series.
+    pub fn from_result(result: &ExperimentResult) -> Table {
+        let mut headers = vec![result.x_label.clone()];
+        headers.extend(result.series.iter().map(|s| s.label.clone()));
+        let mut table = Table {
+            headers,
+            rows: Vec::new(),
+        };
+        for (i, x) in result.x.iter().enumerate() {
+            let mut row = vec![trim_float(*x)];
+            for s in &result.series {
+                row.push(format!("{:.2}", s.values[i]));
+            }
+            table.rows.push(row);
+        }
+        table
+    }
+}
+
+/// Formats an f64 without trailing zero noise (`1` not `1.000`, `0.3` not
+/// `0.300`).
+fn trim_float(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        let s = format!("{x:.4}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+
+    #[test]
+    fn markdown_render() {
+        let mut t = Table::new(&["m", "bandwidth"]);
+        t.push_row(vec!["1".into(), "52.1".into()]);
+        t.push_row(vec!["2".into(), "203.7".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| m"));
+        assert!(md.contains("| 2 | 203.7"));
+        assert_eq!(md.lines().count(), 4);
+        // Separator under the header.
+        assert!(md.lines().nth(1).unwrap().starts_with("|-"));
+    }
+
+    #[test]
+    fn csv_render_escapes() {
+        let mut t = Table::new(&["name", "note"]);
+        t.push_row(vec!["a,b".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().nth(1).unwrap(), "\"a,b\",\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn from_result_shapes_columns() {
+        let mut r = ExperimentResult::new("f", "t", "alpha", "MB/s", vec![0.0, 0.3]);
+        r.push_series(Series::new("pbp", vec![10.0, 20.0]));
+        let t = Table::from_result(&r);
+        assert_eq!(t.len(), 2);
+        let md = t.to_markdown();
+        assert!(md.contains("alpha"));
+        assert!(md.contains("pbp"));
+        assert!(md.contains("0.3"));
+        assert!(!md.contains("0.3000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn ragged_row_rejected() {
+        let mut t = Table::new(&["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Minimal argument parsing (no external dependency).
+//!
+//! Flags are `--name value` (or `--name=value`); `-o` is accepted as an
+//! alias for `--out`, `-w` for `--workload`, `-p` for `--placement`.
+//! Unknown flags are errors, listing the valid ones — small CLIs get no
+//! benefit from clap's weight, but they must not silently ignore typos.
+
+use std::collections::BTreeMap;
+
+/// Parsed flags of one subcommand invocation.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+fn canonical(name: &str) -> &str {
+    match name {
+        "o" => "out",
+        "w" => "workload",
+        "p" => "placement",
+        other => other,
+    }
+}
+
+impl Args {
+    /// Parses `argv` (after the subcommand) against `allowed` value-flags
+    /// and `allowed_bool` presence-flags.
+    pub fn parse(
+        argv: &[String],
+        allowed: &[&str],
+        allowed_bool: &[&str],
+    ) -> Result<Args, ArgError> {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let raw = &argv[i];
+            let stripped = raw
+                .strip_prefix("--")
+                .or_else(|| raw.strip_prefix('-'))
+                .ok_or_else(|| ArgError(format!("expected a flag, got '{raw}'")))?;
+            let (name, inline) = match stripped.split_once('=') {
+                Some((n, v)) => (n, Some(v.to_string())),
+                None => (stripped, None),
+            };
+            let name = canonical(name).to_string();
+            if allowed_bool.contains(&name.as_str()) {
+                if inline.is_some() {
+                    return Err(ArgError(format!("flag --{name} takes no value")));
+                }
+                out.flags.push(name);
+                i += 1;
+                continue;
+            }
+            if !allowed.contains(&name.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown flag --{name}; valid flags: {}",
+                    allowed
+                        .iter()
+                        .chain(allowed_bool)
+                        .map(|f| format!("--{f}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+            let value = match inline {
+                Some(v) => v,
+                None => {
+                    i += 1;
+                    argv.get(i)
+                        .cloned()
+                        .ok_or_else(|| ArgError(format!("flag --{name} needs a value")))?
+                }
+            };
+            if out.values.insert(name.clone(), value).is_some() {
+                return Err(ArgError(format!("flag --{name} given twice")));
+            }
+            i += 1;
+        }
+        Ok(out)
+    }
+
+    /// String value of a flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Required string value.
+    pub fn require(&self, name: &str) -> Result<&str, ArgError> {
+        self.get(name)
+            .ok_or_else(|| ArgError(format!("missing required flag --{name}")))
+    }
+
+    /// Parsed numeric value with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("flag --{name}: cannot parse '{v}'"))),
+        }
+    }
+
+    /// Whether a presence-flag was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_values_aliases_and_bools() {
+        let a = Args::parse(
+            &argv("--objects 500 -o out.json --alpha=0.7 --json"),
+            &["objects", "out", "alpha"],
+            &["json"],
+        )
+        .unwrap();
+        assert_eq!(a.get("objects"), Some("500"));
+        assert_eq!(a.get("out"), Some("out.json"));
+        assert_eq!(a.get_or::<f64>("alpha", 0.3).unwrap(), 0.7);
+        assert!(a.has("json"));
+        assert!(!a.has("quiet"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(&argv(""), &["seed"], &[]).unwrap();
+        assert_eq!(a.get_or::<u64>("seed", 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn unknown_flag_lists_valid_ones() {
+        let err = Args::parse(&argv("--bogus 1"), &["objects"], &["json"]).unwrap_err();
+        assert!(err.0.contains("--objects"));
+        assert!(err.0.contains("--json"));
+    }
+
+    #[test]
+    fn missing_value_and_duplicates_rejected() {
+        assert!(Args::parse(&argv("--objects"), &["objects"], &[]).is_err());
+        assert!(Args::parse(&argv("--objects 1 --objects 2"), &["objects"], &[]).is_err());
+        assert!(Args::parse(&argv("--json=1"), &[], &["json"]).is_err());
+        assert!(Args::parse(&argv("stray"), &[], &[]).is_err());
+    }
+
+    #[test]
+    fn require_and_parse_errors() {
+        let a = Args::parse(&argv("--alpha abc"), &["alpha"], &[]).unwrap();
+        assert!(a.require("alpha").is_ok());
+        assert!(a.require("seed").is_err());
+        assert!(a.get_or::<f64>("alpha", 0.0).is_err());
+    }
+}

@@ -1,0 +1,393 @@
+//! The `tapesim` subcommands.
+//!
+//! Each command is a pure function from parsed [`Args`] to a printable
+//! report (file I/O aside), so the test suite can drive them end-to-end
+//! without spawning processes.
+
+use crate::args::{ArgError, Args};
+use std::path::Path;
+use tapesim_model::specs::{lto3_drive, lto3_tape, stk_l80_library};
+use tapesim_model::{Bytes, SystemConfig};
+use tapesim_placement::{
+    ClusterProbabilityPlacement, ObjectProbabilityPlacement, ParallelBatchPlacement, Placement,
+    PlacementPolicy, TapeRole,
+};
+use tapesim_sim::Simulator;
+use tapesim_workload::{ObjectSizeSpec, RequestSpec, Workload, WorkloadSpec};
+
+/// A command failure with a user-facing message.
+#[derive(Debug)]
+pub struct CommandError(pub String);
+
+impl std::fmt::Display for CommandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+impl From<ArgError> for CommandError {
+    fn from(e: ArgError) -> Self {
+        CommandError(e.0)
+    }
+}
+
+impl From<std::io::Error> for CommandError {
+    fn from(e: std::io::Error) -> Self {
+        CommandError(format!("i/o error: {e}"))
+    }
+}
+
+impl From<serde_json::Error> for CommandError {
+    fn from(e: serde_json::Error) -> Self {
+        CommandError(format!("json error: {e}"))
+    }
+}
+
+fn read_workload(path: &str) -> Result<Workload, CommandError> {
+    let json = std::fs::read_to_string(Path::new(path))?;
+    Ok(serde_json::from_str(&json)?)
+}
+
+fn read_placement(path: &str) -> Result<Placement, CommandError> {
+    let json = std::fs::read_to_string(Path::new(path))?;
+    Ok(serde_json::from_str(&json)?)
+}
+
+fn system_from(args: &Args) -> Result<SystemConfig, CommandError> {
+    let libraries: u16 = args.get_or("libraries", 3)?;
+    let tapes: u16 = args.get_or("tapes", 80)?;
+    let mut lib = stk_l80_library(lto3_drive(), lto3_tape());
+    lib.tapes = tapes;
+    SystemConfig::new(libraries, lib)
+        .map_err(|e| CommandError(format!("invalid system configuration: {e}")))
+}
+
+/// `tapesim generate` — synthesise a workload and write it as JSON.
+pub fn generate(args: &Args) -> Result<String, CommandError> {
+    let spec = WorkloadSpec {
+        objects: args.get_or("objects", 30_000u32)?,
+        sizes: ObjectSizeSpec::default()
+            .calibrated(Bytes::mb(args.get_or("avg-object-mb", 1_704u64)?)),
+        requests: RequestSpec {
+            count: args.get_or("requests", 300u32)?,
+            min_objects: args.get_or("min-objects", 100u32)?,
+            max_objects: args.get_or("max-objects", 150u32)?,
+            count_shape: 1.0,
+            alpha: args.get_or("alpha", 0.3f64)?,
+        },
+        seed: args.get_or("seed", 0x5EED_7A9Eu64)?,
+    };
+    let workload = spec.generate();
+    let out = args.require("out")?;
+    std::fs::write(out, serde_json::to_string(&workload)?)?;
+    Ok(format!(
+        "wrote {out}: {} objects ({:.1} TB), {} requests (avg {:.1} GB), alpha {}",
+        workload.objects().len(),
+        workload.total_bytes().as_gb() / 1000.0,
+        workload.requests().len(),
+        workload.avg_request_bytes().as_gb(),
+        spec.requests.alpha,
+    ))
+}
+
+/// `tapesim place` — compute a placement for a workload.
+pub fn place(args: &Args) -> Result<String, CommandError> {
+    let workload = read_workload(args.require("workload")?)?;
+    let system = system_from(args)?;
+    let m: u8 = args.get_or("m", 4)?;
+    let scheme = args.get("scheme").unwrap_or("parallel-batch");
+    let policy: Box<dyn PlacementPolicy> = match scheme {
+        "parallel-batch" | "pbp" => Box::new(ParallelBatchPlacement::with_m(m)),
+        "object-prob" | "opp" => Box::new(ObjectProbabilityPlacement::default()),
+        "cluster-prob" | "cpp" => Box::new(ClusterProbabilityPlacement::default()),
+        other => {
+            return Err(CommandError(format!(
+                "unknown scheme '{other}' (parallel-batch | object-prob | cluster-prob)"
+            )))
+        }
+    };
+    let placement = policy
+        .place(&workload, &system)
+        .map_err(|e| CommandError(format!("{} failed: {e}", policy.display_name())))?;
+    let out = args.require("out")?;
+    std::fs::write(out, serde_json::to_string(&placement)?)?;
+    Ok(format!(
+        "wrote {out}: {} on {} libraries — {} tapes in use ({} pinned, {} switch batches)",
+        policy.display_name(),
+        system.libraries,
+        placement.n_used_tapes(),
+        placement.pinned_tapes().len(),
+        placement.max_switch_batch(),
+    ))
+}
+
+/// `tapesim simulate` — serve a sampled request stream.
+pub fn simulate(args: &Args) -> Result<String, CommandError> {
+    let workload = read_workload(args.require("workload")?)?;
+    let placement = read_placement(args.require("placement")?)?;
+    placement
+        .verify_against(&workload)
+        .map_err(|e| CommandError(format!("placement does not match workload: {e}")))?;
+    let m: u8 = args.get_or("m", 4)?;
+    let samples: usize = args.get_or("samples", 200)?;
+    let seed: u64 = args.get_or("seed", 0xD15Cu64)?;
+    let mut sim = Simulator::with_natural_policy(placement, m);
+    let run = sim.run_sampled(&workload, samples, seed);
+    if args.has("json") {
+        return Ok(serde_json::to_string_pretty(&run)?);
+    }
+    Ok(format!(
+        "{} requests served\n\
+         effective bandwidth : {:>9.1} MB/s (σ {:.1})\n\
+         avg response        : {:>9.1} s\n\
+         avg switch          : {:>9.1} s\n\
+         avg seek            : {:>9.1} s\n\
+         avg transfer        : {:>9.1} s\n\
+         avg tape exchanges  : {:>9.1}",
+        run.count(),
+        run.avg_bandwidth_mbs(),
+        run.bandwidth_stddev(),
+        run.avg_response(),
+        run.avg_switch(),
+        run.avg_seek(),
+        run.avg_transfer(),
+        run.avg_switches(),
+    ))
+}
+
+/// `tapesim serve` — serve one specific pre-defined request.
+pub fn serve(args: &Args) -> Result<String, CommandError> {
+    let workload = read_workload(args.require("workload")?)?;
+    let placement = read_placement(args.require("placement")?)?;
+    placement
+        .verify_against(&workload)
+        .map_err(|e| CommandError(format!("placement does not match workload: {e}")))?;
+    let rank: usize = args.get_or("request", 0)?;
+    let request = workload
+        .requests()
+        .get(rank)
+        .ok_or_else(|| CommandError(format!("no request with rank {rank}")))?;
+    let m: u8 = args.get_or("m", 4)?;
+    let mut sim = Simulator::with_natural_policy(placement, m);
+    let (metrics, tracer) = sim.serve_traced(&request.objects);
+    let timeline = if args.has("trace") {
+        format!("\ntimeline:\n{tracer}")
+    } else {
+        String::new()
+    };
+    Ok(format!(
+        "request {rank}: {} objects, {:.1} GB across {} tapes\n\
+         response {:.1} s = switch {:.1} + seek {:.1} + transfer {:.1} \
+         ({} exchanges, {:.1} s robot queueing)\n\
+         effective bandwidth {:.1} MB/s",
+        request.objects.len(),
+        metrics.bytes.as_gb(),
+        metrics.n_tapes,
+        metrics.response,
+        metrics.switch,
+        metrics.seek,
+        metrics.transfer,
+        metrics.n_switches,
+        metrics.robot_wait,
+        metrics.bandwidth_mbs(),
+    ) + &timeline)
+}
+
+/// `tapesim inspect` — summarise a placement's physical layout.
+pub fn inspect(args: &Args) -> Result<String, CommandError> {
+    let placement = read_placement(args.require("placement")?)?;
+    let config = *placement.config();
+    let capacity = config.library.tape.capacity;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "system: {} libraries × {} drives × {} cells; {} cartridges in use\n",
+        config.libraries,
+        config.library.drives,
+        config.library.tapes,
+        placement.n_used_tapes(),
+    ));
+    // Batch summary.
+    let pinned = placement.pinned_tapes();
+    if !pinned.is_empty() {
+        let p: f64 = pinned.iter().map(|&t| placement.tape_probability(t)).sum();
+        out.push_str(&format!(
+            "pinned batch   : {:>3} tapes, probability {:.3}\n",
+            pinned.len(),
+            p
+        ));
+    }
+    for b in 1..=placement.max_switch_batch() {
+        let tapes = placement.switch_batch(b);
+        let p: f64 = tapes.iter().map(|&t| placement.tape_probability(t)).sum();
+        out.push_str(&format!(
+            "switch batch {b:>2}: {:>3} tapes, probability {:.3}\n",
+            tapes.len(),
+            p
+        ));
+    }
+    // Fill map, library-major.
+    out.push_str("\nfill map (one row per used tape; # ≈ 10% of capacity):\n");
+    for tape in placement.used_tapes() {
+        let layout = placement.tape_layout(tape);
+        let frac = layout.used().get() as f64 / capacity.get() as f64;
+        let bars = (frac * 10.0).round() as usize;
+        let role = match placement.role(tape) {
+            TapeRole::Pinned => "pin".to_string(),
+            TapeRole::SwitchPool { batch } => format!("b{batch:02}"),
+            TapeRole::Unused => "---".to_string(),
+        };
+        out.push_str(&format!(
+            "  {tape:<8} {role} [{:<10}] {:>6.1} GB, {:>4} objects, p={:.4}\n",
+            "#".repeat(bars.min(10)),
+            layout.used().as_gb(),
+            layout.len(),
+            placement.tape_probability(tape),
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str, allowed: &[&str], bools: &[&str]) -> Args {
+        let argv: Vec<String> = s.split_whitespace().map(String::from).collect();
+        Args::parse(&argv, allowed, bools).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("tapesim-cli-test-{name}"))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    /// End-to-end: generate → place → simulate → serve → inspect.
+    #[test]
+    fn full_pipeline_round_trips() {
+        let w = tmp("w.json");
+        let p = tmp("p.json");
+
+        let msg = generate(&args(
+            &format!("--objects 800 --requests 30 --min-objects 10 --max-objects 15 --avg-object-mb 4000 --seed 7 -o {w}"),
+            &["objects", "requests", "min-objects", "max-objects", "avg-object-mb", "alpha", "seed", "out"],
+            &[],
+        ))
+        .unwrap();
+        assert!(msg.contains("800 objects"));
+
+        let msg = place(&args(
+            &format!("-w {w} --scheme pbp --m 4 -o {p}"),
+            &["workload", "scheme", "m", "libraries", "tapes", "out"],
+            &[],
+        ))
+        .unwrap();
+        assert!(msg.contains("parallel batch placement"), "{msg}");
+        assert!(msg.contains("pinned"));
+
+        let msg = simulate(&args(
+            &format!("-w {w} -p {p} --samples 20 --seed 3"),
+            &["workload", "placement", "m", "samples", "seed"],
+            &["json"],
+        ))
+        .unwrap();
+        assert!(msg.contains("20 requests served"), "{msg}");
+        assert!(msg.contains("effective bandwidth"));
+
+        let json = simulate(&args(
+            &format!("-w {w} -p {p} --samples 5 --json"),
+            &["workload", "placement", "m", "samples", "seed"],
+            &["json"],
+        ))
+        .unwrap();
+        assert!(json.trim_start().starts_with('{'), "json output expected");
+
+        let msg = serve(&args(
+            &format!("-w {w} -p {p} --request 0"),
+            &["workload", "placement", "m", "request"],
+            &["trace"],
+        ))
+        .unwrap();
+        assert!(msg.contains("request 0"), "{msg}");
+        assert!(msg.contains("response"));
+        assert!(!msg.contains("timeline"), "no timeline without --trace");
+
+        let msg = serve(&args(
+            &format!("-w {w} -p {p} --request 0 --trace"),
+            &["workload", "placement", "m", "request"],
+            &["trace"],
+        ))
+        .unwrap();
+        assert!(msg.contains("timeline:"), "{msg}");
+        assert!(msg.contains("streams"), "trace should show streaming events: {msg}");
+
+        let msg = inspect(&args(
+            &format!("-p {p}"),
+            &["placement"],
+            &[],
+        ))
+        .unwrap();
+        assert!(msg.contains("pinned batch"), "{msg}");
+        assert!(msg.contains("fill map"));
+    }
+
+    #[test]
+    fn scheme_validation() {
+        let w = tmp("w2.json");
+        generate(&args(
+            &format!("--objects 200 --requests 10 --min-objects 3 --max-objects 5 -o {w}"),
+            &["objects", "requests", "min-objects", "max-objects", "out"],
+            &[],
+        ))
+        .unwrap();
+        let err = place(&args(
+            &format!("-w {w} --scheme bogus -o /tmp/x.json"),
+            &["workload", "scheme", "out"],
+            &[],
+        ))
+        .unwrap_err();
+        assert!(err.0.contains("unknown scheme"));
+    }
+
+    #[test]
+    fn mismatched_placement_is_rejected() {
+        let w1 = tmp("w3.json");
+        let w2 = tmp("w4.json");
+        let p1 = tmp("p3.json");
+        for (w, seed) in [(&w1, 1), (&w2, 2)] {
+            generate(&args(
+                &format!("--objects 300 --requests 10 --min-objects 3 --max-objects 5 --seed {seed} -o {w}"),
+                &["objects", "requests", "min-objects", "max-objects", "seed", "out"],
+                &[],
+            ))
+            .unwrap();
+        }
+        place(&args(
+            &format!("-w {w1} -o {p1}"),
+            &["workload", "out", "scheme", "m", "libraries", "tapes"],
+            &[],
+        ))
+        .unwrap();
+        let err = simulate(&args(
+            &format!("-w {w2} -p {p1}"),
+            &["workload", "placement", "m", "samples", "seed"],
+            &["json"],
+        ))
+        .unwrap_err();
+        assert!(err.0.contains("does not match"), "{err}");
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let err = simulate(&args(
+            "-w /nonexistent.json -p /nonexistent2.json",
+            &["workload", "placement", "m", "samples", "seed"],
+            &["json"],
+        ))
+        .unwrap_err();
+        assert!(err.0.contains("i/o error"));
+    }
+}

@@ -1,0 +1,8 @@
+//! # tapesim-cli
+//!
+//! Library half of the `tapesim` binary: argument parsing ([`args`]) and
+//! the subcommand implementations ([`commands`]), exposed as functions so
+//! they are testable without process spawning.
+
+pub mod args;
+pub mod commands;

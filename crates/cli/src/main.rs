@@ -1,0 +1,97 @@
+//! `tapesim` — command-line front end for the parallel tape storage
+//! library.
+//!
+//! ```text
+//! tapesim generate --objects 30000 --requests 300 --alpha 0.3 -o workload.json
+//! tapesim place    -w workload.json --scheme parallel-batch --m 4 -o placement.json
+//! tapesim simulate -w workload.json -p placement.json --samples 200
+//! tapesim serve    -w workload.json -p placement.json --request 0
+//! tapesim inspect  -p placement.json
+//! ```
+
+use tapesim_cli::args::Args;
+use tapesim_cli::commands;
+
+const USAGE: &str = "\
+tapesim — object placement in parallel tape storage systems (ICPP'06 reproduction)
+
+USAGE: tapesim <command> [flags]
+
+COMMANDS:
+  generate   synthesise a workload (§6 settings by default)
+               --objects N --requests N --min-objects N --max-objects N
+               --alpha A --avg-object-mb MB --seed S -o FILE
+  place      compute a placement
+               -w WORKLOAD --scheme parallel-batch|object-prob|cluster-prob
+               --m M --libraries N --tapes T -o FILE
+  simulate   serve a popularity-sampled request stream
+               -w WORKLOAD -p PLACEMENT --samples N --seed S --m M [--json]
+  serve      serve one pre-defined request and show the decomposition
+               -w WORKLOAD -p PLACEMENT --request RANK --m M [--trace]
+  inspect    summarise a placement (batches, per-tape fill map)
+               -p PLACEMENT
+  help       show this message
+";
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first().map(String::as_str) else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    let rest = &argv[1..];
+    let result = match command {
+        "generate" => Args::parse(
+            rest,
+            &[
+                "objects",
+                "requests",
+                "min-objects",
+                "max-objects",
+                "alpha",
+                "avg-object-mb",
+                "seed",
+                "out",
+            ],
+            &[],
+        )
+        .map_err(Into::into)
+        .and_then(|a| commands::generate(&a)),
+        "place" => Args::parse(
+            rest,
+            &["workload", "scheme", "m", "libraries", "tapes", "out"],
+            &[],
+        )
+        .map_err(Into::into)
+        .and_then(|a| commands::place(&a)),
+        "simulate" => Args::parse(
+            rest,
+            &["workload", "placement", "m", "samples", "seed"],
+            &["json"],
+        )
+        .map_err(Into::into)
+        .and_then(|a| commands::simulate(&a)),
+        "serve" => Args::parse(rest, &["workload", "placement", "m", "request"], &["trace"])
+            .map_err(Into::into)
+            .and_then(|a| commands::serve(&a)),
+        "inspect" => Args::parse(rest, &["placement"], &[])
+            .map_err(Into::into)
+            .and_then(|a| commands::inspect(&a)),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return;
+        }
+        other => {
+            eprintln!("unknown command '{other}'\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    match result {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

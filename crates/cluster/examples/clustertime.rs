@@ -1,0 +1,30 @@
+//! Timing probe for the clustering pipeline at the paper's full scale
+//! (30 000 objects, 300 requests ⇒ ~2.2 M co-access edges).
+//!
+//! ```text
+//! cargo run --release -p tapesim-cluster --example clustertime
+//! ```
+
+use std::time::Instant;
+
+fn main() {
+    let spec = tapesim_workload::WorkloadSpec::default();
+    let w = spec.generate();
+
+    let t = Instant::now();
+    let g = tapesim_cluster::CoAccessGraph::from_workload(&w);
+    println!("graph: {} edges [{:?}]", g.n_edges(), t.elapsed());
+
+    let t = Instant::now();
+    let min_p = w
+        .requests()
+        .iter()
+        .map(|r| r.probability)
+        .fold(f64::INFINITY, f64::min);
+    let cs = tapesim_cluster::average_linkage_clusters(&g, min_p * 0.5);
+    println!("avg-linkage: {} clusters [{:?}]", cs.len(), t.elapsed());
+
+    let t = Instant::now();
+    let d = tapesim_cluster::Dendrogram::single_linkage(&g);
+    println!("single-linkage: {} merges [{:?}]", d.merges().len(), t.elapsed());
+}

@@ -1,0 +1,134 @@
+//! Probability and probability-density ordering (§5.3 steps 1–2).
+//!
+//! Step 1 computes per-object access probability from request
+//! probabilities: `P(O) = Σ_{R ∋ O} P(R)` (provided by
+//! [`tapesim_workload::Workload::object_probabilities`]). Step 2 orders
+//! objects by **probability density** `P(O)/size(O)` — the knapsack-style
+//! value/weight heuristic that decides which objects deserve the
+//! always-mounted batch.
+
+use tapesim_model::ObjectId;
+use tapesim_workload::Workload;
+
+/// One object with its derived placement keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedObject {
+    /// The object.
+    pub id: ObjectId,
+    /// Object size in bytes.
+    pub size: u64,
+    /// Access probability `P(O)`.
+    pub probability: f64,
+    /// `P(O) / size(O)` (0 for never-requested objects).
+    pub density: f64,
+    /// Load `P(O) × size(O)` — the balancing weight of Figure 3.
+    pub load: f64,
+}
+
+/// Computes every object's rank keys and returns them **sorted by
+/// descending density** (ties: larger probability first, then smaller id —
+/// fully deterministic).
+pub fn density_ranked(workload: &Workload) -> Vec<RankedObject> {
+    let probs = workload.object_probabilities();
+    let mut out: Vec<RankedObject> = workload
+        .objects()
+        .iter()
+        .map(|o| {
+            let p = probs[o.id.idx()];
+            let size = o.size.get();
+            RankedObject {
+                id: o.id,
+                size,
+                probability: p,
+                density: if size > 0 { p / size as f64 } else { 0.0 },
+                load: p * size as f64,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.density
+            .partial_cmp(&a.density)
+            .expect("densities are finite")
+            .then(
+                b.probability
+                    .partial_cmp(&a.probability)
+                    .expect("probabilities are finite"),
+            )
+            .then(a.id.cmp(&b.id))
+    });
+    out
+}
+
+/// Orders objects by **descending probability** (ties by id) — the key used
+/// by the *object probability placement* baseline, which ignores sizes.
+pub fn probability_ranked(workload: &Workload) -> Vec<RankedObject> {
+    let mut out = density_ranked(workload);
+    out.sort_by(|a, b| {
+        b.probability
+            .partial_cmp(&a.probability)
+            .expect("probabilities are finite")
+            .then(a.id.cmp(&b.id))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapesim_model::Bytes;
+    use tapesim_workload::{ObjectRecord, Request};
+
+    fn workload() -> Workload {
+        // Object 0: 1 GB in a 0.6 request  -> P=0.6, density 0.6/1
+        // Object 1: 4 GB in the same       -> P=0.6, density 0.15
+        // Object 2: 1 GB in a 0.4 request  -> P=0.4, density 0.4
+        // Object 3: 2 GB in both           -> P=1.0, density 0.5
+        // Object 4: never requested        -> P=0, density 0
+        let objects = vec![
+            ObjectRecord { id: ObjectId(0), size: Bytes::gb(1) },
+            ObjectRecord { id: ObjectId(1), size: Bytes::gb(4) },
+            ObjectRecord { id: ObjectId(2), size: Bytes::gb(1) },
+            ObjectRecord { id: ObjectId(3), size: Bytes::gb(2) },
+            ObjectRecord { id: ObjectId(4), size: Bytes::gb(1) },
+        ];
+        let requests = vec![
+            Request {
+                rank: 0,
+                probability: 0.6,
+                objects: vec![ObjectId(0), ObjectId(1), ObjectId(3)],
+            },
+            Request {
+                rank: 1,
+                probability: 0.4,
+                objects: vec![ObjectId(2), ObjectId(3)],
+            },
+        ];
+        Workload::new(objects, requests)
+    }
+
+    #[test]
+    fn density_order_is_value_per_byte() {
+        let ranked = density_ranked(&workload());
+        let ids: Vec<u32> = ranked.iter().map(|r| r.id.0).collect();
+        // densities: O0=0.6e-9, O3=0.5e-9, O2=0.4e-9, O1=0.15e-9, O4=0.
+        assert_eq!(ids, vec![0, 3, 2, 1, 4]);
+        assert!((ranked[0].probability - 0.6).abs() < 1e-12);
+        assert!((ranked[1].probability - 1.0).abs() < 1e-12);
+        assert_eq!(ranked[4].density, 0.0);
+    }
+
+    #[test]
+    fn probability_order_ignores_size() {
+        let ranked = probability_ranked(&workload());
+        let ids: Vec<u32> = ranked.iter().map(|r| r.id.0).collect();
+        // probabilities: O3=1.0, O0=O1=0.6 (tie→smaller id), O2=0.4, O4=0.
+        assert_eq!(ids, vec![3, 0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn load_is_probability_times_size() {
+        let ranked = density_ranked(&workload());
+        let o1 = ranked.iter().find(|r| r.id == ObjectId(1)).unwrap();
+        assert!((o1.load - 0.6 * 4e9).abs() < 1.0);
+    }
+}

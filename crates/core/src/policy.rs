@@ -1,0 +1,25 @@
+//! The [`PlacementPolicy`] trait.
+
+use crate::layout::{Placement, PlacementError};
+use tapesim_model::SystemConfig;
+use tapesim_workload::Workload;
+
+/// A scheme that lays a workload out on a system.
+///
+/// Implementations must be deterministic: the same workload and
+/// configuration always produce the same placement — the experiments rely
+/// on this when comparing schemes point-for-point across sweeps.
+pub trait PlacementPolicy {
+    /// Short machine-friendly name (used in tables and filenames).
+    fn name(&self) -> &'static str;
+
+    /// Human-readable name as used in the paper's figures.
+    fn display_name(&self) -> &'static str;
+
+    /// Computes the placement.
+    fn place(
+        &self,
+        workload: &Workload,
+        config: &SystemConfig,
+    ) -> Result<Placement, PlacementError>;
+}

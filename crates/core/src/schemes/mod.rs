@@ -1,0 +1,42 @@
+//! The three placement schemes evaluated in the paper.
+
+pub mod cluster_prob;
+pub mod object_prob;
+pub mod parallel_batch;
+
+use tapesim_model::{SystemConfig, TapeId};
+
+/// Tape enumeration interleaved across libraries:
+/// `L0:T0, L1:T0, …, Ln:T0, L0:T1, …` — consecutive tapes live in
+/// *different* libraries, so schemes that fill tapes in this order spread
+/// consecutive (equally popular) content across robots.
+pub fn round_robin_tapes(config: &SystemConfig) -> Vec<TapeId> {
+    let mut out = Vec::with_capacity(config.total_tapes());
+    for slot in 0..config.library.tapes {
+        for lib in config.library_ids() {
+            out.push(TapeId::new(lib, slot));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapesim_model::specs::paper_table1;
+    use tapesim_model::LibraryId;
+
+    #[test]
+    fn round_robin_interleaves_libraries() {
+        let cfg = paper_table1();
+        let tapes = round_robin_tapes(&cfg);
+        assert_eq!(tapes.len(), 240);
+        assert_eq!(tapes[0], TapeId::new(LibraryId(0), 0));
+        assert_eq!(tapes[1], TapeId::new(LibraryId(1), 0));
+        assert_eq!(tapes[2], TapeId::new(LibraryId(2), 0));
+        assert_eq!(tapes[3], TapeId::new(LibraryId(0), 1));
+        // Every tape appears exactly once.
+        let set: std::collections::HashSet<_> = tapes.iter().collect();
+        assert_eq!(set.len(), 240);
+    }
+}

@@ -1,0 +1,329 @@
+//! Capacity-bounded sublist partitioning (§5.3 steps 3–4).
+//!
+//! Step 3 splits the density-sorted object list into sublists sized to the
+//! tape batches: the first sublist gets `k × n × (d−m) × C_t` bytes (the
+//! always-mounted batch), every later sublist `k × n × m × C_t` (one switch
+//! batch). Step 4 refines the split so objects of one cluster land in the
+//! same sublist; because strongly related objects sit near each other in
+//! the density order, members only ever move between adjacent sublists.
+//!
+//! [`partition_with_clusters`] fuses the two steps: it walks the density
+//! order and allocates *cluster-atomically* — when the next unassigned
+//! object's cluster fits the current sublist it goes there whole; when it
+//! would straddle the boundary, the sublist is closed early and the cluster
+//! opens the next one (the paper's "move objects between adjacent
+//! sublists"). Clusters larger than a whole sublist are split across
+//! consecutive sublists (they cannot be co-batched no matter what).
+//! [`partition_plain`] is step 3 alone, used as the ablation baseline.
+
+use crate::density::RankedObject;
+use tapesim_model::Bytes;
+
+/// One sublist: the objects (density order within the sublist) destined for
+/// one tape batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sublist {
+    /// Objects in assignment order.
+    pub objects: Vec<RankedObject>,
+    /// The nominal byte budget this sublist was packed against.
+    pub capacity: Bytes,
+}
+
+impl Sublist {
+    /// Total bytes of the member objects.
+    pub fn total_bytes(&self) -> Bytes {
+        Bytes(self.objects.iter().map(|o| o.size).sum())
+    }
+
+    /// Total access probability of the member objects.
+    pub fn total_probability(&self) -> f64 {
+        self.objects.iter().map(|o| o.probability).sum()
+    }
+}
+
+/// Step 3 alone: cut the ranked list at capacity boundaries, ignoring
+/// clusters.
+pub fn partition_plain(
+    ranked: &[RankedObject],
+    first_capacity: Bytes,
+    rest_capacity: Bytes,
+) -> Vec<Sublist> {
+    assert!(first_capacity > Bytes::ZERO && rest_capacity > Bytes::ZERO);
+    let mut out = Vec::new();
+    let mut current = Sublist {
+        objects: Vec::new(),
+        capacity: first_capacity,
+    };
+    let mut used = Bytes::ZERO;
+    for &obj in ranked {
+        let size = Bytes(obj.size);
+        if !current.objects.is_empty() && used + size > current.capacity {
+            out.push(std::mem::replace(
+                &mut current,
+                Sublist {
+                    objects: Vec::new(),
+                    capacity: rest_capacity,
+                },
+            ));
+            used = Bytes::ZERO;
+        }
+        used += size;
+        current.objects.push(obj);
+    }
+    if !current.objects.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Steps 3+4 fused: capacity-bounded sublists with cluster atomicity.
+///
+/// `membership[object_id] -> cluster index` must be a total map (singleton
+/// clusters included), as produced by
+/// [`tapesim_cluster::ClusterSet::membership`].
+pub fn partition_with_clusters(
+    ranked: &[RankedObject],
+    membership: &[usize],
+    first_capacity: Bytes,
+    rest_capacity: Bytes,
+) -> Vec<Sublist> {
+    assert!(first_capacity > Bytes::ZERO && rest_capacity > Bytes::ZERO);
+
+    // Group cluster members in density order.
+    let n_clusters = membership.iter().copied().max().map_or(0, |m| m + 1);
+    let mut cluster_members: Vec<Vec<RankedObject>> = vec![Vec::new(); n_clusters];
+    for &obj in ranked {
+        cluster_members[membership[obj.id.idx()]].push(obj);
+    }
+
+    let mut assigned = vec![false; n_clusters];
+    let mut out: Vec<Sublist> = Vec::new();
+    let mut current = Sublist {
+        objects: Vec::new(),
+        capacity: first_capacity,
+    };
+    let mut used = Bytes::ZERO;
+
+    let close =
+        |current: &mut Sublist, used: &mut Bytes, out: &mut Vec<Sublist>| {
+            if !current.objects.is_empty() {
+                out.push(std::mem::replace(
+                    current,
+                    Sublist {
+                        objects: Vec::new(),
+                        capacity: rest_capacity,
+                    },
+                ));
+                *used = Bytes::ZERO;
+            }
+        };
+
+    for &obj in ranked {
+        let c = membership[obj.id.idx()];
+        if assigned[c] {
+            continue;
+        }
+        assigned[c] = true;
+        let members = &cluster_members[c];
+        let cluster_bytes: Bytes = Bytes(members.iter().map(|o| o.size).sum());
+
+        if used + cluster_bytes <= current.capacity {
+            // Fits the open sublist whole.
+            used += cluster_bytes;
+            current.objects.extend_from_slice(members);
+        } else if cluster_bytes <= rest_capacity {
+            // Fits a fresh sublist whole: close early rather than split the
+            // cluster (the step-4 adjacency move). If the open sublist was
+            // still empty, `close` is a no-op — re-badge it to the rest
+            // capacity instead (the case of a first batch too small for
+            // even the densest cluster).
+            close(&mut current, &mut used, &mut out);
+            current.capacity = rest_capacity;
+            used += cluster_bytes;
+            current.objects.extend_from_slice(members);
+        } else {
+            // Bigger than any sublist: split across consecutive sublists,
+            // filling in density order.
+            for &m in members {
+                let size = Bytes(m.size);
+                if !current.objects.is_empty() && used + size > current.capacity {
+                    close(&mut current, &mut used, &mut out);
+                }
+                used += size;
+                current.objects.push(m);
+            }
+        }
+    }
+    if !current.objects.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapesim_model::ObjectId;
+
+    fn obj(id: u32, size_gb: u64, p: f64) -> RankedObject {
+        RankedObject {
+            id: ObjectId(id),
+            size: size_gb * 1_000_000_000,
+            probability: p,
+            density: p / (size_gb as f64 * 1e9),
+            load: p * size_gb as f64 * 1e9,
+        }
+    }
+
+    #[test]
+    fn plain_partition_respects_capacities() {
+        // Densities descending with ids.
+        let ranked: Vec<_> = (0..10).map(|i| obj(i, 10, 1.0 / (i + 1) as f64)).collect();
+        let subs = partition_plain(&ranked, Bytes::gb(35), Bytes::gb(25));
+        assert_eq!(subs[0].objects.len(), 3, "3×10 GB fit in 35 GB");
+        assert_eq!(subs[1].objects.len(), 2, "2×10 GB fit in 25 GB");
+        // Everything is covered exactly once, in order.
+        let ids: Vec<u32> = subs
+            .iter()
+            .flat_map(|s| s.objects.iter().map(|o| o.id.0))
+            .collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn plain_partition_allows_single_oversized_object() {
+        let ranked = vec![obj(0, 100, 1.0)];
+        let subs = partition_plain(&ranked, Bytes::gb(10), Bytes::gb(10));
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].objects.len(), 1);
+    }
+
+    #[test]
+    fn clustered_partition_keeps_clusters_whole() {
+        // Objects 0..4, cluster {1,2,3} (10 GB each), singletons otherwise.
+        let ranked: Vec<_> = (0..5).map(|i| obj(i, 10, 1.0 / (i + 1) as f64)).collect();
+        let membership = vec![0, 1, 1, 1, 2];
+        // First capacity 25 GB: object 0 fits, but the 30 GB cluster does
+        // not — it must open the next sublist whole.
+        let subs = partition_with_clusters(&ranked, &membership, Bytes::gb(25), Bytes::gb(35));
+        assert_eq!(
+            subs[0].objects.iter().map(|o| o.id.0).collect::<Vec<_>>(),
+            vec![0]
+        );
+        assert_eq!(
+            subs[1].objects.iter().map(|o| o.id.0).collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "cluster stays together in the second sublist"
+        );
+        assert_eq!(
+            subs[1].objects.len() * 10,
+            30,
+            "cluster bytes within rest capacity"
+        );
+    }
+
+    #[test]
+    fn oversized_cluster_splits_across_sublists() {
+        let ranked: Vec<_> = (0..6).map(|i| obj(i, 10, 1.0)).collect();
+        let membership = vec![0; 6]; // one 60 GB cluster
+        let subs = partition_with_clusters(&ranked, &membership, Bytes::gb(25), Bytes::gb(25));
+        assert_eq!(subs.len(), 3);
+        for s in &subs {
+            assert!(s.total_bytes() <= Bytes::gb(25));
+        }
+        let total: usize = subs.iter().map(|s| s.objects.len()).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn probability_skew_is_preserved() {
+        // Clusters of equal size; density order implies sublist probability
+        // is non-increasing.
+        let ranked: Vec<_> = (0..8).map(|i| obj(i, 10, 1.0 / (i + 1) as f64)).collect();
+        let membership: Vec<usize> = (0..8).collect();
+        let subs = partition_with_clusters(&ranked, &membership, Bytes::gb(20), Bytes::gb(20));
+        for pair in subs.windows(2) {
+            assert!(
+                pair[0].total_probability() >= pair[1].total_probability(),
+                "skew broken"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let s = Sublist {
+            objects: vec![obj(0, 2, 0.5), obj(1, 3, 0.25)],
+            capacity: Bytes::gb(10),
+        };
+        assert_eq!(s.total_bytes(), Bytes::gb(5));
+        assert!((s.total_probability() - 0.75).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use tapesim_model::ObjectId;
+
+    fn ranked(sizes: &[u64]) -> Vec<RankedObject> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &gb)| {
+                let p = 1.0 / (i + 1) as f64;
+                RankedObject {
+                    id: ObjectId(i as u32),
+                    size: gb * 1_000_000_000,
+                    probability: p,
+                    density: p / (gb as f64 * 1e9),
+                    load: p * gb as f64 * 1e9,
+                }
+            })
+            .collect()
+    }
+
+    proptest! {
+        /// Both partitioners cover every object exactly once and respect
+        /// the capacity for every sublist that holds more than one object
+        /// (single oversized objects are allowed through by design).
+        #[test]
+        fn partitions_cover_and_respect_capacity(
+            sizes in proptest::collection::vec(1u64..60, 1..120),
+            first_gb in 50u64..200,
+            rest_gb in 50u64..200,
+            cluster_stride in 1usize..8,
+        ) {
+            let objs = ranked(&sizes);
+            let membership: Vec<usize> =
+                (0..objs.len()).map(|i| i / cluster_stride).collect();
+            for subs in [
+                partition_plain(&objs, Bytes::gb(first_gb), Bytes::gb(rest_gb)),
+                partition_with_clusters(
+                    &objs,
+                    &membership,
+                    Bytes::gb(first_gb),
+                    Bytes::gb(rest_gb),
+                ),
+            ] {
+                let mut ids: Vec<u32> = subs
+                    .iter()
+                    .flat_map(|s| s.objects.iter().map(|o| o.id.0))
+                    .collect();
+                ids.sort_unstable();
+                prop_assert_eq!(ids, (0..objs.len() as u32).collect::<Vec<_>>());
+                for s in &subs {
+                    if s.objects.len() > 1 {
+                        prop_assert!(
+                            s.total_bytes() <= s.capacity,
+                            "sublist over capacity: {} > {}",
+                            s.total_bytes(),
+                            s.capacity
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

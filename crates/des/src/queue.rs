@@ -1,0 +1,309 @@
+//! The event queue: a stable priority queue of timestamped events.
+//!
+//! Ordering is `(time, priority, sequence)`: earlier times first, then lower
+//! priority values, then insertion order. The sequence number makes the queue
+//! *stable*, which is what makes whole simulations reproducible.
+//!
+//! Events can be cancelled through the [`EventHandle`] returned at insertion;
+//! cancelled entries are dropped lazily when they reach the front.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Priority of an event at equal timestamps. Lower fires first.
+pub type Priority = i32;
+
+/// Handle identifying a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    priority: Priority,
+    seq: u64,
+    event: E,
+}
+
+// BinaryHeap is a max-heap; invert the ordering so the earliest entry is on
+// top.
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.priority.cmp(&self.priority))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+/// A stable, cancellable priority queue of events.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    // Sorted list of cancelled sequence numbers still inside `heap`.
+    cancelled: Vec<u64>,
+    /// High-water mark of the live queue length, for diagnostics.
+    max_len: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: Vec::new(),
+            max_len: 0,
+        }
+    }
+
+    /// Number of live (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Whether no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// High-water mark of [`EventQueue::len`] over the queue's lifetime.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Schedules `event` at `time` with default priority 0.
+    pub fn push(&mut self, time: SimTime, event: E) -> EventHandle {
+        self.push_with_priority(time, 0, event)
+    }
+
+    /// Schedules `event` at `time`; lower `priority` fires first among
+    /// same-time events.
+    pub fn push_with_priority(
+        &mut self,
+        time: SimTime,
+        priority: Priority,
+        event: E,
+    ) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time,
+            priority,
+            seq,
+            event,
+        });
+        self.max_len = self.max_len.max(self.len());
+        EventHandle(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending. Cancelling an event
+    /// that already fired (or was already cancelled) returns `false`.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if handle.0 >= self.next_seq {
+            return false;
+        }
+        match self.cancelled.binary_search(&handle.0) {
+            Ok(_) => false, // already cancelled
+            Err(pos) => {
+                // Only mark if the event is plausibly still queued. We cannot
+                // cheaply look inside the heap, so track fired events by
+                // relying on pop() removing their seq from consideration:
+                // a fired seq is never re-checked because pop() consults and
+                // prunes `cancelled` eagerly.
+                if self.contains_seq_possible(handle.0) {
+                    self.cancelled.insert(pos, handle.0);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    // A seq could still be queued only if some queued entry has that seq.
+    // Linear scan is fine: cancellation is rare and queues are small in this
+    // workload (hundreds of events).
+    fn contains_seq_possible(&self, seq: u64) -> bool {
+        self.heap.iter().any(|e| e.seq == seq)
+    }
+
+    /// Removes and returns the earliest live event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if let Ok(pos) = self.cancelled.binary_search(&entry.seq) {
+                self.cancelled.remove(pos);
+                continue;
+            }
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// Time of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Prune cancelled entries off the top so peek is accurate.
+        while let Some(entry) = self.heap.peek() {
+            if let Ok(pos) = self.cancelled.binary_search(&entry.seq) {
+                self.cancelled.remove(pos);
+                self.heap.pop();
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(3.0), "c");
+        q.push(t(1.0), "a");
+        q.push(t(2.0), "b");
+        assert_eq!(q.pop(), Some((t(1.0), "a")));
+        assert_eq!(q.pop(), Some((t(2.0), "b")));
+        assert_eq!(q.pop(), Some((t(3.0), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_priority_then_fifo() {
+        let mut q = EventQueue::new();
+        q.push_with_priority(t(1.0), 5, "low-prio-first-in");
+        q.push_with_priority(t(1.0), 0, "high-prio");
+        q.push_with_priority(t(1.0), 5, "low-prio-second-in");
+        assert_eq!(q.pop().unwrap().1, "high-prio");
+        assert_eq!(q.pop().unwrap().1, "low-prio-first-in");
+        assert_eq!(q.pop().unwrap().1, "low-prio-second-in");
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let h1 = q.push(t(1.0), 1);
+        let h2 = q.push(t(2.0), 2);
+        q.push(t(3.0), 3);
+        assert_eq!(q.len(), 3);
+        assert!(q.cancel(h2));
+        assert!(!q.cancel(h2), "double cancel reports false");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((t(1.0), 1)));
+        assert!(!q.cancel(h1), "cancelling a fired event reports false");
+        assert_eq!(q.pop(), Some((t(3.0), 3)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.push(t(1.0), 1);
+        q.push(t(2.0), 2);
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(t(2.0)));
+    }
+
+    #[test]
+    fn max_len_high_water_mark() {
+        let mut q = EventQueue::new();
+        q.push(t(1.0), 1);
+        q.push(t(2.0), 2);
+        q.pop();
+        q.push(t(3.0), 3);
+        assert_eq!(q.max_len(), 2);
+    }
+
+    #[test]
+    fn bogus_handle_is_rejected() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        assert!(!q.cancel(EventHandle(42)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Pops come out sorted by (time, then insertion order for ties),
+        /// and every live event comes out exactly once.
+        #[test]
+        fn pops_are_sorted_and_complete(times in proptest::collection::vec(0u32..1000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_secs(t as f64), i);
+            }
+            let mut popped = Vec::new();
+            let mut last = (SimTime::ZERO, 0usize);
+            while let Some((t, v)) = q.pop() {
+                prop_assert!(t >= last.0, "time went backwards");
+                if t == last.0 && !popped.is_empty() {
+                    prop_assert!(v > last.1, "FIFO broken among ties");
+                }
+                last = (t, v);
+                popped.push(v);
+            }
+            let mut sorted = popped.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..times.len()).collect::<Vec<_>>());
+        }
+
+        /// Cancelled events never pop; everything else does.
+        #[test]
+        fn cancellation_is_exact(
+            times in proptest::collection::vec(0u32..100, 1..100),
+            cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+        ) {
+            let mut q = EventQueue::new();
+            let mut handles = Vec::new();
+            for (i, &t) in times.iter().enumerate() {
+                handles.push(q.push(SimTime::from_secs(t as f64), i));
+            }
+            let mut cancelled = std::collections::HashSet::new();
+            for (i, h) in handles.iter().enumerate() {
+                if *cancel_mask.get(i).unwrap_or(&false) {
+                    prop_assert!(q.cancel(*h));
+                    cancelled.insert(i);
+                }
+            }
+            let mut popped = std::collections::HashSet::new();
+            while let Some((_, v)) = q.pop() {
+                prop_assert!(!cancelled.contains(&v), "cancelled event {v} popped");
+                popped.insert(v);
+            }
+            prop_assert_eq!(popped.len() + cancelled.len(), times.len());
+        }
+    }
+}

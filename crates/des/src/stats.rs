@@ -1,0 +1,231 @@
+//! Online statistics used by simulations.
+//!
+//! [`Welford`] provides numerically stable streaming mean/variance;
+//! [`TimeWeighted`] tracks the time-weighted average of a piecewise-constant
+//! signal (e.g. queue depth or the number of busy drives over time).
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Welford's online algorithm for mean and variance.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (NaN when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (NaN when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    last_value: f64,
+    weighted_sum: f64,
+    started: bool,
+    start_time: SimTime,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    /// Creates an accumulator; the signal is undefined until the first
+    /// [`TimeWeighted::record`].
+    pub fn new() -> Self {
+        TimeWeighted {
+            last_time: SimTime::ZERO,
+            last_value: 0.0,
+            weighted_sum: 0.0,
+            started: false,
+            start_time: SimTime::ZERO,
+        }
+    }
+
+    /// Records that the signal takes `value` from time `at` onwards.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `at` precedes the previous record.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        if self.started {
+            debug_assert!(at >= self.last_time, "TimeWeighted went backwards");
+            self.weighted_sum += self.last_value * (at - self.last_time).as_secs();
+        } else {
+            self.started = true;
+            self.start_time = at;
+        }
+        self.last_time = at;
+        self.last_value = value;
+    }
+
+    /// Time-weighted mean of the signal over `[start, until]`.
+    pub fn mean_until(&self, until: SimTime) -> f64 {
+        if !self.started || until <= self.start_time {
+            return 0.0;
+        }
+        let tail = self.last_value * (until.saturating_sub(self.last_time)).as_secs();
+        (self.weighted_sum + tail) / (until - self.start_time).as_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Direct unbiased variance: sum((x-5)^2)/7 = 32/7
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+    }
+
+    #[test]
+    fn welford_empty_is_safe() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert!(w.min().is_nan());
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 3.0).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_weighted_square_wave() {
+        let mut tw = TimeWeighted::new();
+        tw.record(SimTime::from_secs(0.0), 0.0);
+        tw.record(SimTime::from_secs(10.0), 4.0);
+        tw.record(SimTime::from_secs(20.0), 0.0);
+        // Signal: 0 for 10s, 4 for 10s, 0 for 10s => mean 4/3 over 30s.
+        let m = tw.mean_until(SimTime::from_secs(30.0));
+        assert!((m - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_before_start() {
+        let mut tw = TimeWeighted::new();
+        tw.record(SimTime::from_secs(5.0), 1.0);
+        assert_eq!(tw.mean_until(SimTime::from_secs(5.0)), 0.0);
+        assert!((tw.mean_until(SimTime::from_secs(6.0)) - 1.0).abs() < 1e-12);
+    }
+}

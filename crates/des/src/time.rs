@@ -1,0 +1,224 @@
+//! Simulation time.
+//!
+//! [`SimTime`] wraps an `f64` number of seconds since simulation start. The
+//! wrapper enforces the two properties a DES clock needs and a bare `f64`
+//! lacks: values are always finite (so `Ord` is total) and never negative.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulation time, in seconds since simulation start.
+///
+/// `SimTime` is also used for durations; the engine does not distinguish
+/// instants from spans, matching common DES practice where both live on the
+/// same axis. All arithmetic debug-asserts that results stay finite and
+/// non-negative.
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Largest representable time; used as an "infinitely far" horizon.
+    pub const MAX: SimTime = SimTime(f64::MAX);
+
+    /// Creates a time from a number of seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative, NaN or infinite.
+    #[inline]
+    pub fn from_secs(secs: f64) -> SimTime {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimTime must be finite and non-negative, got {secs}"
+        );
+        SimTime(secs)
+    }
+
+    /// The raw number of seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Saturating subtraction: returns zero instead of going negative.
+    ///
+    /// Useful when decomposing measured spans where floating-point noise can
+    /// push a nominally non-negative difference slightly below zero.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime((self.0 - rhs.0).max(0.0))
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, rhs: SimTime) -> SimTime {
+        if self.0 >= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// The smaller of two times.
+    #[inline]
+    pub fn min(self, rhs: SimTime) -> SimTime {
+        if self.0 <= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+// `SimTime` construction forbids NaN, so the inner `partial_cmp` never
+// fails and the ordering is total.
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("SimTime is always finite")
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        let out = self.0 + rhs.0;
+        debug_assert!(out.is_finite());
+        SimTime(out)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// Exact subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if the result would be negative; use
+    /// [`SimTime::saturating_sub`] when decomposing measured values.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        let out = self.0 - rhs.0;
+        debug_assert!(
+            out >= 0.0,
+            "SimTime subtraction underflow: {} - {}",
+            self.0,
+            rhs.0
+        );
+        SimTime(out.max(0.0))
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime::from_secs(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: f64) -> SimTime {
+        SimTime::from_secs(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*}s", prec, self.0)
+        } else {
+            write!(f, "{:.3}s", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = SimTime::from_secs(12.5);
+        assert_eq!(t.as_secs(), 12.5);
+        assert_eq!(SimTime::ZERO.as_secs(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_nan() {
+        let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_secs(3.0);
+        let b = SimTime::from_secs(1.5);
+        assert_eq!((a + b).as_secs(), 4.5);
+        assert_eq!((a - b).as_secs(), 1.5);
+        assert_eq!((a * 2.0).as_secs(), 6.0);
+        assert_eq!((a / 2.0).as_secs(), 1.5);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+    }
+
+    #[test]
+    fn display_formatting() {
+        let t = SimTime::from_secs(1.23456);
+        assert_eq!(format!("{t}"), "1.235s");
+        assert_eq!(format!("{t:.1}"), "1.2s");
+    }
+}

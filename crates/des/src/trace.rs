@@ -1,0 +1,109 @@
+//! Optional event tracing for debugging and tests.
+//!
+//! A [`Tracer`] records labelled timestamps. Simulations call
+//! [`Tracer::emit`] at interesting points; tests assert on the resulting
+//! sequence, and debugging sessions can dump it. The no-op default compiles
+//! to nothing in the hot path when tracing is disabled.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// When the event occurred.
+    pub time: SimTime,
+    /// Free-form label, e.g. `"lib0/drive3 mount tape 17"`.
+    pub label: String,
+}
+
+/// Collects [`TraceEntry`] records when enabled.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    enabled: bool,
+    entries: Vec<TraceEntry>,
+}
+
+impl Tracer {
+    /// A tracer that records nothing.
+    pub fn disabled() -> Self {
+        Tracer {
+            enabled: false,
+            entries: Vec::new(),
+        }
+    }
+
+    /// A tracer that records everything.
+    pub fn enabled() -> Self {
+        Tracer {
+            enabled: true,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Whether this tracer records.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a label at `time` if enabled. The label closure is only
+    /// evaluated when tracing is on, so formatting cost is avoided otherwise.
+    #[inline]
+    pub fn emit<F: FnOnce() -> String>(&mut self, time: SimTime, label: F) {
+        if self.enabled {
+            self.entries.push(TraceEntry {
+                time,
+                label: label(),
+            });
+        }
+    }
+
+    /// The recorded entries, in emission order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Drops all recorded entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl fmt::Display for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entries {
+            writeln!(f, "[{:>12}] {}", format!("{}", e.time), e.label)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing_and_skips_formatting() {
+        let mut t = Tracer::disabled();
+        let mut evaluated = false;
+        t.emit(SimTime::ZERO, || {
+            evaluated = true;
+            "x".to_string()
+        });
+        assert!(!evaluated, "label closure must not run when disabled");
+        assert!(t.entries().is_empty());
+    }
+
+    #[test]
+    fn enabled_records_in_order() {
+        let mut t = Tracer::enabled();
+        t.emit(SimTime::from_secs(1.0), || "a".into());
+        t.emit(SimTime::from_secs(2.0), || "b".into());
+        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.entries()[0].label, "a");
+        let shown = format!("{t}");
+        assert!(shown.contains("a") && shown.contains("b"));
+        t.clear();
+        assert!(t.entries().is_empty());
+    }
+}

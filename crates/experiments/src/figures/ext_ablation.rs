@@ -1,0 +1,132 @@
+//! Extension — design-choice ablations of parallel batch placement (§5).
+//!
+//! The paper motivates each ingredient of the scheme; this driver removes
+//! them one at a time and measures the damage:
+//!
+//! | variant | what changes |
+//! |---|---|
+//! | `baseline` | the full scheme (§5 defaults) |
+//! | `no clustering` | step 4/5 run per-object — co-access ignored |
+//! | `descending alignment` | step 6 uses front-of-tape descending order instead of organ-pipe |
+//! | `round-robin balance` | Figure 3's zig-zag replaced by naive dealing |
+//! | `never split` | clusters always stay on one tape (no transfer parallelism within a cluster) |
+//! | `always split` | every cluster fans out, however small |
+
+use crate::harness::{evaluate_pbp_with, sweep};
+use crate::settings::ExperimentSettings;
+use tapesim_analysis::{ExperimentResult, Series};
+use tapesim_model::Bytes;
+use tapesim_placement::schemes::parallel_batch::{Alignment, Balancing};
+use tapesim_placement::ParallelBatchParams;
+
+/// The ablation variants `(label, params)`.
+pub fn variants(m: u8) -> Vec<(&'static str, ParallelBatchParams)> {
+    let base = ParallelBatchParams::default().with_m(m);
+    vec![
+        ("baseline", base),
+        (
+            "no clustering",
+            ParallelBatchParams {
+                use_clusters: false,
+                ..base
+            },
+        ),
+        (
+            "descending alignment",
+            ParallelBatchParams {
+                alignment: Alignment::Descending,
+                ..base
+            },
+        ),
+        (
+            "round-robin balance",
+            ParallelBatchParams {
+                balancing: Balancing::RoundRobin,
+                ..base
+            },
+        ),
+        (
+            "never split",
+            ParallelBatchParams {
+                min_split_bytes: Bytes::tb(100),
+                ..base
+            },
+        ),
+        (
+            "always split",
+            ParallelBatchParams {
+                min_split_bytes: Bytes::ZERO,
+                ..base
+            },
+        ),
+    ]
+}
+
+/// Runs the ablations. x indexes the variant.
+pub fn run(base: &ExperimentSettings) -> ExperimentResult {
+    let vs = variants(base.m);
+    let system = base.system();
+    let workload = base.generate_workload();
+
+    let rows = sweep(vs.clone(), |(_, params)| {
+        evaluate_pbp_with(base, &system, &workload, *params)
+    });
+
+    let mut result = ExperimentResult::new(
+        "ext_ablation",
+        "Parallel batch placement ablations",
+        "variant index",
+        "bandwidth (MB/s)",
+        (0..vs.len()).map(|i| i as f64).collect(),
+    );
+    result.push_series(Series::new(
+        "bandwidth",
+        rows.iter().map(|r| r.avg_bandwidth_mbs()).collect(),
+    ));
+    result.push_series(Series::new(
+        "switch time (s)",
+        rows.iter().map(|r| r.avg_switch()).collect(),
+    ));
+    result.push_series(Series::new(
+        "transfer time (s)",
+        rows.iter().map(|r| r.avg_transfer()).collect(),
+    ));
+    for (i, ((name, _), run)) in vs.iter().zip(&rows).enumerate() {
+        result.push_note(format!(
+            "variant {i} ({name}): {:.1} MB/s, response {:.1} s",
+            run.avg_bandwidth_mbs(),
+            run.avg_response()
+        ));
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::quick_settings;
+
+    #[test]
+    fn removing_ingredients_hurts() {
+        let mut s = quick_settings();
+        s.samples = 40;
+        let r = run(&s);
+        let bw = &r.series_by_label("bandwidth").unwrap().values;
+        let baseline = bw[0];
+        // "never split" kills within-cluster transfer parallelism — it
+        // must cost real bandwidth.
+        assert!(
+            bw[4] < baseline * 0.9,
+            "never-split ({:.0}) should clearly trail baseline ({baseline:.0})",
+            bw[4]
+        );
+        // No variant should *beat* the baseline by a wide margin (the
+        // defaults are supposed to be good).
+        for (i, &v) in bw.iter().enumerate() {
+            assert!(
+                v < baseline * 1.25,
+                "variant {i} unexpectedly dominates: {v:.0} vs {baseline:.0}"
+            );
+        }
+    }
+}

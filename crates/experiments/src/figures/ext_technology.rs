@@ -1,0 +1,86 @@
+//! Extension — tape technology improvement (§6 closing remarks).
+//!
+//! "Due to page limitations, we will not show the performance of different
+//! schemes when tape library technology improves, e.g., increased data
+//! transfer speed and tape capacity. In general, our scheme improves more
+//! than the other two schemes for these cases." This driver runs the LTO
+//! generation ladder (LTO-1 → LTO-4) and reports each scheme's bandwidth,
+//! checking that claim.
+//!
+//! Libraries get 240 cartridge cells so the fixed ≈51 TB workload fits
+//! even the 100 GB LTO-1 cartridges (see EXPERIMENTS.md).
+
+use crate::harness::{evaluate, sweep, Scheme};
+use crate::settings::ExperimentSettings;
+use tapesim_analysis::{ExperimentResult, Series};
+use tapesim_model::specs::lto_generations;
+
+/// Runs the experiment. x indexes the LTO generation (1-based).
+pub fn run(base: &ExperimentSettings) -> ExperimentResult {
+    let generations = lto_generations();
+    // LTO-1 stores 100 GB/cartridge: 80 cells × 3 libraries = 24 TB < the
+    // ~51 TB workload, so every generation runs with 720 cells per library
+    // for comparability.
+    let sized = base.with_tapes_per_library(base.tapes_per_library.max(720));
+
+    let points: Vec<(Scheme, usize)> = Scheme::ALL
+        .iter()
+        .flat_map(|&s| (0..generations.len()).map(move |g| (s, g)))
+        .collect();
+    let values = sweep(points, |&(scheme, g)| {
+        let (_, drive, tape) = generations[g];
+        let system = sized.system_with(drive, tape);
+        let workload = sized.generate_workload();
+        evaluate(&sized, &system, &workload, scheme).avg_bandwidth_mbs()
+    });
+
+    let mut result = ExperimentResult::new(
+        "ext_technology",
+        "Bandwidth across LTO generations",
+        "LTO generation",
+        "bandwidth (MB/s)",
+        (1..=generations.len()).map(|g| g as f64).collect(),
+    );
+    for (i, scheme) in Scheme::ALL.iter().enumerate() {
+        let ys = values[i * generations.len()..(i + 1) * generations.len()].to_vec();
+        result.push_series(Series::new(scheme.label(), ys));
+    }
+    for (name, drive, tape) in &generations {
+        result.push_note(format!(
+            "{name}: {} native, {} cartridges",
+            drive.native_rate, tape.capacity
+        ));
+    }
+    result.push_note(format!(
+        "{} cartridge cells per library so the workload fits LTO-1; {} samples",
+        sized.tapes_per_library, base.samples
+    ));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::quick_settings;
+
+    #[test]
+    fn pbp_gains_most_from_technology() {
+        let mut s = quick_settings();
+        s.samples = 30;
+        let r = run(&s);
+        let pbp = &r.series_by_label("parallel batch").unwrap().values;
+        let cpp = &r.series_by_label("cluster probability").unwrap().values;
+        // Bandwidth grows with the generation for the parallel scheme.
+        assert!(pbp[3] > pbp[0] * 1.5, "{pbp:?}");
+        // Absolute improvement of PBP exceeds CPP's (the paper's claim
+        // "our scheme improves more than the other two").
+        assert!(
+            pbp[3] - pbp[0] > cpp[3] - cpp[0],
+            "pbp {pbp:?} vs cpp {cpp:?}"
+        );
+        // PBP leads at every generation.
+        for g in 0..4 {
+            assert!(pbp[g] > cpp[g], "generation {g}");
+        }
+    }
+}

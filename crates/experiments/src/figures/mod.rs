@@ -1,0 +1,76 @@
+//! One driver per paper artifact.
+//!
+//! Every driver takes an [`ExperimentSettings`] base (so tests and
+//! benchmarks can run shrunken instances via [`quick_settings`]) and
+//! returns an [`tapesim_analysis::ExperimentResult`].
+
+pub mod ext_ablation;
+pub mod ext_online;
+pub mod ext_queue;
+pub mod ext_replication;
+pub mod ext_robots;
+pub mod ext_tail;
+pub mod ext_striping;
+pub mod ext_scale;
+pub mod ext_technology;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+
+use crate::settings::ExperimentSettings;
+use tapesim_model::Bytes;
+use tapesim_workload::{ObjectSizeSpec, RequestSpec, WorkloadSpec};
+
+/// A shrunken instance for tests, quick looks (`--quick`) and Criterion
+/// benches: ~10× cheaper than the paper's instance with the same
+/// qualitative behaviour.
+///
+/// What shrinks is the *request set* (the cost driver — co-access edges
+/// grow with `requests × objects_per_request²`) and the sample count.
+/// Object sizes and the object-to-mounted-capacity ratio stay paper-like:
+/// the figures' shapes depend on the workload (here ≈52 TB) dwarfing the
+/// `n×d` startup-mounted tapes (9.6 TB) and on objects being small
+/// relative to a cartridge; a byte-shrunken instance would degenerate
+/// into the all-mounted regime where no scheme ever exchanges a tape.
+/// 150 requests keep the *requested* working set (≈16 TB) well above
+/// mounted capacity, so tape switching — the object of study — occurs.
+pub fn quick_settings() -> ExperimentSettings {
+    ExperimentSettings {
+        samples: 50,
+        workload: WorkloadSpec {
+            objects: 30_000,
+            sizes: ObjectSizeSpec::default().calibrated(Bytes::mb(1704)),
+            requests: RequestSpec {
+                count: 150,
+                min_objects: 60,
+                max_objects: 90,
+                count_shape: 1.0,
+                alpha: 0.3,
+            },
+            seed: WorkloadSpec::default().seed,
+        },
+        ..ExperimentSettings::default()
+    }
+}
+
+/// Cartridge cells per library needed to hold `settings`' workload at 85%
+/// fill across `libraries` libraries (plus slack). Cell count has no
+/// performance effect beyond capacity — drives and robots are per-library.
+pub fn cells_needed(settings: &ExperimentSettings, libraries: u16) -> u16 {
+    let total = settings.generate_workload().total_bytes().get() as f64;
+    let ct = settings.system().library.tape.capacity.get() as f64;
+    let cells = (total / (ct * 0.85)).ceil() as u32;
+    (cells / libraries.max(1) as u32 + 8).min(u16::MAX as u32) as u16
+}
+
+/// Settings picked by the common `--quick` CLI flag.
+pub fn settings_from_args() -> ExperimentSettings {
+    if std::env::args().any(|a| a == "--quick") {
+        quick_settings()
+    } else {
+        ExperimentSettings::default()
+    }
+}

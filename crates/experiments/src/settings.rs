@@ -1,0 +1,137 @@
+//! Shared experiment settings.
+//!
+//! Defaults mirror §6 "Simulation Settings": 3 StorageTek L80 libraries of
+//! 8 IBM LTO-3 drives and 80 tapes each, `m = 4` switch drives, Zipf
+//! α = 0.3, 30 000 objects, 300 pre-defined requests, 200 serviced request
+//! samples.
+//!
+//! Two experiments need more cartridge cells than the physical L80 has
+//! (Figure 8 must fit the whole 51 TB workload into a *single* library;
+//! the LTO-1 generation stores 4× less per cartridge), so
+//! `tapes_per_library` is overridable — drives and robots per library, the
+//! quantities that drive performance, stay untouched. EXPERIMENTS.md
+//! documents each override.
+
+use serde::{Deserialize, Serialize};
+use tapesim_model::specs::{lto3_drive, lto3_tape, stk_l80_library};
+use tapesim_model::{DriveSpec, SystemConfig, TapeSpec};
+use tapesim_workload::{Workload, WorkloadSpec};
+
+/// Everything an experiment point needs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSettings {
+    /// Number of libraries (`n`).
+    pub libraries: u16,
+    /// Cartridge cells per library (`t`; Table 1: 80).
+    pub tapes_per_library: u16,
+    /// Switch drives per library (`m`; the paper fixes 4 after Figure 5).
+    pub m: u8,
+    /// Serviced requests per measurement (paper: 200).
+    pub samples: usize,
+    /// Seed of the request-sampling stream.
+    pub sim_seed: u64,
+    /// The workload generator spec.
+    pub workload: WorkloadSpec,
+}
+
+impl Default for ExperimentSettings {
+    fn default() -> Self {
+        ExperimentSettings {
+            libraries: 3,
+            tapes_per_library: 80,
+            m: 4,
+            samples: 200,
+            sim_seed: 0xD15C,
+            workload: WorkloadSpec::default(),
+        }
+    }
+}
+
+impl ExperimentSettings {
+    /// The system configuration for these settings (LTO-3 / L80 hardware).
+    pub fn system(&self) -> SystemConfig {
+        self.system_with(lto3_drive(), lto3_tape())
+    }
+
+    /// The system configuration with a different drive/tape generation
+    /// (technology-improvement experiment).
+    pub fn system_with(&self, drive: DriveSpec, tape: TapeSpec) -> SystemConfig {
+        let mut lib = stk_l80_library(drive, tape);
+        lib.tapes = self.tapes_per_library;
+        SystemConfig::new(self.libraries, lib).expect("valid experiment configuration")
+    }
+
+    /// Generates the workload.
+    pub fn generate_workload(&self) -> Workload {
+        self.workload.generate()
+    }
+
+    /// Copy with a different library count.
+    pub fn with_libraries(mut self, n: u16) -> Self {
+        self.libraries = n;
+        self
+    }
+
+    /// Copy with a different cell count per library.
+    pub fn with_tapes_per_library(mut self, t: u16) -> Self {
+        self.tapes_per_library = t;
+        self
+    }
+
+    /// Copy with a different `m`.
+    pub fn with_m(mut self, m: u8) -> Self {
+        self.m = m;
+        self
+    }
+
+    /// Copy with a different Zipf α.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.workload = self.workload.with_alpha(alpha);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapesim_model::Bytes;
+
+    #[test]
+    fn default_is_the_paper_configuration() {
+        let s = ExperimentSettings::default();
+        let sys = s.system();
+        assert_eq!(sys.libraries, 3);
+        assert_eq!(sys.library.drives, 8);
+        assert_eq!(sys.library.tapes, 80);
+        assert_eq!(sys.library.tape.capacity, Bytes::gb(400));
+        assert_eq!(s.m, 4);
+        assert_eq!(s.samples, 200);
+    }
+
+    #[test]
+    fn overrides_compose() {
+        let s = ExperimentSettings::default()
+            .with_libraries(1)
+            .with_tapes_per_library(240)
+            .with_m(2)
+            .with_alpha(0.9);
+        let sys = s.system();
+        assert_eq!(sys.libraries, 1);
+        assert_eq!(sys.library.tapes, 240);
+        assert_eq!(s.m, 2);
+        assert!((s.workload.requests.alpha - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_workload_fits_the_default_system() {
+        let s = ExperimentSettings::default();
+        let w = s.generate_workload();
+        let sys = s.system();
+        assert!(
+            w.total_bytes() < sys.total_capacity().scale(0.9),
+            "workload {} must fit {} with slack",
+            w.total_bytes(),
+            sys.total_capacity()
+        );
+    }
+}

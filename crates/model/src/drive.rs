@@ -1,0 +1,315 @@
+//! The tape drive model.
+//!
+//! A drive is a state machine: empty, or loaded with a cartridge whose head
+//! sits at a byte position. Operations return their duration in seconds and
+//! advance the state, using the paper's cost models:
+//!
+//! * **Linear positioning** (Johnson & Miller VLDB'98): moving the head over
+//!   `d` bytes of a `C`-byte tape takes `d / C × full_pass_time`. The same
+//!   model gives rewind time (`position / C × full_pass_time`), which
+//!   reproduces Table 1's 98 s maximum / 49 s average rewind.
+//! * **Streaming transfer**: once positioned at an object's first byte the
+//!   drive reads at its native rate.
+//! * Constant **load/thread** and **unload** times.
+
+use crate::ids::TapeId;
+use crate::tape::Extent;
+use crate::units::{Bytes, BytesPerSec};
+use serde::{Deserialize, Serialize};
+
+/// Static performance properties of a drive model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriveSpec {
+    /// Native (uncompressed) streaming transfer rate.
+    pub native_rate: BytesPerSec,
+    /// "Load and thread to ready" time, seconds.
+    pub load_time: f64,
+    /// Unload time, seconds.
+    pub unload_time: f64,
+    /// Time for a full end-to-end tape pass (equals the maximum rewind
+    /// time), seconds. Positioning any distance scales linearly from this.
+    pub full_pass_time: f64,
+}
+
+impl DriveSpec {
+    /// Transfer time for `size` at the native rate.
+    #[inline]
+    pub fn transfer_time(&self, size: Bytes) -> f64 {
+        self.native_rate.time_for(size)
+    }
+
+    /// Head travel time between two byte positions on a tape of
+    /// `capacity` bytes (linear positioning model).
+    #[inline]
+    pub fn position_time(&self, from: Bytes, to: Bytes, capacity: Bytes) -> f64 {
+        debug_assert!(capacity > Bytes::ZERO);
+        from.distance(to).get() as f64 / capacity.get() as f64 * self.full_pass_time
+    }
+
+    /// Rewind time from `position` back to the load point.
+    #[inline]
+    pub fn rewind_time(&self, position: Bytes, capacity: Bytes) -> f64 {
+        self.position_time(position, Bytes::ZERO, capacity)
+    }
+}
+
+/// Dynamic state of one drive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum DriveState {
+    /// No cartridge loaded.
+    #[default]
+    Empty,
+    /// A cartridge is loaded with the head at `head`.
+    Loaded {
+        /// The mounted cartridge.
+        tape: TapeId,
+        /// Head position, bytes from the load point.
+        head: Bytes,
+    },
+}
+
+impl DriveState {
+    /// The mounted tape, if any.
+    pub fn mounted(&self) -> Option<TapeId> {
+        match self {
+            DriveState::Empty => None,
+            DriveState::Loaded { tape, .. } => Some(*tape),
+        }
+    }
+
+    /// Head position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cartridge is loaded.
+    pub fn head(&self) -> Bytes {
+        match self {
+            DriveState::Empty => panic!("drive is empty"),
+            DriveState::Loaded { head, .. } => *head,
+        }
+    }
+
+    /// Loads `tape`; the head starts at the load point. Returns the load
+    /// duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cartridge is already loaded.
+    pub fn load(&mut self, tape: TapeId, spec: &DriveSpec) -> f64 {
+        assert!(
+            matches!(self, DriveState::Empty),
+            "cannot load {tape}: drive already has {:?}",
+            self.mounted()
+        );
+        *self = DriveState::Loaded {
+            tape,
+            head: Bytes::ZERO,
+        };
+        spec.load_time
+    }
+
+    /// Rewinds to the load point and unloads. Returns
+    /// `(rewind_secs, unload_secs)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty.
+    pub fn rewind_and_unload(&mut self, spec: &DriveSpec, capacity: Bytes) -> (f64, f64) {
+        let DriveState::Loaded { head, .. } = *self else {
+            panic!("cannot unload an empty drive");
+        };
+        let rewind = spec.rewind_time(head, capacity);
+        *self = DriveState::Empty;
+        (rewind, spec.unload_time)
+    }
+
+    /// Seeks to `offset` on the mounted tape. Returns the seek duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty.
+    pub fn seek_to(&mut self, offset: Bytes, spec: &DriveSpec, capacity: Bytes) -> f64 {
+        let DriveState::Loaded { head, .. } = self else {
+            panic!("cannot seek an empty drive");
+        };
+        let t = spec.position_time(*head, offset, capacity);
+        *head = offset;
+        t
+    }
+
+    /// Streams `extent` (head must already be at its first byte); the head
+    /// ends one past the extent. Returns the transfer duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty or mispositioned.
+    pub fn read(&mut self, extent: Extent, spec: &DriveSpec) -> f64 {
+        let DriveState::Loaded { head, .. } = self else {
+            panic!("cannot read from an empty drive");
+        };
+        assert_eq!(
+            *head, extent.offset,
+            "read requires the head at the extent start"
+        );
+        *head = extent.end();
+        spec.transfer_time(extent.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{LibraryId, ObjectId};
+
+    fn spec() -> DriveSpec {
+        DriveSpec {
+            native_rate: BytesPerSec::mb_per_sec(80.0),
+            load_time: 19.0,
+            unload_time: 19.0,
+            full_pass_time: 98.0,
+        }
+    }
+
+    const CAP: Bytes = Bytes::gb(400);
+
+    fn tape() -> TapeId {
+        TapeId::new(LibraryId(0), 0)
+    }
+
+    #[test]
+    fn linear_positioning_model() {
+        let s = spec();
+        // Full pass = 98 s.
+        assert!((s.position_time(Bytes::ZERO, CAP, CAP) - 98.0).abs() < 1e-9);
+        // Half pass = 49 s (Table 1's average rewind).
+        assert!((s.rewind_time(Bytes::gb(200), CAP) - 49.0).abs() < 1e-9);
+        // Symmetric.
+        assert_eq!(
+            s.position_time(Bytes::gb(10), Bytes::gb(60), CAP),
+            s.position_time(Bytes::gb(60), Bytes::gb(10), CAP)
+        );
+    }
+
+    #[test]
+    fn load_seek_read_cycle() {
+        let s = spec();
+        let mut d = DriveState::Empty;
+        assert_eq!(d.mounted(), None);
+
+        let load = d.load(tape(), &s);
+        assert_eq!(load, 19.0);
+        assert_eq!(d.head(), Bytes::ZERO);
+
+        let seek = d.seek_to(Bytes::gb(100), &s, CAP);
+        assert!((seek - 24.5).abs() < 1e-9, "quarter pass");
+
+        let extent = Extent {
+            object: ObjectId(3),
+            offset: Bytes::gb(100),
+            size: Bytes::gb(8),
+        };
+        let read = d.read(extent, &s);
+        assert!((read - 100.0).abs() < 1e-9, "8 GB at 80 MB/s");
+        assert_eq!(d.head(), Bytes::gb(108), "head rests after the object");
+
+        let (rewind, unload) = d.rewind_and_unload(&s, CAP);
+        assert!((rewind - 108.0 / 400.0 * 98.0).abs() < 1e-9);
+        assert_eq!(unload, 19.0);
+        assert_eq!(d, DriveState::Empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has")]
+    fn double_load_panics() {
+        let s = spec();
+        let mut d = DriveState::Empty;
+        d.load(tape(), &s);
+        d.load(tape(), &s);
+    }
+
+    #[test]
+    #[should_panic(expected = "head at the extent start")]
+    fn read_requires_position() {
+        let s = spec();
+        let mut d = DriveState::Empty;
+        d.load(tape(), &s);
+        d.read(
+            Extent {
+                object: ObjectId(0),
+                offset: Bytes::gb(5),
+                size: Bytes::gb(1),
+            },
+            &s,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty drive")]
+    fn unload_empty_panics() {
+        let mut d = DriveState::Empty;
+        d.rewind_and_unload(&spec(), CAP);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spec() -> DriveSpec {
+        DriveSpec {
+            native_rate: BytesPerSec::mb_per_sec(80.0),
+            load_time: 19.0,
+            unload_time: 19.0,
+            full_pass_time: 98.0,
+        }
+    }
+
+    proptest! {
+        /// The linear positioning model is symmetric, satisfies the
+        /// triangle equality along a line, and never exceeds a full pass.
+        #[test]
+        fn positioning_is_linear(a in 0u64..400, b in 0u64..400, c in 0u64..400) {
+            let s = spec();
+            let cap = Bytes::gb(400);
+            let (a, b, c) = (Bytes::gb(a), Bytes::gb(b), Bytes::gb(c));
+            let t_ab = s.position_time(a, b, cap);
+            prop_assert!((t_ab - s.position_time(b, a, cap)).abs() < 1e-12);
+            prop_assert!(t_ab <= s.full_pass_time + 1e-12);
+            // Monotone path: going a→b→c costs at least a→c.
+            prop_assert!(
+                s.position_time(a, b, cap) + s.position_time(b, c, cap)
+                    >= s.position_time(a, c, cap) - 1e-9
+            );
+        }
+
+        /// A load/seek/read/rewind/unload cycle keeps the state machine
+        /// coherent for any extent on the tape.
+        #[test]
+        fn drive_cycle_is_coherent(offset in 0u64..390, size in 1u64..10) {
+            let s = spec();
+            let cap = Bytes::gb(400);
+            let tape = TapeId::new(tapesim_model_test_lib(), 3);
+            let mut d = DriveState::Empty;
+            d.load(tape, &s);
+            let seek = d.seek_to(Bytes::gb(offset), &s, cap);
+            prop_assert!(seek >= 0.0 && seek <= s.full_pass_time);
+            let e = Extent {
+                object: crate::ids::ObjectId(1),
+                offset: Bytes::gb(offset),
+                size: Bytes::gb(size),
+            };
+            let read = d.read(e, &s);
+            prop_assert!((read - size as f64 * 12.5).abs() < 1e-6, "1 GB = 12.5 s at 80 MB/s");
+            prop_assert_eq!(d.head(), e.end());
+            let (rewind, unload) = d.rewind_and_unload(&s, cap);
+            prop_assert!((rewind - (offset + size) as f64 / 400.0 * 98.0).abs() < 1e-9);
+            prop_assert_eq!(unload, 19.0);
+            prop_assert_eq!(d, DriveState::Empty);
+        }
+    }
+
+    fn tapesim_model_test_lib() -> crate::ids::LibraryId {
+        crate::ids::LibraryId(0)
+    }
+}

@@ -1,0 +1,126 @@
+//! Identifier newtypes shared across the workspace.
+//!
+//! All identifiers are small dense indices. Objects are numbered globally;
+//! tapes and drives carry their owning library so that the "one robot per
+//! library" and "tapes never leave their library" constraints are visible in
+//! the type rather than maintained by convention.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A data object (file / dataset) identifier. Dense, 0-based.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// The index as `usize` for slice access.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "O{}", self.0)
+    }
+}
+
+/// A tape library identifier. Dense, 0-based.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct LibraryId(pub u16);
+
+impl LibraryId {
+    /// The index as `usize`.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LibraryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A tape cartridge: `slot` within its owning `library`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TapeId {
+    /// The library whose storage cells hold this cartridge.
+    pub library: LibraryId,
+    /// Storage-cell slot within the library, 0-based.
+    pub slot: u16,
+}
+
+impl TapeId {
+    /// Creates a tape id.
+    pub fn new(library: LibraryId, slot: u16) -> TapeId {
+        TapeId { library, slot }
+    }
+}
+
+impl fmt::Display for TapeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:T{}", self.library, self.slot)
+    }
+}
+
+/// A tape drive: `bay` within its owning `library`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct DriveId {
+    /// The library this drive is installed in.
+    pub library: LibraryId,
+    /// Drive bay within the library, 0-based.
+    pub bay: u8,
+}
+
+impl DriveId {
+    /// Creates a drive id.
+    pub fn new(library: LibraryId, bay: u8) -> DriveId {
+        DriveId { library, bay }
+    }
+}
+
+impl fmt::Display for DriveId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:D{}", self.library, self.bay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let lib = LibraryId(2);
+        assert_eq!(format!("{}", ObjectId(7)), "O7");
+        assert_eq!(format!("{lib}"), "L2");
+        assert_eq!(format!("{}", TapeId::new(lib, 15)), "L2:T15");
+        assert_eq!(format!("{}", DriveId::new(lib, 3)), "L2:D3");
+    }
+
+    #[test]
+    fn ordering_groups_by_library() {
+        let a = TapeId::new(LibraryId(0), 99);
+        let b = TapeId::new(LibraryId(1), 0);
+        assert!(a < b, "library is the major sort key");
+    }
+
+    #[test]
+    fn ids_are_hashable_map_keys() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(TapeId::new(LibraryId(0), 1), "x");
+        assert_eq!(m[&TapeId::new(LibraryId(0), 1)], "x");
+    }
+}

@@ -1,0 +1,68 @@
+//! The robot arm model.
+//!
+//! Each library has exactly one robot (the paper's key serialisation
+//! constraint): all cartridge movement between storage cells and drive bays
+//! within a library goes through it, one operation at a time. Across
+//! libraries, robots work independently.
+//!
+//! The paper models robot operations as constants for a given library
+//! (Table 1: 7.6 s average cell↔drive move). A complete exchange at a drive
+//! decomposes into an *eject phase* (take the unloaded cartridge, return it
+//! to its cell) and an *inject phase* (fetch the new cartridge, insert it in
+//! the bay); the load/thread and unload times themselves belong to the drive.
+
+use serde::{Deserialize, Serialize};
+
+/// Static timing of a library's robot arm(s).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RobotSpec {
+    /// Average storage-cell ↔ drive-bay move time, seconds.
+    pub cell_to_drive_time: f64,
+    /// Number of independent arms in the library. The paper's L80 has one
+    /// (its key serialisation constraint); larger silos ship with two —
+    /// the `ext_robots` experiment measures what a second arm buys.
+    #[serde(default = "default_arms")]
+    pub arms: u8,
+}
+
+fn default_arms() -> u8 {
+    1
+}
+
+impl RobotSpec {
+    /// Robot time to take an ejected cartridge from a drive back to its cell.
+    #[inline]
+    pub fn eject_handling_time(&self) -> f64 {
+        self.cell_to_drive_time
+    }
+
+    /// Robot time to fetch a cartridge from its cell and insert it at a
+    /// drive.
+    #[inline]
+    pub fn inject_handling_time(&self) -> f64 {
+        self.cell_to_drive_time
+    }
+
+    /// Total robot occupation for one full exchange (eject + inject); the
+    /// drive's own unload/load times are *not* included.
+    #[inline]
+    pub fn exchange_handling_time(&self) -> f64 {
+        self.eject_handling_time() + self.inject_handling_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_is_eject_plus_inject() {
+        let r = RobotSpec {
+            cell_to_drive_time: 7.6,
+            arms: 1,
+        };
+        assert!((r.eject_handling_time() - 7.6).abs() < 1e-12);
+        assert!((r.inject_handling_time() - 7.6).abs() < 1e-12);
+        assert!((r.exchange_handling_time() - 15.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,170 @@
+//! Named hardware presets.
+//!
+//! [`paper_table1`] is the exact configuration of the paper's evaluation
+//! (IBM LTO Gen 3 drives in StorageTek L80 libraries, 3 libraries). The LTO
+//! generation ladder supports the paper's closing "technology improvement"
+//! discussion: each generation roughly doubles capacity and raises the
+//! native rate.
+
+use crate::drive::DriveSpec;
+use crate::library::{LibrarySpec, SystemConfig};
+use crate::robot::RobotSpec;
+use crate::tape::TapeSpec;
+use crate::units::{Bytes, BytesPerSec};
+
+/// IBM LTO Ultrium generation 1 drive (100 GB, 15 MB/s native).
+pub fn lto1_drive() -> DriveSpec {
+    DriveSpec {
+        native_rate: BytesPerSec::mb_per_sec(15.0),
+        load_time: 19.0,
+        unload_time: 19.0,
+        full_pass_time: 98.0,
+    }
+}
+
+/// LTO-1 cartridge (100 GB native).
+pub fn lto1_tape() -> TapeSpec {
+    TapeSpec::with_capacity(Bytes::gb(100))
+}
+
+/// IBM LTO Ultrium generation 2 drive (200 GB, 35 MB/s native).
+pub fn lto2_drive() -> DriveSpec {
+    DriveSpec {
+        native_rate: BytesPerSec::mb_per_sec(35.0),
+        load_time: 19.0,
+        unload_time: 19.0,
+        full_pass_time: 98.0,
+    }
+}
+
+/// LTO-2 cartridge (200 GB native).
+pub fn lto2_tape() -> TapeSpec {
+    TapeSpec::with_capacity(Bytes::gb(200))
+}
+
+/// IBM LTO Ultrium generation 3 drive — the paper's Table 1 drive
+/// (400 GB, 80 MB/s native, 19 s load/unload, 98 s max rewind).
+pub fn lto3_drive() -> DriveSpec {
+    DriveSpec {
+        native_rate: BytesPerSec::mb_per_sec(80.0),
+        load_time: 19.0,
+        unload_time: 19.0,
+        full_pass_time: 98.0,
+    }
+}
+
+/// LTO-3 cartridge (400 GB native) — the paper's Table 1 cartridge.
+pub fn lto3_tape() -> TapeSpec {
+    TapeSpec::with_capacity(Bytes::gb(400))
+}
+
+/// IBM LTO Ultrium generation 4 drive (800 GB, 120 MB/s native).
+pub fn lto4_drive() -> DriveSpec {
+    DriveSpec {
+        native_rate: BytesPerSec::mb_per_sec(120.0),
+        load_time: 19.0,
+        unload_time: 19.0,
+        full_pass_time: 98.0,
+    }
+}
+
+/// LTO-4 cartridge (800 GB native).
+pub fn lto4_tape() -> TapeSpec {
+    TapeSpec::with_capacity(Bytes::gb(800))
+}
+
+/// StorageTek L80 robot (7.6 s average cell↔drive move, Table 1).
+pub fn stk_l80_robot() -> RobotSpec {
+    RobotSpec {
+        cell_to_drive_time: 7.6,
+        arms: 1,
+    }
+}
+
+/// A StorageTek L80 library populated with the given drive/tape generation:
+/// 8 drives, 80 cartridge cells (Table 1).
+pub fn stk_l80_library(drive: DriveSpec, tape: TapeSpec) -> LibrarySpec {
+    LibrarySpec {
+        drives: 8,
+        tapes: 80,
+        drive,
+        tape,
+        robot: stk_l80_robot(),
+    }
+}
+
+/// The paper's full Table 1 configuration: **3 StorageTek L80 libraries with
+/// IBM LTO Gen 3 drives**.
+pub fn paper_table1() -> SystemConfig {
+    SystemConfig::new(3, stk_l80_library(lto3_drive(), lto3_tape()))
+        .expect("Table 1 configuration is valid")
+}
+
+/// The Table 1 configuration with a different library count (Figure 8 sweep).
+pub fn paper_table1_with_libraries(libraries: u16) -> SystemConfig {
+    SystemConfig::new(libraries, stk_l80_library(lto3_drive(), lto3_tape()))
+        .expect("valid configuration")
+}
+
+/// The LTO generation ladder `(name, drive, tape)` used by the
+/// technology-improvement extension experiment.
+pub fn lto_generations() -> Vec<(&'static str, DriveSpec, TapeSpec)> {
+    vec![
+        ("LTO-1", lto1_drive(), lto1_tape()),
+        ("LTO-2", lto2_drive(), lto2_tape()),
+        ("LTO-3", lto3_drive(), lto3_tape()),
+        ("LTO-4", lto4_drive(), lto4_tape()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_the_paper() {
+        let sys = paper_table1();
+        assert_eq!(sys.libraries, 3);
+        assert_eq!(sys.library.drives, 8);
+        assert_eq!(sys.library.tapes, 80);
+        assert_eq!(sys.library.tape.capacity, Bytes::gb(400));
+        assert!((sys.library.drive.native_rate.get() - 80e6).abs() < 1.0);
+        assert!((sys.library.drive.load_time - 19.0).abs() < 1e-12);
+        assert!((sys.library.drive.unload_time - 19.0).abs() < 1e-12);
+        assert!((sys.library.drive.full_pass_time - 98.0).abs() < 1e-12);
+        assert!((sys.library.robot.cell_to_drive_time - 7.6).abs() < 1e-12);
+        assert_eq!(sys.total_capacity(), Bytes::tb(96));
+    }
+
+    #[test]
+    fn table1_average_access_time_is_consistent() {
+        // Table 1 quotes 72 s "average file access time (first file)". With
+        // the linear model this is load (19 s) + average half-pass seek
+        // (49 s) = 68 s, within 6% of the quoted figure — the residual is
+        // drive calibration overhead the linear model folds away.
+        let d = lto3_drive();
+        let avg_seek = d.position_time(Bytes::ZERO, Bytes::gb(200), Bytes::gb(400));
+        let access = d.load_time + avg_seek;
+        assert!((access - 68.0).abs() < 1e-9);
+        assert!((access - 72.0).abs() / 72.0 < 0.06);
+    }
+
+    #[test]
+    fn generation_ladder_is_monotone() {
+        let gens = lto_generations();
+        assert_eq!(gens.len(), 4);
+        for pair in gens.windows(2) {
+            assert!(pair[1].1.native_rate.get() > pair[0].1.native_rate.get());
+            assert!(pair[1].2.capacity > pair[0].2.capacity);
+        }
+    }
+
+    #[test]
+    fn library_count_variant() {
+        for n in 1..=6 {
+            let sys = paper_table1_with_libraries(n);
+            assert_eq!(sys.libraries, n);
+            assert_eq!(sys.total_drives(), 8 * n as usize);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Tape cartridges and their on-tape data layout.
+//!
+//! A [`TapeLayout`] is the physical content of one cartridge: an ordered run
+//! of objects at byte offsets from the load point (beginning of tape).
+//! Layouts are append-only during placement and validated for overlap and
+//! capacity.
+
+use crate::ids::ObjectId;
+use crate::units::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Static properties of a cartridge model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TapeSpec {
+    /// Native (uncompressed) capacity.
+    pub capacity: Bytes,
+}
+
+impl TapeSpec {
+    /// A spec with the given capacity.
+    pub fn with_capacity(capacity: Bytes) -> TapeSpec {
+        TapeSpec { capacity }
+    }
+}
+
+/// One object's extent on a tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Extent {
+    /// The stored object.
+    pub object: ObjectId,
+    /// Byte offset of the object's first byte from the load point.
+    pub offset: Bytes,
+    /// Object length.
+    pub size: Bytes,
+}
+
+impl Extent {
+    /// Offset one past the object's last byte.
+    pub fn end(&self) -> Bytes {
+        self.offset + self.size
+    }
+}
+
+/// The physical content of one cartridge.
+///
+/// Extents are stored in increasing-offset order; [`TapeLayout::append`]
+/// writes at the current end of data, which is how placement schemes build
+/// tapes (they decide an *order* and then stream objects out).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TapeLayout {
+    extents: Vec<Extent>,
+    used: Bytes,
+}
+
+impl TapeLayout {
+    /// An empty (blank) tape.
+    pub fn new() -> TapeLayout {
+        TapeLayout::default()
+    }
+
+    /// Appends `object` of `size` at the current end of data; returns its
+    /// extent.
+    pub fn append(&mut self, object: ObjectId, size: Bytes) -> Extent {
+        let extent = Extent {
+            object,
+            offset: self.used,
+            size,
+        };
+        self.used += size;
+        self.extents.push(extent);
+        extent
+    }
+
+    /// Bytes written so far.
+    pub fn used(&self) -> Bytes {
+        self.used
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Whether the tape is blank.
+    pub fn is_empty(&self) -> bool {
+        self.extents.is_empty()
+    }
+
+    /// The stored extents in increasing-offset order.
+    pub fn extents(&self) -> &[Extent] {
+        &self.extents
+    }
+
+    /// Finds the extent of `object`, if stored on this tape.
+    pub fn find(&self, object: ObjectId) -> Option<Extent> {
+        self.extents.iter().copied().find(|e| e.object == object)
+    }
+
+    /// Checks structural invariants: offsets strictly increasing and
+    /// contiguous with sizes, and total within `spec.capacity`.
+    pub fn validate(&self, spec: &TapeSpec) -> Result<(), LayoutError> {
+        let mut cursor = Bytes::ZERO;
+        for e in &self.extents {
+            if e.offset != cursor {
+                return Err(LayoutError::Gap {
+                    object: e.object,
+                    expected: cursor,
+                    found: e.offset,
+                });
+            }
+            cursor = e.end();
+        }
+        if cursor > spec.capacity {
+            return Err(LayoutError::OverCapacity {
+                used: cursor,
+                capacity: spec.capacity,
+            });
+        }
+        if cursor != self.used {
+            return Err(LayoutError::Accounting {
+                tracked: self.used,
+                actual: cursor,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Violations reported by [`TapeLayout::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// Extents are not contiguous (placement must stream objects back to
+    /// back; gaps would silently inflate seek distances).
+    Gap {
+        /// Object found after the gap.
+        object: ObjectId,
+        /// Where the object should start.
+        expected: Bytes,
+        /// Where it actually starts.
+        found: Bytes,
+    },
+    /// More data than the cartridge holds.
+    OverCapacity {
+        /// Total bytes laid out.
+        used: Bytes,
+        /// Cartridge capacity.
+        capacity: Bytes,
+    },
+    /// Internal accounting mismatch.
+    Accounting {
+        /// The `used` counter.
+        tracked: Bytes,
+        /// Sum of extent sizes.
+        actual: Bytes,
+    },
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::Gap {
+                object,
+                expected,
+                found,
+            } => write!(f, "gap before {object}: expected offset {expected}, found {found}"),
+            LayoutError::OverCapacity { used, capacity } => {
+                write!(f, "layout uses {used} of a {capacity} cartridge")
+            }
+            LayoutError::Accounting { tracked, actual } => {
+                write!(f, "used counter {tracked} != extent sum {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> TapeSpec {
+        TapeSpec::with_capacity(Bytes::gb(400))
+    }
+
+    #[test]
+    fn append_is_contiguous() {
+        let mut t = TapeLayout::new();
+        let a = t.append(ObjectId(1), Bytes::gb(2));
+        let b = t.append(ObjectId(2), Bytes::gb(3));
+        assert_eq!(a.offset, Bytes::ZERO);
+        assert_eq!(b.offset, Bytes::gb(2));
+        assert_eq!(t.used(), Bytes::gb(5));
+        assert_eq!(t.len(), 2);
+        t.validate(&spec()).unwrap();
+    }
+
+    #[test]
+    fn find_locates_objects() {
+        let mut t = TapeLayout::new();
+        t.append(ObjectId(7), Bytes::gb(1));
+        t.append(ObjectId(9), Bytes::gb(1));
+        assert_eq!(t.find(ObjectId(9)).unwrap().offset, Bytes::gb(1));
+        assert!(t.find(ObjectId(8)).is_none());
+    }
+
+    #[test]
+    fn validate_rejects_overflow() {
+        let mut t = TapeLayout::new();
+        t.append(ObjectId(1), Bytes::gb(500));
+        let err = t.validate(&spec()).unwrap_err();
+        assert!(matches!(err, LayoutError::OverCapacity { .. }));
+        assert!(format!("{err}").contains("400.00 GB"));
+    }
+
+    #[test]
+    fn empty_tape_is_valid() {
+        let t = TapeLayout::new();
+        assert!(t.is_empty());
+        t.validate(&spec()).unwrap();
+    }
+}

@@ -1,0 +1,221 @@
+//! Storage units.
+//!
+//! [`Bytes`] is a `u64` newtype for data sizes and on-tape positions;
+//! [`BytesPerSec`] a rate. The paper quotes decimal units (400 GB tapes,
+//! 80 MB/s native rate), so the constructors here use powers of ten.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A size or on-tape position in bytes.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Bytes(pub u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// `n` kilobytes (10^3).
+    pub const fn kb(n: u64) -> Bytes {
+        Bytes(n * 1_000)
+    }
+
+    /// `n` megabytes (10^6).
+    pub const fn mb(n: u64) -> Bytes {
+        Bytes(n * 1_000_000)
+    }
+
+    /// `n` gigabytes (10^9).
+    pub const fn gb(n: u64) -> Bytes {
+        Bytes(n * 1_000_000_000)
+    }
+
+    /// `n` terabytes (10^12).
+    pub const fn tb(n: u64) -> Bytes {
+        Bytes(n * 1_000_000_000_000)
+    }
+
+    /// Raw byte count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Value in (decimal) gigabytes.
+    pub fn as_gb(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Value in (decimal) megabytes.
+    pub fn as_mb(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Absolute distance between two positions.
+    pub fn distance(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.abs_diff(rhs.0))
+    }
+
+    /// Multiplies the size by a non-negative scale factor, rounding to the
+    /// nearest byte. Used by experiment sweeps that scale object sizes.
+    pub fn scale(self, factor: f64) -> Bytes {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative"
+        );
+        Bytes((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.checked_add(rhs.0).expect("Bytes overflow"))
+    }
+}
+
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    fn sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.checked_sub(rhs.0).expect("Bytes underflow"))
+    }
+}
+
+impl SubAssign for Bytes {
+    fn sub_assign(&mut self, rhs: Bytes) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        iter.fold(Bytes::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0 as f64;
+        if b >= 1e12 {
+            write!(f, "{:.2} TB", b / 1e12)
+        } else if b >= 1e9 {
+            write!(f, "{:.2} GB", b / 1e9)
+        } else if b >= 1e6 {
+            write!(f, "{:.2} MB", b / 1e6)
+        } else if b >= 1e3 {
+            write!(f, "{:.2} KB", b / 1e3)
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+/// A data rate in bytes per second.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct BytesPerSec(pub f64);
+
+impl BytesPerSec {
+    /// `n` megabytes per second (10^6).
+    pub fn mb_per_sec(n: f64) -> BytesPerSec {
+        assert!(n.is_finite() && n > 0.0, "rate must be positive");
+        BytesPerSec(n * 1e6)
+    }
+
+    /// Raw bytes per second.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Seconds needed to move `size` at this rate.
+    pub fn time_for(self, size: Bytes) -> f64 {
+        size.0 as f64 / self.0
+    }
+
+    /// Scales the rate (used by technology-improvement sweeps).
+    pub fn scale(self, factor: f64) -> BytesPerSec {
+        assert!(factor.is_finite() && factor > 0.0);
+        BytesPerSec(self.0 * factor)
+    }
+}
+
+impl fmt::Display for BytesPerSec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} MB/s", self.0 / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Bytes::kb(2).get(), 2_000);
+        assert_eq!(Bytes::mb(3).get(), 3_000_000);
+        assert_eq!(Bytes::gb(4).get(), 4_000_000_000);
+        assert_eq!(Bytes::tb(1).get(), 1_000_000_000_000);
+    }
+
+    #[test]
+    fn arithmetic_and_distance() {
+        let a = Bytes::gb(3);
+        let b = Bytes::gb(1);
+        assert_eq!(a + b, Bytes::gb(4));
+        assert_eq!(a - b, Bytes::gb(2));
+        assert_eq!(b.saturating_sub(a), Bytes::ZERO);
+        assert_eq!(a.distance(b), Bytes::gb(2));
+        assert_eq!(b.distance(a), Bytes::gb(2));
+        let total: Bytes = [a, b, b].into_iter().sum();
+        assert_eq!(total, Bytes::gb(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = Bytes::gb(1) - Bytes::gb(2);
+    }
+
+    #[test]
+    fn scaling() {
+        assert_eq!(Bytes::gb(4).scale(0.5), Bytes::gb(2));
+        assert_eq!(Bytes(3).scale(1.5), Bytes(5), "rounds to nearest");
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", Bytes(512)), "512 B");
+        assert_eq!(format!("{}", Bytes::kb(2)), "2.00 KB");
+        assert_eq!(format!("{}", Bytes::gb(400)), "400.00 GB");
+        assert_eq!(format!("{}", Bytes::tb(96)), "96.00 TB");
+    }
+
+    #[test]
+    fn rate_timing() {
+        let r = BytesPerSec::mb_per_sec(80.0);
+        // 80 MB at 80 MB/s = 1 second.
+        assert!((r.time_for(Bytes::mb(80)) - 1.0).abs() < 1e-12);
+        // 400 GB at 80 MB/s = 5000 seconds.
+        assert!((r.time_for(Bytes::gb(400)) - 5000.0).abs() < 1e-9);
+        assert!((r.scale(2.0).time_for(Bytes::gb(400)) - 2500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn as_unit_views() {
+        assert!((Bytes::gb(400).as_gb() - 400.0).abs() < 1e-12);
+        assert!((Bytes::mb(5).as_mb() - 5.0).abs() < 1e-12);
+    }
+}

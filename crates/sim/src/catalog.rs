@@ -1,0 +1,127 @@
+//! The object indexing database (§6): request → per-tape service jobs.
+//!
+//! "Integrated with the simulator is an indexing database that stores
+//! object locations as well as other object properties such as object size
+//! information. Given a request, the corresponding tapes are identified
+//! based on the object indexing database."
+
+use std::collections::BTreeMap;
+use tapesim_model::tape::Extent;
+use tapesim_model::{Bytes, ObjectId, TapeId};
+use tapesim_placement::Placement;
+
+/// The work one tape owes a request: which extents to read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TapeJob {
+    /// The cartridge.
+    pub tape: TapeId,
+    /// Requested extents on it, ascending offset (the engine seek-orders
+    /// them against the live head position at service time).
+    pub extents: Vec<Extent>,
+}
+
+impl TapeJob {
+    /// Total requested bytes on this tape.
+    pub fn bytes(&self) -> Bytes {
+        self.extents.iter().map(|e| e.size).sum()
+    }
+}
+
+/// Groups a request's objects into per-tape jobs.
+///
+/// Jobs are returned **sorted by descending total bytes** (ties by tape
+/// id), the dispatch order the engine uses: starting the largest pending
+/// job first is the classic LPT heuristic for the per-library makespan.
+///
+/// Duplicate object ids in `objects` are served once (a restore does not
+/// read the same object twice).
+pub fn tape_jobs(placement: &Placement, objects: &[ObjectId]) -> Vec<TapeJob> {
+    let mut seen = std::collections::HashSet::with_capacity(objects.len());
+    let mut by_tape: BTreeMap<TapeId, Vec<Extent>> = BTreeMap::new();
+    for &o in objects {
+        if !seen.insert(o) {
+            continue;
+        }
+        let loc = placement.locate(o);
+        by_tape.entry(loc.tape).or_default().push(Extent {
+            object: o,
+            offset: loc.offset,
+            size: loc.size,
+        });
+    }
+    let mut jobs: Vec<TapeJob> = by_tape
+        .into_iter()
+        .map(|(tape, mut extents)| {
+            extents.sort_by_key(|e| e.offset);
+            TapeJob { tape, extents }
+        })
+        .collect();
+    jobs.sort_by(|a, b| b.bytes().cmp(&a.bytes()).then(a.tape.cmp(&b.tape)));
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapesim_model::specs::paper_table1;
+    use tapesim_model::{LibraryId, TapeId};
+    use tapesim_placement::PlacementBuilder;
+    use tapesim_workload::{ObjectRecord, Request, Workload};
+
+    fn setup() -> Placement {
+        let cfg = paper_table1();
+        let objects: Vec<ObjectRecord> = (0..6)
+            .map(|i| ObjectRecord {
+                id: ObjectId(i),
+                size: Bytes::gb((i + 1) as u64),
+            })
+            .collect();
+        let w = Workload::new(
+            objects,
+            vec![Request {
+                rank: 0,
+                probability: 1.0,
+                objects: (0..6).map(ObjectId).collect(),
+            }],
+        );
+        let mut b = PlacementBuilder::new(&cfg, &w);
+        let t0 = TapeId::new(LibraryId(0), 0);
+        let t1 = TapeId::new(LibraryId(1), 0);
+        // Objects 0,2,4 on t0; 1,3,5 on t1.
+        for i in [0u32, 2, 4] {
+            b.append(t0, ObjectId(i), Bytes::gb((i + 1) as u64), 0.1).unwrap();
+        }
+        for i in [1u32, 3, 5] {
+            b.append(t1, ObjectId(i), Bytes::gb((i + 1) as u64), 0.1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn groups_by_tape_sorted_by_bytes() {
+        let p = setup();
+        let jobs = tape_jobs(&p, &[ObjectId(0), ObjectId(1), ObjectId(3), ObjectId(4)]);
+        assert_eq!(jobs.len(), 2);
+        // t0 carries 0 (1 GB) + 4 (5 GB) = 6 GB; t1 carries 1+3 = 2+4 = 6 GB.
+        // Tie: t0 < t1.
+        assert_eq!(jobs[0].tape, TapeId::new(LibraryId(0), 0));
+        assert_eq!(jobs[0].bytes(), Bytes::gb(6));
+        assert_eq!(jobs[1].bytes(), Bytes::gb(6));
+        // Extents ascending by offset.
+        assert!(jobs[0].extents[0].offset < jobs[0].extents[1].offset);
+    }
+
+    #[test]
+    fn duplicates_served_once() {
+        let p = setup();
+        let jobs = tape_jobs(&p, &[ObjectId(2), ObjectId(2), ObjectId(2)]);
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].extents.len(), 1);
+    }
+
+    #[test]
+    fn empty_request_no_jobs() {
+        let p = setup();
+        assert!(tape_jobs(&p, &[]).is_empty());
+    }
+}

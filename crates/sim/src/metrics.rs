@@ -1,0 +1,213 @@
+//! Request- and run-level metrics (§6 "Metrics").
+//!
+//! Per request the paper reports the response time and its decomposition:
+//! the **seek** and **transfer** time are those of the drive that finishes
+//! the request *last*, and the **switch** time is the residual
+//! `response − (seek + transfer)` — it absorbs rewinds, robot handling and
+//! robot-queue waiting on the critical path. The **effective data
+//! retrieval bandwidth** is `requested bytes / response time`.
+
+use serde::{Deserialize, Serialize};
+use tapesim_des::stats::Welford;
+use tapesim_model::Bytes;
+
+/// Measurements of one serviced request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestMetrics {
+    /// Wall time from submission to the last transferred byte, seconds.
+    pub response: f64,
+    /// Seek time of the last-finishing drive, seconds.
+    pub seek: f64,
+    /// Transfer time of the last-finishing drive, seconds.
+    pub transfer: f64,
+    /// Residual `response − seek − transfer`, seconds.
+    pub switch: f64,
+    /// Total requested bytes.
+    pub bytes: Bytes,
+    /// Distinct tapes touched.
+    pub n_tapes: u32,
+    /// Tape exchanges performed.
+    pub n_switches: u32,
+    /// Total time switch operations spent queued on robots, seconds.
+    pub robot_wait: f64,
+}
+
+impl RequestMetrics {
+    /// Effective data retrieval bandwidth, MB/s (decimal).
+    pub fn bandwidth_mbs(&self) -> f64 {
+        if self.response <= 0.0 {
+            return 0.0;
+        }
+        self.bytes.get() as f64 / 1e6 / self.response
+    }
+}
+
+/// Aggregated metrics over a run of sampled requests.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    response: Welford,
+    seek: Welford,
+    transfer: Welford,
+    switch_t: Welford,
+    bandwidth: Welford,
+    n_switches: Welford,
+    total_bytes: u64,
+    total_response: f64,
+}
+
+impl RunMetrics {
+    /// An empty accumulator.
+    pub fn new() -> RunMetrics {
+        RunMetrics::default()
+    }
+
+    /// Folds in one request.
+    pub fn push(&mut self, r: &RequestMetrics) {
+        self.response.push(r.response);
+        self.seek.push(r.seek);
+        self.transfer.push(r.transfer);
+        self.switch_t.push(r.switch);
+        self.bandwidth.push(r.bandwidth_mbs());
+        self.n_switches.push(r.n_switches as f64);
+        self.total_bytes += r.bytes.get();
+        self.total_response += r.response;
+    }
+
+    /// Number of requests folded in.
+    pub fn count(&self) -> u64 {
+        self.response.count()
+    }
+
+    /// Average response time, seconds.
+    pub fn avg_response(&self) -> f64 {
+        self.response.mean()
+    }
+
+    /// Average per-request seek time, seconds.
+    pub fn avg_seek(&self) -> f64 {
+        self.seek.mean()
+    }
+
+    /// Average per-request transfer time, seconds.
+    pub fn avg_transfer(&self) -> f64 {
+        self.transfer.mean()
+    }
+
+    /// Average per-request switch time, seconds.
+    pub fn avg_switch(&self) -> f64 {
+        self.switch_t.mean()
+    }
+
+    /// Mean of per-request effective bandwidths, MB/s.
+    pub fn avg_bandwidth_mbs(&self) -> f64 {
+        self.bandwidth.mean()
+    }
+
+    /// Standard deviation of per-request bandwidth, MB/s.
+    pub fn bandwidth_stddev(&self) -> f64 {
+        self.bandwidth.stddev()
+    }
+
+    /// Aggregate bandwidth: all bytes over all response time, MB/s.
+    pub fn aggregate_bandwidth_mbs(&self) -> f64 {
+        if self.total_response <= 0.0 {
+            return 0.0;
+        }
+        self.total_bytes as f64 / 1e6 / self.total_response
+    }
+
+    /// Average number of tape exchanges per request.
+    pub fn avg_switches(&self) -> f64 {
+        self.n_switches.mean()
+    }
+
+    /// Merges another accumulator (for parallel sweeps).
+    pub fn merge(&mut self, other: &RunMetrics) {
+        self.response.merge(&other.response);
+        self.seek.merge(&other.seek);
+        self.transfer.merge(&other.transfer);
+        self.switch_t.merge(&other.switch_t);
+        self.bandwidth.merge(&other.bandwidth);
+        self.n_switches.merge(&other.n_switches);
+        self.total_bytes += other.total_bytes;
+        self.total_response += other.total_response;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(response: f64, seek: f64, transfer: f64, gb: u64) -> RequestMetrics {
+        RequestMetrics {
+            response,
+            seek,
+            transfer,
+            switch: response - seek - transfer,
+            bytes: Bytes::gb(gb),
+            n_tapes: 3,
+            n_switches: 2,
+            robot_wait: 0.0,
+        }
+    }
+
+    #[test]
+    fn request_bandwidth() {
+        let r = req(1000.0, 10.0, 900.0, 100);
+        // 100 GB over 1000 s = 100 MB/s.
+        assert!((r.bandwidth_mbs() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_response_is_safe() {
+        let r = RequestMetrics {
+            response: 0.0,
+            seek: 0.0,
+            transfer: 0.0,
+            switch: 0.0,
+            bytes: Bytes::ZERO,
+            n_tapes: 0,
+            n_switches: 0,
+            robot_wait: 0.0,
+        };
+        assert_eq!(r.bandwidth_mbs(), 0.0);
+    }
+
+    #[test]
+    fn run_aggregation() {
+        let mut run = RunMetrics::new();
+        run.push(&req(1000.0, 10.0, 900.0, 100)); // 100 MB/s
+        run.push(&req(500.0, 20.0, 400.0, 100)); // 200 MB/s
+        assert_eq!(run.count(), 2);
+        assert!((run.avg_response() - 750.0).abs() < 1e-9);
+        assert!((run.avg_seek() - 15.0).abs() < 1e-9);
+        assert!((run.avg_bandwidth_mbs() - 150.0).abs() < 1e-9);
+        // Aggregate: 200 GB over 1500 s = 133.3 MB/s.
+        assert!((run.aggregate_bandwidth_mbs() - 200e9 / 1e6 / 1500.0).abs() < 1e-9);
+        // Decomposition adds up by construction.
+        assert!(
+            (run.avg_switch() + run.avg_seek() + run.avg_transfer() - run.avg_response()).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let mut a = RunMetrics::new();
+        let mut b = RunMetrics::new();
+        let mut whole = RunMetrics::new();
+        for i in 0..10 {
+            let r = req(1000.0 + i as f64, 10.0, 900.0, 100);
+            if i % 2 == 0 {
+                a.push(&r);
+            } else {
+                b.push(&r);
+            }
+            whole.push(&r);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.avg_response() - whole.avg_response()).abs() < 1e-9);
+        assert!((a.aggregate_bandwidth_mbs() - whole.aggregate_bandwidth_mbs()).abs() < 1e-9);
+    }
+}

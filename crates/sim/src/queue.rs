@@ -1,0 +1,214 @@
+//! Queued operation: restore requests arriving faster than they finish.
+//!
+//! The paper assumes restore requests arrive "one by one … with long time
+//! interval between two requests", so queueing time is zero (§6). This
+//! module drops that assumption: requests arrive as a Poisson stream and
+//! are served FCFS, one at a time (the operating model stays
+//! single-request — what changes is that a request may have to *wait*).
+//! A scheme's bandwidth advantage then compounds: shorter services drain
+//! the queue faster, so the waiting-time gap between schemes grows without
+//! bound as the arrival rate approaches the slower scheme's saturation
+//! point.
+
+use crate::simulator::Simulator;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use tapesim_des::stats::Welford;
+use tapesim_workload::Workload;
+
+/// A Poisson arrival process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalSpec {
+    /// Mean arrivals per hour.
+    pub per_hour: f64,
+    /// Seed of the inter-arrival stream.
+    pub seed: u64,
+}
+
+impl ArrivalSpec {
+    /// Draws the next exponential inter-arrival gap, seconds.
+    fn gap<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        -u.ln() * 3600.0 / self.per_hour
+    }
+}
+
+/// Aggregated queueing metrics.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct QueueMetrics {
+    wait: Welford,
+    service: Welford,
+    sojourn: Welford,
+    busy: f64,
+    horizon: f64,
+}
+
+impl QueueMetrics {
+    /// Mean time from arrival to service start, seconds.
+    pub fn avg_wait(&self) -> f64 {
+        self.wait.mean()
+    }
+
+    /// Mean service (response) time, seconds.
+    pub fn avg_service(&self) -> f64 {
+        self.service.mean()
+    }
+
+    /// Mean time from arrival to completion, seconds.
+    pub fn avg_sojourn(&self) -> f64 {
+        self.sojourn.mean()
+    }
+
+    /// 0..=1-ish offered-load estimate: total service time over the span
+    /// from first arrival to last completion (can exceed 1 transiently —
+    /// an unstable queue never catches up).
+    pub fn utilisation(&self) -> f64 {
+        if self.horizon <= 0.0 {
+            0.0
+        } else {
+            self.busy / self.horizon
+        }
+    }
+
+    /// Number of requests served.
+    pub fn served(&self) -> u64 {
+        self.sojourn.count()
+    }
+}
+
+/// Serves `samples` popularity-drawn requests arriving as a Poisson stream
+/// through `sim`, FCFS. The simulator's mount state persists across
+/// services exactly as in the paper's operating model.
+pub fn run_queued(
+    sim: &mut Simulator,
+    workload: &Workload,
+    samples: usize,
+    arrivals: ArrivalSpec,
+) -> QueueMetrics {
+    assert!(arrivals.per_hour > 0.0, "arrival rate must be positive");
+    let sampler = workload.request_sampler();
+    let mut pick_rng = ChaCha12Rng::seed_from_u64(arrivals.seed ^ 0x9A3E);
+    let mut gap_rng = ChaCha12Rng::seed_from_u64(arrivals.seed ^ 0x6A1);
+
+    let mut metrics = QueueMetrics::default();
+    let mut clock = 0.0; // arrival clock
+    let mut server_free = 0.0;
+    let mut first_arrival = None;
+    for _ in 0..samples {
+        clock += arrivals.gap(&mut gap_rng);
+        first_arrival.get_or_insert(clock);
+        let idx = sampler.sample(&mut pick_rng);
+        let request = &workload.requests()[idx];
+
+        let start = clock.max(server_free);
+        let response = sim.serve(&request.objects).response;
+        server_free = start + response;
+
+        metrics.wait.push(start - clock);
+        metrics.service.push(response);
+        metrics.sojourn.push(server_free - clock);
+        metrics.busy += response;
+    }
+    metrics.horizon = server_free - first_arrival.unwrap_or(0.0);
+    metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapesim_model::specs::paper_table1;
+    use tapesim_model::Bytes;
+    use tapesim_placement::{ParallelBatchPlacement, PlacementPolicy};
+    use tapesim_workload::{ObjectSizeSpec, RequestSpec, WorkloadSpec};
+
+    fn setup() -> (Simulator, Workload) {
+        let w = WorkloadSpec {
+            objects: 2_000,
+            sizes: ObjectSizeSpec::default().calibrated(Bytes::gb(4)),
+            requests: RequestSpec {
+                count: 50,
+                min_objects: 15,
+                max_objects: 25,
+                count_shape: 1.0,
+                alpha: 0.3,
+            },
+            seed: 31,
+        }
+        .generate();
+        let cfg = paper_table1();
+        let p = ParallelBatchPlacement::with_m(4).place(&w, &cfg).unwrap();
+        (Simulator::with_natural_policy(p, 4), w)
+    }
+
+    #[test]
+    fn sparse_arrivals_never_wait() {
+        let (mut sim, w) = setup();
+        // One request a week: the §6 regime.
+        let m = run_queued(
+            &mut sim,
+            &w,
+            30,
+            ArrivalSpec {
+                per_hour: 1.0 / 168.0,
+                seed: 1,
+            },
+        );
+        assert_eq!(m.served(), 30);
+        assert!(m.avg_wait() < 1e-9, "wait {} in the sparse regime", m.avg_wait());
+        assert!((m.avg_sojourn() - m.avg_service()).abs() < 1e-9);
+        assert!(m.utilisation() < 0.1);
+    }
+
+    #[test]
+    fn dense_arrivals_queue_up() {
+        let (mut sim, w) = setup();
+        // Service takes hundreds of seconds; 30 arrivals/hour ≈ one every
+        // two minutes: the queue must build.
+        let m = run_queued(
+            &mut sim,
+            &w,
+            30,
+            ArrivalSpec {
+                per_hour: 30.0,
+                seed: 1,
+            },
+        );
+        assert!(m.avg_wait() > m.avg_service(), "no queueing at high load");
+        assert!(m.avg_sojourn() > m.avg_wait());
+        assert!(m.utilisation() > 0.8);
+    }
+
+    #[test]
+    fn wait_grows_with_arrival_rate() {
+        let rates = [2.0, 6.0, 18.0];
+        let mut waits = Vec::new();
+        for &r in &rates {
+            let (mut sim, w) = setup();
+            let m = run_queued(&mut sim, &w, 40, ArrivalSpec { per_hour: r, seed: 5 });
+            waits.push(m.avg_wait());
+        }
+        assert!(
+            waits[0] <= waits[1] && waits[1] <= waits[2],
+            "waits not monotone in load: {waits:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let (mut sim1, w) = setup();
+        let (mut sim2, _) = setup();
+        let spec = ArrivalSpec { per_hour: 6.0, seed: 9 };
+        let a = run_queued(&mut sim1, &w, 25, spec);
+        let b = run_queued(&mut sim2, &w, 25, spec);
+        assert_eq!(a.avg_sojourn(), b.avg_sojourn());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_rate() {
+        let (mut sim, w) = setup();
+        let _ = run_queued(&mut sim, &w, 1, ArrivalSpec { per_hour: 0.0, seed: 0 });
+    }
+}

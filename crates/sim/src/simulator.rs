@@ -1,0 +1,240 @@
+//! The simulator facade.
+//!
+//! A [`Simulator`] owns a placement, a switch policy and the persistent
+//! mount state, and serves requests one at a time (the §6 operating model:
+//! restore requests arrive far apart, so the request queue is always
+//! empty). [`Simulator::run_sampled`] reproduces the paper's measurement
+//! loop: draw requests from the pre-defined set according to their Zipf
+//! popularity and average the metrics (the paper draws 200).
+
+use crate::catalog::tape_jobs;
+use crate::engine::{serve_request, MountState};
+use crate::metrics::{RequestMetrics, RunMetrics};
+use crate::policy::SwitchPolicy;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use tapesim_model::{ObjectId, SystemConfig};
+use tapesim_placement::Placement;
+use tapesim_workload::Workload;
+
+/// The multiple-tape-library simulator.
+pub struct Simulator {
+    config: SystemConfig,
+    placement: Placement,
+    policy: SwitchPolicy,
+    state: MountState,
+}
+
+impl Simulator {
+    /// Creates a simulator in the startup state (initial mounts applied).
+    pub fn new(placement: Placement, policy: SwitchPolicy) -> Simulator {
+        let config = *placement.config();
+        let state = MountState::new(policy.initial_mounts(&placement, &config));
+        Simulator {
+            config,
+            placement,
+            policy,
+            state,
+        }
+    }
+
+    /// Convenience: the natural policy for the placement
+    /// ([`SwitchPolicy::for_placement`]) with the given `m`.
+    pub fn with_natural_policy(placement: Placement, m: u8) -> Simulator {
+        let policy = SwitchPolicy::for_placement(&placement, m);
+        Simulator::new(placement, policy)
+    }
+
+    /// The placement being simulated.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The active switch policy.
+    pub fn policy(&self) -> SwitchPolicy {
+        self.policy
+    }
+
+    /// Current mount state (for inspection in tests/diagnostics).
+    pub fn state(&self) -> &MountState {
+        &self.state
+    }
+
+    /// Restores the startup mount state.
+    pub fn reset(&mut self) {
+        self.state = MountState::new(self.policy.initial_mounts(&self.placement, &self.config));
+    }
+
+    /// Serves one request for `objects`; mount state persists to the next
+    /// call.
+    pub fn serve(&mut self, objects: &[ObjectId]) -> RequestMetrics {
+        let jobs = tape_jobs(&self.placement, objects);
+        serve_request(
+            &self.config,
+            &self.placement,
+            &self.policy,
+            &mut self.state,
+            jobs,
+        )
+    }
+
+    /// Serves one request and returns the event timeline alongside the
+    /// metrics (mounts, exchanges, streams, completions — the
+    /// `tapesim serve --trace` view).
+    pub fn serve_traced(
+        &mut self,
+        objects: &[ObjectId],
+    ) -> (RequestMetrics, tapesim_des::Tracer) {
+        let jobs = tape_jobs(&self.placement, objects);
+        crate::engine::serve_request_traced(
+            &self.config,
+            &self.placement,
+            &self.policy,
+            &mut self.state,
+            jobs,
+            true,
+        )
+    }
+
+    /// Serves `samples` requests drawn from `workload`'s pre-defined set by
+    /// popularity (deterministic for a given `seed`) and aggregates.
+    pub fn run_sampled(&mut self, workload: &Workload, samples: usize, seed: u64) -> RunMetrics {
+        let mut run = RunMetrics::new();
+        for metrics in self.run_sampled_detailed(workload, samples, seed) {
+            run.push(&metrics);
+        }
+        run
+    }
+
+    /// Like [`Simulator::run_sampled`], but returns every per-request
+    /// measurement — for tail-latency analysis (p95/p99 restore times) and
+    /// any custom aggregation.
+    pub fn run_sampled_detailed(
+        &mut self,
+        workload: &Workload,
+        samples: usize,
+        seed: u64,
+    ) -> Vec<RequestMetrics> {
+        let sampler = workload.request_sampler();
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        (0..samples)
+            .map(|_| {
+                let idx = sampler.sample(&mut rng);
+                self.serve(&workload.requests()[idx].objects)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapesim_model::specs::paper_table1;
+    use tapesim_model::Bytes;
+    use tapesim_placement::{
+        ClusterProbabilityPlacement, ObjectProbabilityPlacement, ParallelBatchPlacement,
+        PlacementPolicy,
+    };
+    use tapesim_workload::{ObjectSizeSpec, RequestSpec, WorkloadSpec};
+
+    /// A miniature paper-shaped workload that runs fast.
+    fn small_workload() -> Workload {
+        WorkloadSpec {
+            objects: 3_000,
+            sizes: ObjectSizeSpec::default().calibrated(Bytes::gb(2)),
+            requests: RequestSpec {
+                count: 60,
+                min_objects: 20,
+                max_objects: 30,
+                count_shape: 1.0,
+                alpha: 0.3,
+            },
+            seed: 7,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn end_to_end_all_three_schemes() {
+        let cfg = paper_table1();
+        let w = small_workload();
+        let schemes: Vec<(&str, Box<dyn PlacementPolicy>)> = vec![
+            ("pbp", Box::new(ParallelBatchPlacement::with_m(4))),
+            ("opp", Box::new(ObjectProbabilityPlacement::default())),
+            ("cpp", Box::new(ClusterProbabilityPlacement::default())),
+        ];
+        for (name, scheme) in schemes {
+            let placement = scheme.place(&w, &cfg).unwrap();
+            placement.verify_against(&w).unwrap();
+            let mut sim = Simulator::with_natural_policy(placement, 4);
+            let run = sim.run_sampled(&w, 40, 99);
+            assert_eq!(run.count(), 40, "{name}");
+            assert!(run.avg_response() > 0.0, "{name}");
+            assert!(run.avg_bandwidth_mbs() > 0.0, "{name}");
+            // Sanity: bandwidth cannot exceed the aggregate drive rate.
+            let max_mbs = cfg.total_drives() as f64 * 80.0;
+            assert!(
+                run.avg_bandwidth_mbs() <= max_mbs,
+                "{name}: {} > {max_mbs}",
+                run.avg_bandwidth_mbs()
+            );
+            // Decomposition holds on averages.
+            assert!(
+                (run.avg_switch() + run.avg_seek() + run.avg_transfer() - run.avg_response())
+                    .abs()
+                    < 1e-6,
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = paper_table1();
+        let w = small_workload();
+        let place = || {
+            ParallelBatchPlacement::with_m(4)
+                .place(&w, &cfg)
+                .unwrap()
+        };
+        let mut sim1 = Simulator::with_natural_policy(place(), 4);
+        let mut sim2 = Simulator::with_natural_policy(place(), 4);
+        let r1 = sim1.run_sampled(&w, 30, 5);
+        let r2 = sim2.run_sampled(&w, 30, 5);
+        assert_eq!(r1.avg_response(), r2.avg_response());
+        assert_eq!(r1.avg_bandwidth_mbs(), r2.avg_bandwidth_mbs());
+    }
+
+    #[test]
+    fn reset_restores_startup_state() {
+        let cfg = paper_table1();
+        let w = small_workload();
+        let placement = ParallelBatchPlacement::with_m(4).place(&w, &cfg).unwrap();
+        let mut sim = Simulator::with_natural_policy(placement, 4);
+        let initial = sim.state().clone();
+        sim.run_sampled(&w, 10, 1);
+        sim.reset();
+        assert_eq!(*sim.state(), initial);
+    }
+
+    #[test]
+    fn pbp_beats_cpp_on_bandwidth_for_the_default_shape() {
+        // The headline qualitative claim on a small instance: parallel
+        // batch placement outperforms cluster probability placement, which
+        // has no transfer parallelism.
+        let cfg = paper_table1();
+        let w = small_workload();
+        let pbp = ParallelBatchPlacement::with_m(4).place(&w, &cfg).unwrap();
+        let cpp = ClusterProbabilityPlacement::default().place(&w, &cfg).unwrap();
+        let bw_pbp = Simulator::with_natural_policy(pbp, 4)
+            .run_sampled(&w, 60, 3)
+            .avg_bandwidth_mbs();
+        let bw_cpp = Simulator::with_natural_policy(cpp, 4)
+            .run_sampled(&w, 60, 3)
+            .avg_bandwidth_mbs();
+        assert!(
+            bw_pbp > bw_cpp,
+            "parallel batch {bw_pbp:.1} MB/s should beat cluster probability {bw_cpp:.1} MB/s"
+        );
+    }
+}

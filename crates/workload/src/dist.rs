@@ -1,0 +1,287 @@
+//! Probability distributions used by the workload generator.
+//!
+//! * [`BoundedPareto`] — a power law truncated to `[min, max]`, used for
+//!   object sizes and per-request object counts ("follows a power law
+//!   distribution within a pre-defined range", §6).
+//! * [`Zipf`] — rank-frequency law `P_r = c · r^(−α)` over a finite rank
+//!   set, used for request popularity (α = 0 uniform, α = 1 most skewed).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A bounded (truncated) Pareto distribution on `[min, max]` with tail index
+/// `shape` (`a > 0`); the density is proportional to `x^-(a+1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundedPareto {
+    min: f64,
+    max: f64,
+    shape: f64,
+}
+
+impl BoundedPareto {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min <= max` and `shape > 0` (all finite).
+    pub fn new(min: f64, max: f64, shape: f64) -> BoundedPareto {
+        assert!(
+            min.is_finite() && max.is_finite() && shape.is_finite(),
+            "parameters must be finite"
+        );
+        assert!(min > 0.0, "min must be positive, got {min}");
+        assert!(max >= min, "max ({max}) must be >= min ({min})");
+        assert!(shape > 0.0, "shape must be positive, got {shape}");
+        BoundedPareto { min, max, shape }
+    }
+
+    /// Lower bound.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Upper bound.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Tail index `a`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Draws one sample by inverse-CDF transform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.min == self.max {
+            return self.min;
+        }
+        let a = self.shape;
+        let l = self.min;
+        let h = self.max;
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // F(x) = (1 - (l/x)^a) / (1 - (l/h)^a) inverted for x.
+        let ratio = (l / h).powf(a);
+        let x = l / (1.0 - u * (1.0 - ratio)).powf(1.0 / a);
+        // Clamp away inverse-transform floating point spill.
+        x.clamp(l, h)
+    }
+
+    /// Analytic mean of the truncated distribution.
+    pub fn mean(&self) -> f64 {
+        if self.min == self.max {
+            return self.min;
+        }
+        let a = self.shape;
+        let l = self.min;
+        let h = self.max;
+        let norm = 1.0 - (l / h).powf(a);
+        if (a - 1.0).abs() < 1e-12 {
+            // a = 1: E[X] = (l / norm) * ln(h/l)  (limit of the general form)
+            l / norm * (h / l).ln()
+        } else {
+            (a * l.powf(a)) / norm * (h.powf(1.0 - a) - l.powf(1.0 - a)) / (1.0 - a)
+        }
+    }
+
+    /// Returns a copy with both bounds scaled by `factor` (the mean scales
+    /// by the same factor) — used by request-size sweeps.
+    pub fn scaled(&self, factor: f64) -> BoundedPareto {
+        assert!(factor.is_finite() && factor > 0.0);
+        BoundedPareto::new(self.min * factor, self.max * factor, self.shape)
+    }
+}
+
+/// Zipf rank-popularity law over ranks `1..=n`: `P_r = c · r^(−α)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Zipf {
+    alpha: f64,
+    probabilities: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the normalised distribution for `n` ranks with skew `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is negative or non-finite.
+    pub fn new(n: usize, alpha: f64) -> Zipf {
+        assert!(n > 0, "need at least one rank");
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "alpha must be finite and non-negative"
+        );
+        let mut probabilities: Vec<f64> =
+            (1..=n).map(|r| (r as f64).powf(-alpha)).collect();
+        let c: f64 = probabilities.iter().sum();
+        for p in &mut probabilities {
+            *p /= c;
+        }
+        Zipf {
+            alpha,
+            probabilities,
+        }
+    }
+
+    /// The skew parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.probabilities.len()
+    }
+
+    /// Whether there are no ranks (never true; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.probabilities.is_empty()
+    }
+
+    /// Probability of rank `r` (0-based index `r-1`).
+    pub fn probability(&self, rank0: usize) -> f64 {
+        self.probabilities[rank0]
+    }
+
+    /// All probabilities, rank order (most popular first).
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probabilities
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn pareto_samples_stay_in_bounds() {
+        let d = BoundedPareto::new(100.0, 150.0, 1.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((100.0..=150.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn pareto_empirical_mean_matches_analytic() {
+        let d = BoundedPareto::new(0.256, 16.0, 1.2);
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let emp = sum / n as f64;
+        let ana = d.mean();
+        assert!(
+            (emp - ana).abs() / ana < 0.02,
+            "empirical {emp} vs analytic {ana}"
+        );
+    }
+
+    #[test]
+    fn pareto_mean_at_shape_one_uses_log_limit() {
+        let d = BoundedPareto::new(1.0, std::f64::consts::E, 1.0);
+        // E[X] = ln(e/1) / (1 - 1/e) = 1 / (1 - 1/e)
+        let expected = 1.0 / (1.0 - 1.0 / std::f64::consts::E);
+        assert!((d.mean() - expected).abs() < 1e-9);
+        // The a→1 limit must agree with nearby shapes.
+        let near = BoundedPareto::new(1.0, std::f64::consts::E, 1.0 + 1e-7).mean();
+        assert!((d.mean() - near).abs() < 1e-5);
+    }
+
+    #[test]
+    fn pareto_degenerate_point_mass() {
+        let d = BoundedPareto::new(5.0, 5.0, 2.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        assert_eq!(d.sample(&mut rng), 5.0);
+        assert_eq!(d.mean(), 5.0);
+    }
+
+    #[test]
+    fn pareto_scaling_scales_mean() {
+        let d = BoundedPareto::new(1.0, 10.0, 1.5);
+        let s = d.scaled(3.0);
+        assert!((s.mean() - 3.0 * d.mean()).abs() < 1e-9);
+        assert_eq!(s.min(), 3.0);
+        assert_eq!(s.max(), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must be positive")]
+    fn pareto_rejects_bad_shape() {
+        let _ = BoundedPareto::new(1.0, 2.0, 0.0);
+    }
+
+    #[test]
+    fn zipf_normalises() {
+        for &alpha in &[0.0, 0.3, 1.0] {
+            let z = Zipf::new(300, alpha);
+            let total: f64 = z.probabilities().iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "alpha={alpha}");
+        }
+    }
+
+    #[test]
+    fn zipf_zero_alpha_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.probability(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_is_monotone_decreasing_in_rank() {
+        let z = Zipf::new(50, 0.7);
+        for r in 1..50 {
+            assert!(z.probability(r - 1) > z.probability(r));
+        }
+    }
+
+    #[test]
+    fn zipf_alpha_one_ratio() {
+        let z = Zipf::new(100, 1.0);
+        // P_1 / P_2 = 2 exactly for alpha = 1.
+        assert!((z.probability(0) / z.probability(1) - 2.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    proptest! {
+        /// Samples stay within bounds, and the analytic mean lies inside
+        /// them, for arbitrary valid parameters.
+        #[test]
+        fn pareto_bounds_hold(
+            min in 0.1f64..100.0,
+            span in 0.0f64..1000.0,
+            shape in 0.05f64..5.0,
+            seed in any::<u64>(),
+        ) {
+            let d = BoundedPareto::new(min, min + span, shape);
+            let mut rng = ChaCha12Rng::seed_from_u64(seed);
+            for _ in 0..50 {
+                let x = d.sample(&mut rng);
+                prop_assert!(x >= d.min() && x <= d.max(), "{x} outside [{}, {}]", d.min(), d.max());
+            }
+            let m = d.mean();
+            prop_assert!(m >= d.min() - 1e-9 && m <= d.max() + 1e-9);
+        }
+
+        /// Zipf is a normalised, non-increasing distribution for any size
+        /// and skew.
+        #[test]
+        fn zipf_is_a_distribution(n in 1usize..500, alpha in 0.0f64..2.0) {
+            let z = Zipf::new(n, alpha);
+            let total: f64 = z.probabilities().iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            for pair in z.probabilities().windows(2) {
+                prop_assert!(pair[0] >= pair[1] - 1e-15);
+            }
+        }
+    }
+}

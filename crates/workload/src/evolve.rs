@@ -1,0 +1,235 @@
+//! Workload evolution across backup epochs (§7 of the paper).
+//!
+//! "In a real system, objects are moved to tapes periodically. When we
+//! place objects on tapes, we only have the local knowledge of object
+//! probability and relationship." To study that regime, an
+//! [`EvolutionSpec`] advances a workload by one epoch:
+//!
+//! * the object population **grows** (new backups arrive; ids are
+//!   append-only, so objects already on tape keep their identity),
+//! * a fraction of the pre-defined requests **churns**: old restore
+//!   patterns disappear, new ones — over a mix of old and new objects —
+//!   take the *top* popularity ranks (recency bias), and the surviving
+//!   requests slide down the Zipf ladder.
+//!
+//! The incremental placer (`tapesim-placement`) consumes the evolved
+//! workloads; the `ext_online` experiment measures how placement quality
+//! decays when only new objects can be placed.
+
+use crate::dist::Zipf;
+use crate::object::{ObjectRecord, ObjectSizeSpec};
+use crate::request::{Request, RequestSpec};
+use crate::workload::Workload;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use tapesim_model::ObjectId;
+
+/// One epoch's worth of change.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvolutionSpec {
+    /// Fractional object-population growth per epoch (e.g. `0.05`).
+    pub growth: f64,
+    /// Fraction of pre-defined requests replaced per epoch (e.g. `0.2`).
+    pub churn: f64,
+    /// Size distribution of newly arriving objects.
+    pub new_sizes: ObjectSizeSpec,
+    /// Shape of newly arriving requests (count field is ignored; the
+    /// request-set size stays constant).
+    pub new_requests: RequestSpec,
+    /// Epoch seed; pass a different value per epoch.
+    pub seed: u64,
+}
+
+impl EvolutionSpec {
+    /// Advances `workload` by one epoch.
+    ///
+    /// Invariants: existing object ids are preserved (append-only
+    /// population); the request count and the Zipf(α) popularity law are
+    /// preserved; new requests occupy the top ranks.
+    pub fn advance(&self, workload: &Workload) -> Workload {
+        assert!((0.0..1.0).contains(&self.churn), "churn must be in [0,1)");
+        assert!(self.growth >= 0.0, "growth must be non-negative");
+        let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
+
+        // Grow the population.
+        let n_old = workload.objects().len() as u32;
+        let n_new = (n_old as f64 * self.growth).round() as u32;
+        let mut objects = workload.objects().to_vec();
+        let dist = self.new_sizes.distribution();
+        for i in 0..n_new {
+            objects.push(ObjectRecord {
+                id: ObjectId(n_old + i),
+                size: tapesim_model::Bytes(dist.sample(&mut rng).round() as u64),
+            });
+        }
+        let n_total = objects.len() as u32;
+
+        // Churn the request set.
+        let n_requests = workload.requests().len();
+        let n_replaced = ((n_requests as f64 * self.churn).round() as usize).min(n_requests);
+        let mut survivors: Vec<&Request> = workload.requests().iter().collect();
+        survivors.shuffle(&mut rng);
+        survivors.truncate(n_requests - n_replaced);
+        // Survivors keep their previous relative popularity order.
+        survivors.sort_by_key(|r| r.rank);
+
+        // Fresh requests favour recent objects: half their picks come from
+        // the newest 20% of the population.
+        let recent_floor = (n_total as f64 * 0.8) as u32;
+        let count_dist = crate::dist::BoundedPareto::new(
+            self.new_requests.min_objects as f64,
+            self.new_requests.max_objects as f64 + 1.0 - 1e-9,
+            self.new_requests.count_shape,
+        );
+        let mut fresh: Vec<Vec<ObjectId>> = Vec::with_capacity(n_replaced);
+        for _ in 0..n_replaced {
+            let k = (count_dist.sample(&mut rng).floor() as u32)
+                .clamp(self.new_requests.min_objects, self.new_requests.max_objects);
+            let mut picks = std::collections::HashSet::with_capacity(k as usize);
+            while (picks.len() as u32) < k {
+                let id = if rng.gen_bool(0.5) && recent_floor < n_total {
+                    rng.gen_range(recent_floor..n_total)
+                } else {
+                    rng.gen_range(0..n_total)
+                };
+                picks.insert(ObjectId(id));
+            }
+            let mut objs: Vec<ObjectId> = picks.into_iter().collect();
+            objs.sort_unstable();
+            fresh.push(objs);
+        }
+
+        // Re-rank: fresh requests first (recency bias), then survivors.
+        let zipf = Zipf::new(n_requests, self.new_requests.alpha);
+        let mut requests = Vec::with_capacity(n_requests);
+        for (rank, objs) in fresh
+            .into_iter()
+            .chain(survivors.into_iter().map(|r| r.objects.clone()))
+            .enumerate()
+        {
+            requests.push(Request {
+                rank: rank as u32,
+                probability: zipf.probability(rank),
+                objects: objs,
+            });
+        }
+        Workload::new(objects, requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadSpec;
+
+    fn base() -> Workload {
+        WorkloadSpec {
+            objects: 1_000,
+            sizes: ObjectSizeSpec::default(),
+            requests: RequestSpec {
+                count: 40,
+                min_objects: 10,
+                max_objects: 20,
+                count_shape: 1.0,
+                alpha: 0.3,
+            },
+            seed: 1,
+        }
+        .generate()
+    }
+
+    fn spec(seed: u64) -> EvolutionSpec {
+        EvolutionSpec {
+            growth: 0.1,
+            churn: 0.25,
+            new_sizes: ObjectSizeSpec::default(),
+            new_requests: RequestSpec {
+                count: 40,
+                min_objects: 10,
+                max_objects: 20,
+                count_shape: 1.0,
+                alpha: 0.3,
+            },
+            seed,
+        }
+    }
+
+    #[test]
+    fn population_grows_append_only() {
+        let w = base();
+        let next = spec(7).advance(&w);
+        assert_eq!(next.objects().len(), 1_100);
+        // Old objects unchanged (same id, same size).
+        for i in 0..1_000 {
+            assert_eq!(next.objects()[i], w.objects()[i]);
+        }
+    }
+
+    #[test]
+    fn request_set_size_and_mass_preserved() {
+        let w = base();
+        let next = spec(7).advance(&w);
+        assert_eq!(next.requests().len(), 40);
+        let total: f64 = next.requests().iter().map(|r| r.probability).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Exactly 10 requests replaced (25% of 40): 30 old membership
+        // vectors survive.
+        let old_sets: std::collections::HashSet<&Vec<ObjectId>> =
+            w.requests().iter().map(|r| &r.objects).collect();
+        let survivors = next
+            .requests()
+            .iter()
+            .filter(|r| old_sets.contains(&r.objects))
+            .count();
+        assert_eq!(survivors, 30);
+    }
+
+    #[test]
+    fn fresh_requests_take_top_ranks() {
+        let w = base();
+        let next = spec(7).advance(&w);
+        let old_sets: std::collections::HashSet<&Vec<ObjectId>> =
+            w.requests().iter().map(|r| &r.objects).collect();
+        for r in next.requests().iter().take(10) {
+            assert!(
+                !old_sets.contains(&r.objects),
+                "rank {} should be a fresh request",
+                r.rank
+            );
+        }
+    }
+
+    #[test]
+    fn fresh_requests_reference_new_objects() {
+        let w = base();
+        let next = spec(7).advance(&w);
+        let touches_new = next
+            .requests()
+            .iter()
+            .take(10)
+            .any(|r| r.objects.iter().any(|o| o.0 >= 1_000));
+        assert!(touches_new, "recency bias should reach the new objects");
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_chainable() {
+        let w = base();
+        let a = spec(3).advance(&w);
+        let b = spec(3).advance(&w);
+        assert_eq!(a, b);
+        let c = spec(4).advance(&a);
+        assert_eq!(c.objects().len(), 1_210, "10% growth compounds");
+    }
+
+    #[test]
+    #[should_panic(expected = "churn must be")]
+    fn rejects_full_churn() {
+        let w = base();
+        let mut s = spec(1);
+        s.churn = 1.0;
+        let _ = s.advance(&w);
+    }
+}

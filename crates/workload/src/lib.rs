@@ -1,0 +1,36 @@
+//! # tapesim-workload
+//!
+//! Synthetic workload generation for the parallel tape storage experiments,
+//! reproducing the §6 "Simulation Settings" of the ICPP 2006 paper:
+//!
+//! * a fixed population of objects whose **sizes follow a bounded power
+//!   law** within a configurable range (default calibrated so that the
+//!   average request is ≈ 213 GB, the paper's Figure 6 operating point),
+//! * a fixed set of pre-defined requests, each asking for a **power-law
+//!   number of objects in \[100, 150\]** chosen uniformly at random (objects
+//!   may appear in several requests),
+//! * **Zipf(α) request popularity**: `P_r = c · r^(−α)` over request ranks,
+//!   with α = 0 uniform and α = 1 most skewed,
+//! * a deterministic, seedable **request sampling stream** (alias method)
+//!   that the simulator draws its 200 serviced requests from.
+//!
+//! Everything is seeded [`rand_chacha::ChaCha12Rng`]; identical specs produce
+//! identical workloads on every platform.
+
+pub mod dist;
+pub mod evolve;
+pub mod object;
+pub mod replicate;
+pub mod request;
+pub mod sampler;
+pub mod stripe;
+pub mod workload;
+
+pub use dist::{BoundedPareto, Zipf};
+pub use evolve::EvolutionSpec;
+pub use object::{ObjectRecord, ObjectSizeSpec};
+pub use replicate::{replicate_workload, ReplicaMap, ReplicationSpec};
+pub use request::{Request, RequestSpec};
+pub use sampler::RequestSampler;
+pub use stripe::{stripe_workload, StripeMap, StripeSpec};
+pub use workload::{Workload, WorkloadSpec};

@@ -1,0 +1,200 @@
+//! Hot-object replication — trading tape capacity for switch time.
+//!
+//! Half the objects of the paper's workload appear in more than one
+//! request (300 requests × ~125 picks over 30 000 objects). Whatever a
+//! placement scheme does, a shared object can physically sit with only
+//! *one* of its requests; every other request must fetch it from a foreign
+//! cartridge — the residual tape exchanges that dominate even parallel
+//! batch placement's switch time.
+//!
+//! Tape capacity, unlike drives and robots, is cheap (the paper's system
+//! is ~46% empty). [`replicate_workload`] spends a byte budget on *private
+//! copies*: the most valuable shared objects are duplicated so that each
+//! requesting group references its own copy, which the placement scheme
+//! then co-locates with the rest of the group. Replica selection is
+//! value-ordered (`probability × (copies−1) / size` — switch savings per
+//! byte) and the budget is a hard cap.
+//!
+//! The `ext_replication` experiment sweeps the budget and measures how far
+//! a few percent of extra bytes push parallel batch placement toward the
+//! zero-residual-switch ideal.
+
+use crate::object::ObjectRecord;
+use crate::request::Request;
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+use tapesim_model::{Bytes, ObjectId};
+
+/// Replication parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicationSpec {
+    /// Hard cap on extra bytes spent on copies.
+    pub budget: Bytes,
+}
+
+/// Accounting of what was replicated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaMap {
+    /// `(original, copy)` pairs, in allocation order.
+    pub copies: Vec<(ObjectId, ObjectId)>,
+    /// Extra bytes actually spent.
+    pub spent: Bytes,
+}
+
+impl ReplicaMap {
+    /// Number of copies made.
+    pub fn n_copies(&self) -> usize {
+        self.copies.len()
+    }
+}
+
+/// Rewrites `workload` so that, within the byte budget, every request
+/// holding a *shared* object gets its own private copy (the first sharer
+/// keeps the original).
+///
+/// Requests' probabilities and cardinalities are unchanged; only object
+/// identity is rewritten, so any [`crate::Workload`]-consuming placement
+/// scheme benefits without modification.
+pub fn replicate_workload(workload: &Workload, spec: ReplicationSpec) -> (Workload, ReplicaMap) {
+    let probs = workload.object_probabilities();
+
+    // Sharing degree per object.
+    let mut sharers: Vec<Vec<usize>> = vec![Vec::new(); workload.objects().len()];
+    for (r_idx, r) in workload.requests().iter().enumerate() {
+        for o in &r.objects {
+            sharers[o.idx()].push(r_idx);
+        }
+    }
+
+    // Value-ordered candidates: switch savings per byte. Each copy beyond
+    // the first sharer saves roughly one foreign-cartridge visit weighted
+    // by the object's probability.
+    let mut candidates: Vec<usize> = (0..workload.objects().len())
+        .filter(|&i| sharers[i].len() >= 2)
+        .collect();
+    let value = |i: usize| -> f64 {
+        let extra = (sharers[i].len() - 1) as f64;
+        probs[i] * extra / workload.objects()[i].size.get().max(1) as f64
+    };
+    candidates.sort_by(|&a, &b| {
+        value(b)
+            .partial_cmp(&value(a))
+            .expect("finite values")
+            .then(a.cmp(&b))
+    });
+
+    let mut objects: Vec<ObjectRecord> = workload.objects().to_vec();
+    let mut requests: Vec<Request> = workload.requests().to_vec();
+    let mut copies = Vec::new();
+    let mut spent = Bytes::ZERO;
+    for i in candidates {
+        let size = workload.objects()[i].size;
+        let extra_copies = sharers[i].len() - 1;
+        let cost = Bytes(size.get() * extra_copies as u64);
+        if spent + cost > spec.budget {
+            continue; // try cheaper candidates further down the list
+        }
+        spent += cost;
+        // First sharer keeps the original; the rest get private copies.
+        for &r_idx in &sharers[i][1..] {
+            let copy = ObjectId(objects.len() as u32);
+            objects.push(ObjectRecord { id: copy, size });
+            copies.push((ObjectId(i as u32), copy));
+            let slot = requests[r_idx]
+                .objects
+                .iter()
+                .position(|&o| o.idx() == i)
+                .expect("sharer references the object");
+            requests[r_idx].objects[slot] = copy;
+        }
+    }
+
+    (Workload::new(objects, requests), ReplicaMap { copies, spent })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Objects 0..6 of 2 GB; object 0 shared by all three requests,
+    /// object 1 by two.
+    fn base() -> Workload {
+        let objects = (0..6)
+            .map(|i| ObjectRecord {
+                id: ObjectId(i),
+                size: Bytes::gb(2),
+            })
+            .collect();
+        let requests = vec![
+            Request { rank: 0, probability: 0.5, objects: vec![ObjectId(0), ObjectId(1), ObjectId(2)] },
+            Request { rank: 1, probability: 0.3, objects: vec![ObjectId(0), ObjectId(1), ObjectId(3)] },
+            Request { rank: 2, probability: 0.2, objects: vec![ObjectId(0), ObjectId(4), ObjectId(5)] },
+        ];
+        Workload::new(objects, requests)
+    }
+
+    #[test]
+    fn unlimited_budget_privatises_every_shared_object() {
+        let w = base();
+        let (replicated, map) = replicate_workload(
+            &w,
+            ReplicationSpec { budget: Bytes::tb(1) },
+        );
+        // Object 0: 2 extra copies; object 1: 1 extra copy.
+        assert_eq!(map.n_copies(), 3);
+        assert_eq!(map.spent, Bytes::gb(6));
+        assert_eq!(replicated.objects().len(), 9);
+        // No object is shared any more.
+        let probs_sharers = {
+            let mut counts = vec![0u32; replicated.objects().len()];
+            for r in replicated.requests() {
+                for o in &r.objects {
+                    counts[o.idx()] += 1;
+                }
+            }
+            counts.into_iter().max().unwrap()
+        };
+        assert_eq!(probs_sharers, 1, "every object now has exactly one sharer");
+        // Request shapes unchanged.
+        for (orig, rep) in w.requests().iter().zip(replicated.requests()) {
+            assert_eq!(orig.objects.len(), rep.objects.len());
+            assert_eq!(orig.probability, rep.probability);
+        }
+    }
+
+    #[test]
+    fn zero_budget_changes_nothing() {
+        let w = base();
+        let (replicated, map) = replicate_workload(&w, ReplicationSpec { budget: Bytes::ZERO });
+        assert_eq!(map.n_copies(), 0);
+        assert_eq!(map.spent, Bytes::ZERO);
+        assert_eq!(&replicated, &w);
+    }
+
+    #[test]
+    fn budget_is_a_hard_cap_and_highest_value_goes_first() {
+        let w = base();
+        // 4 GB covers object 0 (2 copies × 2 GB) but not object 1 as well.
+        let (replicated, map) = replicate_workload(
+            &w,
+            ReplicationSpec { budget: Bytes::gb(4) },
+        );
+        assert_eq!(map.spent, Bytes::gb(4));
+        assert_eq!(map.n_copies(), 2);
+        // Object 0 (higher sharing × probability) was chosen.
+        assert!(map.copies.iter().all(|&(o, _)| o == ObjectId(0)));
+        assert_eq!(replicated.objects().len(), 8);
+    }
+
+    #[test]
+    fn total_requested_bytes_are_preserved_per_request() {
+        let w = base();
+        let (replicated, _) = replicate_workload(
+            &w,
+            ReplicationSpec { budget: Bytes::tb(1) },
+        );
+        for (orig, rep) in w.requests().iter().zip(replicated.requests()) {
+            assert_eq!(w.request_bytes(orig), replicated.request_bytes(rep));
+        }
+    }
+}

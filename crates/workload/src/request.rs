@@ -1,0 +1,211 @@
+//! Request-set generation.
+//!
+//! The paper pre-defines 300 requests. Each request contains a power-law
+//! number of objects in \[100, 150\], "randomly chosen" from the population
+//! (without replacement within the request; the same object may appear in
+//! several requests). Request popularity follows Zipf(α) over the request
+//! rank (§6).
+
+use crate::dist::{BoundedPareto, Zipf};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tapesim_model::ObjectId;
+
+/// One pre-defined request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Rank index (0 = most popular).
+    pub rank: u32,
+    /// Access probability (`P_r = c · (rank+1)^{-α}`).
+    pub probability: f64,
+    /// The requested objects (distinct within the request).
+    pub objects: Vec<ObjectId>,
+}
+
+/// Parameters of the request set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestSpec {
+    /// Number of pre-defined requests (paper: 300).
+    pub count: u32,
+    /// Smallest per-request object count (paper: 100).
+    pub min_objects: u32,
+    /// Largest per-request object count (paper: 150).
+    pub max_objects: u32,
+    /// Tail index of the power law over object counts.
+    pub count_shape: f64,
+    /// Zipf skew α over request ranks (0 uniform, 1 most skewed).
+    pub alpha: f64,
+}
+
+impl Default for RequestSpec {
+    /// The paper's §6 settings with its running α = 0.3.
+    fn default() -> Self {
+        RequestSpec {
+            count: 300,
+            min_objects: 100,
+            max_objects: 150,
+            count_shape: 1.0,
+            alpha: 0.3,
+        }
+    }
+}
+
+impl RequestSpec {
+    /// Returns a copy with a different Zipf skew.
+    pub fn with_alpha(self, alpha: f64) -> RequestSpec {
+        RequestSpec { alpha, ..self }
+    }
+
+    /// Generates the request set against a population of `num_objects`
+    /// objects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is smaller than `max_objects` (a request
+    /// must be able to pick distinct objects).
+    pub fn generate<R: Rng + ?Sized>(&self, num_objects: u32, rng: &mut R) -> Vec<Request> {
+        assert!(
+            num_objects >= self.max_objects,
+            "population of {num_objects} cannot fill requests of {} objects",
+            self.max_objects
+        );
+        let count_dist = BoundedPareto::new(
+            self.min_objects as f64,
+            self.max_objects as f64 + 1.0 - 1e-9, // rounding keeps max reachable
+            self.count_shape,
+        );
+        let zipf = Zipf::new(self.count as usize, self.alpha);
+        (0..self.count)
+            .map(|rank| {
+                let k = (count_dist.sample(rng).floor() as u32)
+                    .clamp(self.min_objects, self.max_objects);
+                let objects = sample_distinct(num_objects, k, rng);
+                Request {
+                    rank,
+                    probability: zipf.probability(rank as usize),
+                    objects,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Draws `k` distinct object ids uniformly from `0..n`.
+///
+/// Uses Floyd's algorithm when `k ≪ n` (the common case: 150 of 30 000) and
+/// a shuffle otherwise.
+fn sample_distinct<R: Rng + ?Sized>(n: u32, k: u32, rng: &mut R) -> Vec<ObjectId> {
+    debug_assert!(k <= n);
+    if k as u64 * 4 >= n as u64 {
+        let mut all: Vec<u32> = (0..n).collect();
+        all.shuffle(rng);
+        all.truncate(k as usize);
+        return all.into_iter().map(ObjectId).collect();
+    }
+    // Floyd's subset sampling: uniform over k-subsets, O(k) expected.
+    let mut chosen = std::collections::HashSet::with_capacity(k as usize);
+    let mut out = Vec::with_capacity(k as usize);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        let pick = if chosen.insert(t) { t } else { j };
+        if pick != t {
+            chosen.insert(pick);
+        }
+        out.push(ObjectId(pick));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn generates_the_papers_shape() {
+        let spec = RequestSpec::default();
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        let reqs = spec.generate(30_000, &mut rng);
+        assert_eq!(reqs.len(), 300);
+        let total_p: f64 = reqs.iter().map(|r| r.probability).sum();
+        assert!((total_p - 1.0).abs() < 1e-9);
+        for r in &reqs {
+            let len = r.objects.len() as u32;
+            assert!((spec.min_objects..=spec.max_objects).contains(&len));
+            let distinct: HashSet<_> = r.objects.iter().collect();
+            assert_eq!(distinct.len(), r.objects.len(), "objects distinct within a request");
+        }
+        // Popularity is monotone in rank.
+        for pair in reqs.windows(2) {
+            assert!(pair[0].probability >= pair[1].probability);
+        }
+    }
+
+    #[test]
+    fn count_distribution_prefers_small_requests() {
+        let spec = RequestSpec {
+            count: 2000,
+            ..RequestSpec::default()
+        };
+        let mut rng = ChaCha12Rng::seed_from_u64(6);
+        let reqs = spec.generate(30_000, &mut rng);
+        let small = reqs
+            .iter()
+            .filter(|r| (r.objects.len() as u32) < 125)
+            .count();
+        // Power law in [100,150] puts well over half the mass below the
+        // midpoint.
+        assert!(
+            small > reqs.len() / 2,
+            "expected small-skew, got {small}/{}",
+            reqs.len()
+        );
+    }
+
+    #[test]
+    fn sample_distinct_is_uniformish_and_distinct() {
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let mut hits = vec![0u32; 100];
+        for _ in 0..2000 {
+            let s = sample_distinct(100, 10, &mut rng);
+            let set: HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), 10);
+            for o in s {
+                hits[o.idx()] += 1;
+            }
+        }
+        // Each element expected 200 times; allow generous slack.
+        for (i, &h) in hits.iter().enumerate() {
+            assert!((100..=320).contains(&h), "element {i} hit {h} times");
+        }
+    }
+
+    #[test]
+    fn sample_distinct_dense_path() {
+        let mut rng = ChaCha12Rng::seed_from_u64(8);
+        let s = sample_distinct(10, 9, &mut rng);
+        let set: HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fill")]
+    fn rejects_tiny_population() {
+        let spec = RequestSpec::default();
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let _ = spec.generate(10, &mut rng);
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform_popularity() {
+        let spec = RequestSpec::default().with_alpha(0.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let reqs = spec.generate(30_000, &mut rng);
+        for r in &reqs {
+            assert!((r.probability - 1.0 / 300.0).abs() < 1e-12);
+        }
+    }
+}

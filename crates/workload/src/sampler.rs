@@ -1,0 +1,152 @@
+//! Weighted request sampling.
+//!
+//! The simulator services 200 requests "chosen from the 300 pre-defined
+//! requests based on the probability distribution" (§6). [`RequestSampler`]
+//! implements Vose's alias method: O(n) setup, O(1) per draw, exact with
+//! respect to the given weights.
+
+use rand::Rng;
+
+/// O(1) weighted sampler over request indices (Vose's alias method).
+#[derive(Debug, Clone)]
+pub struct RequestSampler {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl RequestSampler {
+    /// Builds the alias table from (not necessarily normalised) weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> RequestSampler {
+        assert!(!weights.is_empty(), "need at least one weight");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "weights must not all be zero");
+
+        let n = weights.len();
+        // Scaled probabilities: mean 1.
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical leftovers are exactly 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        RequestSampler { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true; construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen_range(0.0..1.0) < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+
+    /// Draws `count` indices into a fresh vector.
+    pub fn sample_many<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<usize> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn frequencies_track_weights() {
+        let weights = [5.0, 3.0, 1.0, 1.0];
+        let s = RequestSampler::new(&weights);
+        let mut rng = ChaCha12Rng::seed_from_u64(13);
+        let n = 100_000;
+        let mut counts = [0u32; 4];
+        for _ in 0..n {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = weights[i] / 10.0 * n as f64;
+            let rel = (c as f64 - expected).abs() / expected;
+            assert!(rel < 0.05, "category {i}: {c} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_categories_never_drawn() {
+        let s = RequestSampler::new(&[1.0, 0.0, 1.0]);
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert_ne!(s.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn single_category() {
+        let s = RequestSampler::new(&[42.0]);
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        assert_eq!(s.sample(&mut rng), 0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = RequestSampler::new(&[0.5, 0.25, 0.25]);
+        let a = s.sample_many(50, &mut ChaCha12Rng::seed_from_u64(99));
+        let b = s.sample_many(50, &mut ChaCha12Rng::seed_from_u64(99));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn rejects_all_zero() {
+        let _ = RequestSampler::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_negative() {
+        let _ = RequestSampler::new(&[1.0, -0.1]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Object striping transformation (§2 of the paper).
+//!
+//! The paper surveys object-striping techniques for tape arrays
+//! (Golubchik et al.; Drapeau & Katz) and pointedly does **not** adopt
+//! them: "striping on sequential-accessed tapes suffers from long
+//! synchronization latencies … The striping system may perform worse than
+//! non-striping system". To let the evaluation check that claim instead
+//! of taking it on faith, this module rewrites a workload so that every
+//! sufficiently large object becomes `width` fragment-objects; requests
+//! ask for all fragments of each original object. Placing and simulating
+//! the transformed workload with any scheme then models a striped system:
+//! fragments transfer in parallel when they land on different mounted
+//! tapes, and the synchronisation penalty appears naturally as extra
+//! cartridges per request (and therefore extra switches) when they do not.
+
+use crate::object::ObjectRecord;
+use crate::request::Request;
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+use tapesim_model::{Bytes, ObjectId};
+
+/// Striping parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StripeSpec {
+    /// Number of fragments per striped object (`w ≥ 2`).
+    pub width: u8,
+    /// Objects smaller than this stay whole (striping a tiny object buys
+    /// nothing and costs a cartridge).
+    pub min_object: Bytes,
+}
+
+impl Default for StripeSpec {
+    /// Width 4 over objects of at least 1 GB.
+    fn default() -> Self {
+        StripeSpec {
+            width: 4,
+            min_object: Bytes::gb(1),
+        }
+    }
+}
+
+/// Maps original objects to their fragment ids in the striped workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StripeMap {
+    /// `fragments[i]` = fragment ids of original object `i` (a single id
+    /// when the object stayed whole).
+    fragments: Vec<Vec<ObjectId>>,
+}
+
+impl StripeMap {
+    /// Fragment ids of an original object.
+    pub fn fragments_of(&self, original: ObjectId) -> &[ObjectId] {
+        &self.fragments[original.idx()]
+    }
+
+    /// Number of original objects.
+    pub fn n_originals(&self) -> usize {
+        self.fragments.len()
+    }
+}
+
+/// Rewrites `workload` into its striped equivalent.
+///
+/// Fragment sizes split the original as evenly as whole bytes allow (the
+/// first fragments carry the remainder), so total bytes are preserved
+/// exactly. Request probabilities are untouched.
+///
+/// # Panics
+///
+/// Panics if `spec.width < 2`.
+pub fn stripe_workload(workload: &Workload, spec: StripeSpec) -> (Workload, StripeMap) {
+    assert!(spec.width >= 2, "striping needs at least two fragments");
+    let mut objects: Vec<ObjectRecord> = Vec::new();
+    let mut fragments: Vec<Vec<ObjectId>> = Vec::with_capacity(workload.objects().len());
+
+    for o in workload.objects() {
+        if o.size < spec.min_object {
+            let id = ObjectId(objects.len() as u32);
+            objects.push(ObjectRecord { id, size: o.size });
+            fragments.push(vec![id]);
+            continue;
+        }
+        let w = spec.width as u64;
+        let base = o.size.get() / w;
+        let remainder = o.size.get() % w;
+        let mut ids = Vec::with_capacity(spec.width as usize);
+        for f in 0..w {
+            let size = base + if f < remainder { 1 } else { 0 };
+            let id = ObjectId(objects.len() as u32);
+            objects.push(ObjectRecord {
+                id,
+                size: Bytes(size),
+            });
+            ids.push(id);
+        }
+        fragments.push(ids);
+    }
+
+    let requests: Vec<Request> = workload
+        .requests()
+        .iter()
+        .map(|r| Request {
+            rank: r.rank,
+            probability: r.probability,
+            objects: r
+                .objects
+                .iter()
+                .flat_map(|o| fragments[o.idx()].iter().copied())
+                .collect(),
+        })
+        .collect();
+
+    (Workload::new(objects, requests), StripeMap { fragments })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_workload() -> Workload {
+        let objects = vec![
+            ObjectRecord { id: ObjectId(0), size: Bytes::gb(8) },
+            ObjectRecord { id: ObjectId(1), size: Bytes::mb(100) }, // below min
+            ObjectRecord { id: ObjectId(2), size: Bytes(4_000_000_003) }, // uneven split
+        ];
+        let requests = vec![Request {
+            rank: 0,
+            probability: 1.0,
+            objects: vec![ObjectId(0), ObjectId(1), ObjectId(2)],
+        }];
+        Workload::new(objects, requests)
+    }
+
+    #[test]
+    fn fragments_preserve_total_bytes() {
+        let w = base_workload();
+        let (striped, map) = stripe_workload(&w, StripeSpec::default());
+        assert_eq!(striped.total_bytes(), w.total_bytes());
+        // 4 + 1 + 4 fragments.
+        assert_eq!(striped.objects().len(), 9);
+        assert_eq!(map.fragments_of(ObjectId(0)).len(), 4);
+        assert_eq!(map.fragments_of(ObjectId(1)).len(), 1, "small object whole");
+        assert_eq!(map.fragments_of(ObjectId(2)).len(), 4);
+    }
+
+    #[test]
+    fn uneven_sizes_split_to_the_byte() {
+        let w = base_workload();
+        let (striped, map) = stripe_workload(&w, StripeSpec::default());
+        let sizes: Vec<u64> = map
+            .fragments_of(ObjectId(2))
+            .iter()
+            .map(|&f| striped.size_of(f).get())
+            .collect();
+        assert_eq!(sizes.iter().sum::<u64>(), 4_000_000_003);
+        // Max spread of one byte.
+        assert_eq!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap(), 1);
+    }
+
+    #[test]
+    fn requests_ask_for_every_fragment() {
+        let w = base_workload();
+        let (striped, _) = stripe_workload(&w, StripeSpec::default());
+        assert_eq!(striped.requests()[0].objects.len(), 9);
+        assert_eq!(striped.requests()[0].probability, 1.0);
+    }
+
+    #[test]
+    fn width_two_minimum() {
+        let w = base_workload();
+        let (striped, _) = stripe_workload(
+            &w,
+            StripeSpec {
+                width: 2,
+                min_object: Bytes::mb(1),
+            },
+        );
+        // Every object striped (all ≥ 1 MB): 2+2+2.
+        assert_eq!(striped.objects().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two fragments")]
+    fn rejects_width_one() {
+        let w = base_workload();
+        let _ = stripe_workload(
+            &w,
+            StripeSpec {
+                width: 1,
+                min_object: Bytes::mb(1),
+            },
+        );
+    }
+}

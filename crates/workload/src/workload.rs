@@ -1,0 +1,284 @@
+//! The complete workload: objects + requests + derived quantities.
+//!
+//! A [`Workload`] is what placement schemes and the simulator consume. It
+//! owns the object population and the pre-defined request set, and computes
+//! the derived quantities the paper's algorithms need:
+//!
+//! * per-object access probability `P(O_i) = Σ_{R ∋ O_i} P(R)` (§5.3 step 1),
+//! * per-object probability **density** `P(O_i)/size(O_i)` (§5.3 step 2),
+//! * average request size in bytes (the x-axis of Figures 6–9).
+
+use crate::object::{ObjectRecord, ObjectSizeSpec};
+use crate::request::{Request, RequestSpec};
+use crate::sampler::RequestSampler;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use tapesim_model::{Bytes, ObjectId};
+
+/// Generation parameters for a complete workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of objects (paper: 30 000).
+    pub objects: u32,
+    /// Object size distribution.
+    pub sizes: ObjectSizeSpec,
+    /// Request-set parameters.
+    pub requests: RequestSpec,
+    /// Master seed; every derived stream is a fixed function of it.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    /// The paper's §6 settings: 30 000 objects, 300 requests of 100–150
+    /// objects, α = 0.3, sizes calibrated to a ≈213 GB average request
+    /// (the Figure 6 operating point).
+    fn default() -> Self {
+        let requests = RequestSpec::default();
+        // Average request carries ~125 objects; 213 GB / 125 ≈ 1.7 GB.
+        let sizes = ObjectSizeSpec::default().calibrated(Bytes::mb(1704));
+        WorkloadSpec {
+            objects: 30_000,
+            sizes,
+            requests,
+            seed: 0x5EED_7A9E,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Returns a copy with the Zipf skew replaced.
+    pub fn with_alpha(mut self, alpha: f64) -> WorkloadSpec {
+        self.requests.alpha = alpha;
+        self
+    }
+
+    /// Returns a copy with object sizes recalibrated so the *average
+    /// request* is `target` bytes (mean object count × mean object size).
+    pub fn with_target_request_size(mut self, target: Bytes) -> WorkloadSpec {
+        let mean_count = crate::dist::BoundedPareto::new(
+            self.requests.min_objects as f64,
+            self.requests.max_objects as f64,
+            self.requests.count_shape,
+        )
+        .mean();
+        let per_object = Bytes((target.get() as f64 / mean_count).round() as u64);
+        self.sizes = self.sizes.calibrated(per_object);
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> WorkloadSpec {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the workload deterministically from the spec.
+    pub fn generate(&self) -> Workload {
+        // Independent, documented sub-streams of the master seed: changing α
+        // (stream 2's parameters) must not perturb object sizes (stream 1).
+        let mut size_rng = ChaCha12Rng::seed_from_u64(self.seed.wrapping_add(0xA11CE));
+        let mut req_rng = ChaCha12Rng::seed_from_u64(self.seed.wrapping_add(0xB0B));
+        let objects = self.sizes.generate(self.objects, &mut size_rng);
+        let requests = self.requests.generate(self.objects, &mut req_rng);
+        Workload::new(objects, requests)
+    }
+}
+
+/// A generated workload: object population plus pre-defined request set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    objects: Vec<ObjectRecord>,
+    requests: Vec<Request>,
+}
+
+impl Workload {
+    /// Assembles a workload from parts (generated or hand-built in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids are not dense `0..objects.len()` or a request
+    /// references a missing object.
+    pub fn new(objects: Vec<ObjectRecord>, requests: Vec<Request>) -> Workload {
+        for (i, o) in objects.iter().enumerate() {
+            assert_eq!(o.id.idx(), i, "object ids must be dense");
+        }
+        for r in &requests {
+            for o in &r.objects {
+                assert!(
+                    o.idx() < objects.len(),
+                    "request {} references unknown object {o}",
+                    r.rank
+                );
+            }
+        }
+        Workload { objects, requests }
+    }
+
+    /// The object population.
+    pub fn objects(&self) -> &[ObjectRecord] {
+        &self.objects
+    }
+
+    /// The pre-defined requests, most popular first.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Size of one object.
+    pub fn size_of(&self, id: ObjectId) -> Bytes {
+        self.objects[id.idx()].size
+    }
+
+    /// Total bytes across the population.
+    pub fn total_bytes(&self) -> Bytes {
+        self.objects.iter().map(|o| o.size).sum()
+    }
+
+    /// Bytes requested by one request.
+    pub fn request_bytes(&self, request: &Request) -> Bytes {
+        request.objects.iter().map(|&o| self.size_of(o)).sum()
+    }
+
+    /// Unweighted average request size over the pre-defined set.
+    pub fn avg_request_bytes(&self) -> Bytes {
+        if self.requests.is_empty() {
+            return Bytes::ZERO;
+        }
+        let total: u64 = self
+            .requests
+            .iter()
+            .map(|r| self.request_bytes(r).get())
+            .sum();
+        Bytes(total / self.requests.len() as u64)
+    }
+
+    /// Per-object access probability `P(O_i) = Σ_{R ∋ O_i} P(R)`
+    /// (§5.3 step 1). Objects in no request get probability 0.
+    pub fn object_probabilities(&self) -> Vec<f64> {
+        let mut p = vec![0.0; self.objects.len()];
+        for r in &self.requests {
+            for o in &r.objects {
+                p[o.idx()] += r.probability;
+            }
+        }
+        p
+    }
+
+    /// A sampler over the pre-defined requests weighted by popularity.
+    pub fn request_sampler(&self) -> RequestSampler {
+        let weights: Vec<f64> = self.requests.iter().map(|r| r.probability).collect();
+        RequestSampler::new(&weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            objects: 2_000,
+            sizes: ObjectSizeSpec::default(),
+            requests: RequestSpec {
+                count: 50,
+                min_objects: 10,
+                max_objects: 20,
+                count_shape: 1.0,
+                alpha: 0.3,
+            },
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_spec().generate();
+        let b = small_spec().generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn changing_alpha_keeps_object_sizes() {
+        let a = small_spec().generate();
+        let b = small_spec().with_alpha(0.9).generate();
+        assert_eq!(a.objects(), b.objects(), "size stream independent of α");
+        assert_ne!(
+            a.requests()[5].probability,
+            b.requests()[5].probability,
+            "popularity changed"
+        );
+        // Request *membership* is also preserved (same object choices),
+        // which makes α sweeps compare placements on identical requests.
+        assert_eq!(a.requests()[5].objects, b.requests()[5].objects);
+    }
+
+    #[test]
+    fn object_probabilities_sum_to_expected_mass() {
+        let w = small_spec().generate();
+        let p = w.object_probabilities();
+        let total: f64 = p.iter().sum();
+        // Each request of k objects contributes k × P(R); the sum equals the
+        // popularity-weighted mean request cardinality.
+        let expected: f64 = w
+            .requests()
+            .iter()
+            .map(|r| r.probability * r.objects.len() as f64)
+            .sum();
+        assert!((total - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn target_request_size_calibration() {
+        let spec = WorkloadSpec::default().with_target_request_size(Bytes::gb(160));
+        let w = spec.generate();
+        let avg = w.avg_request_bytes();
+        let rel = (avg.get() as f64 - 160e9).abs() / 160e9;
+        assert!(rel < 0.1, "avg request {avg} vs 160 GB target");
+    }
+
+    #[test]
+    fn default_spec_matches_paper_operating_point() {
+        let w = WorkloadSpec::default().generate();
+        assert_eq!(w.objects().len(), 30_000);
+        assert_eq!(w.requests().len(), 300);
+        let avg = w.avg_request_bytes().as_gb();
+        assert!(
+            (190.0..=240.0).contains(&avg),
+            "average request {avg:.1} GB should sit near the paper's 213 GB"
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let w = small_spec().generate();
+        let json = serde_json::to_string(&w).unwrap();
+        let back: Workload = serde_json::from_str(&json).unwrap();
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn rejects_non_dense_ids() {
+        let objects = vec![ObjectRecord {
+            id: ObjectId(5),
+            size: Bytes::mb(1),
+        }];
+        let _ = Workload::new(objects, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown object")]
+    fn rejects_dangling_request() {
+        let objects = vec![ObjectRecord {
+            id: ObjectId(0),
+            size: Bytes::mb(1),
+        }];
+        let requests = vec![Request {
+            rank: 0,
+            probability: 1.0,
+            objects: vec![ObjectId(3)],
+        }];
+        let _ = Workload::new(objects, requests);
+    }
+}

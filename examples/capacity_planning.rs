@@ -1,0 +1,79 @@
+//! Capacity planning: how many switch drives and libraries does a target
+//! restore SLA need?
+//!
+//! The paper's Figure 5 shows `m` (switch drives per library) has an
+//! interior optimum, and Figure 8 shows bandwidth scales with libraries
+//! for parallelism-aware placement. An operator sizing a system works
+//! those two knobs against a service-level objective; this example runs
+//! the sweep for a given workload and prints the cheapest configuration
+//! meeting the SLA.
+//!
+//! ```text
+//! cargo run --release -p tapesim-experiments --example capacity_planning
+//! ```
+
+use tapesim_model::specs::{lto3_drive, lto3_tape, stk_l80_library};
+use tapesim_model::SystemConfig;
+use tapesim_placement::{ParallelBatchPlacement, PlacementPolicy};
+use tapesim_sim::Simulator;
+use tapesim_workload::WorkloadSpec;
+
+fn main() {
+    // SLA: average restore must finish within 20 minutes.
+    const SLA_SECONDS: f64 = 1200.0;
+
+    let workload = WorkloadSpec {
+        objects: 4_000,
+        ..WorkloadSpec::default()
+    }
+    .generate();
+    println!(
+        "workload: {:.1} TB across {} objects; SLA: avg restore ≤ {SLA_SECONDS} s",
+        workload.total_bytes().as_gb() / 1000.0,
+        workload.objects().len()
+    );
+    println!();
+    println!(
+        "{:>10} {:>4} {:>16} {:>16} {:>8}",
+        "libraries", "m", "avg restore (s)", "bw (MB/s)", "SLA"
+    );
+
+    let mut cheapest: Option<(u16, u8, f64)> = None;
+    for libraries in 1..=4u16 {
+        let mut lib = stk_l80_library(lto3_drive(), lto3_tape());
+        // Enough cells for the workload even in a single library.
+        lib.tapes = 160;
+        let system = SystemConfig::new(libraries, lib).expect("config");
+        for m in [2u8, 4, 6] {
+            let placement = match ParallelBatchPlacement::with_m(m).place(&workload, &system) {
+                Ok(p) => p,
+                Err(e) => {
+                    println!("{libraries:>10} {m:>4}   placement infeasible: {e}");
+                    continue;
+                }
+            };
+            let mut sim = Simulator::with_natural_policy(placement, m);
+            let run = sim.run_sampled(&workload, 60, 17);
+            let ok = run.avg_response() <= SLA_SECONDS;
+            println!(
+                "{:>10} {:>4} {:>16.1} {:>16.1} {:>8}",
+                libraries,
+                m,
+                run.avg_response(),
+                run.avg_bandwidth_mbs(),
+                if ok { "meets" } else { "-" }
+            );
+            if ok && cheapest.is_none() {
+                cheapest = Some((libraries, m, run.avg_response()));
+            }
+        }
+    }
+    println!();
+    match cheapest {
+        Some((n, m, resp)) => println!(
+            "cheapest configuration meeting the SLA: {n} libraries with m = {m} \
+             (avg restore {resp:.0} s)"
+        ),
+        None => println!("no swept configuration meets the SLA — add libraries or drives"),
+    }
+}

@@ -1,0 +1,133 @@
+//! Enterprise disaster recovery — the paper's second motivating scenario
+//! (§1).
+//!
+//! A data centre backs up application groups to tape nightly. After a
+//! failure, the applications must be restored in priority order: losing a
+//! trading platform costs more per minute than losing a build farm. Each
+//! application group restores as a unit (one request), and the restore
+//! priority plays the role of access probability — "an access probability
+//! can represent any manually assigned weight or priority" (§3).
+//!
+//! The example measures the **time-to-recover the top-priority tier** and
+//! the overall restore bandwidth under all three placement schemes.
+//!
+//! ```text
+//! cargo run --release -p tapesim-experiments --example enterprise_recovery
+//! ```
+
+use tapesim_model::specs::paper_table1;
+use tapesim_model::{Bytes, ObjectId};
+use tapesim_placement::{
+    ClusterProbabilityPlacement, ObjectProbabilityPlacement, ParallelBatchPlacement,
+    PlacementPolicy,
+};
+use tapesim_sim::Simulator;
+use tapesim_workload::{ObjectRecord, Request, Workload};
+
+struct AppGroup {
+    /// Shown in the scenario description (and handy when debugging).
+    #[allow(dead_code)]
+    name: &'static str,
+    /// Restore priority weight (higher = restore sooner/more often).
+    priority: f64,
+    /// Database/file-set sizes in GB.
+    files: Vec<u64>,
+}
+
+fn groups() -> Vec<AppGroup> {
+    let spread = |base: u64, n: usize| -> Vec<u64> {
+        (0..n).map(|i| base + (i as u64 * 7) % base.max(2)).collect()
+    };
+    // ~80 restore units of a couple hundred GB each (one per application
+    // service), ≈19 TB total — far more than the 9.1 TB of startup-mounted
+    // capacity, so placement (not raw drive count) decides recovery time.
+    let mut gs = vec![
+        AppGroup { name: "trading-core", priority: 10.0, files: spread(8, 30) },
+        AppGroup { name: "payments", priority: 8.0, files: spread(7, 28) },
+        AppGroup { name: "crm", priority: 4.0, files: spread(6, 32) },
+        AppGroup { name: "data-warehouse", priority: 2.0, files: spread(10, 30) },
+        AppGroup { name: "mail-archive", priority: 1.5, files: spread(5, 40) },
+        AppGroup { name: "build-farm", priority: 1.0, files: spread(4, 36) },
+        AppGroup { name: "log-retention", priority: 0.8, files: spread(8, 30) },
+        AppGroup { name: "vm-images", priority: 0.8, files: spread(12, 24) },
+    ];
+    // Long tail of departmental services with decaying priority.
+    for i in 0..72u32 {
+        gs.push(AppGroup {
+            name: ["dept-service-a", "dept-service-b", "dept-service-c", "dept-service-d"]
+                [(i % 4) as usize],
+            priority: 0.6 / (1.0 + i as f64 * 0.1),
+            files: spread(5 + (i as u64 % 6), 24 + (i as usize % 12)),
+        });
+    }
+    gs
+}
+
+fn build_workload(groups: &[AppGroup]) -> Workload {
+    let mut objects = Vec::new();
+    let mut requests = Vec::new();
+    let total_w: f64 = groups.iter().map(|g| g.priority).sum();
+    let mut next = 0u32;
+    for (rank, g) in groups.iter().enumerate() {
+        let mut members = Vec::new();
+        for &gb in &g.files {
+            objects.push(ObjectRecord {
+                id: ObjectId(next),
+                size: Bytes::gb(gb),
+            });
+            members.push(ObjectId(next));
+            next += 1;
+        }
+        requests.push(Request {
+            rank: rank as u32,
+            probability: g.priority / total_w,
+            objects: members,
+        });
+    }
+    Workload::new(objects, requests)
+}
+
+fn main() {
+    let system = paper_table1();
+    let gs = groups();
+    let workload = build_workload(&gs);
+    println!(
+        "{} application groups, {} backup files, {:.1} TB",
+        gs.len(),
+        workload.objects().len(),
+        workload.total_bytes().as_gb() / 1000.0
+    );
+    println!();
+    println!(
+        "{:<28} {:>18} {:>18} {:>14}",
+        "scheme", "trading RTO (s)", "avg restore (s)", "bw (MB/s)"
+    );
+
+    let schemes: Vec<(&str, Box<dyn PlacementPolicy>)> = vec![
+        ("parallel batch (paper)", Box::new(ParallelBatchPlacement::with_m(4))),
+        ("object probability [11]", Box::new(ObjectProbabilityPlacement::default())),
+        ("cluster probability [20]", Box::new(ClusterProbabilityPlacement::default())),
+    ];
+    for (name, scheme) in schemes {
+        let placement = scheme.place(&workload, &system).expect("placement");
+        let mut sim = Simulator::with_natural_policy(placement, 4);
+        // Recovery-time objective of the top tier: serve it first from the
+        // startup state — the disaster-recovery case.
+        let rto = sim.serve(&workload.requests()[0].objects).response;
+        sim.reset();
+        let run = sim.run_sampled(&workload, 100, 3);
+        println!(
+            "{:<28} {:>18.1} {:>18.1} {:>14.1}",
+            name,
+            rto,
+            run.avg_response(),
+            run.avg_bandwidth_mbs()
+        );
+    }
+    println!();
+    println!(
+        "Priority-as-probability steers the hottest application groups onto\n\
+         the always-mounted batch, so the highest business tier restores\n\
+         without a single tape exchange."
+    );
+}

@@ -1,0 +1,79 @@
+//! Quickstart: place a workload on a parallel tape storage system and
+//! measure one restore request.
+//!
+//! ```text
+//! cargo run --release -p tapesim-experiments --example quickstart
+//! ```
+
+use tapesim_model::specs::paper_table1;
+use tapesim_placement::{ParallelBatchPlacement, PlacementPolicy};
+use tapesim_sim::Simulator;
+use tapesim_workload::WorkloadSpec;
+
+fn main() {
+    // 1. A parallel tape storage system: 3 StorageTek L80 libraries with
+    //    IBM LTO-3 drives (the paper's Table 1 hardware).
+    let system = paper_table1();
+    println!(
+        "system: {} libraries × {} drives, {} total capacity",
+        system.libraries,
+        system.library.drives,
+        system.total_capacity()
+    );
+
+    // 2. A synthetic workload: objects with power-law sizes, pre-defined
+    //    requests with Zipf popularity (the paper's §6 settings, shrunk
+    //    8× so this example runs in a couple of seconds).
+    let workload = WorkloadSpec {
+        objects: 4_000,
+        ..WorkloadSpec::default()
+    }
+    .generate();
+    println!(
+        "workload: {} objects, {} requests, avg request {:.0} GB",
+        workload.objects().len(),
+        workload.requests().len(),
+        workload.avg_request_bytes().as_gb()
+    );
+
+    // 3. Place every object with the paper's parallel batch placement
+    //    (m = 4 switch drives per library).
+    let placement = ParallelBatchPlacement::with_m(4)
+        .place(&workload, &system)
+        .expect("placement");
+    println!(
+        "placement: {} tapes in use, {} pinned",
+        placement.n_used_tapes(),
+        placement.pinned_tapes().len()
+    );
+
+    // 4. Serve the most popular request and inspect the response-time
+    //    decomposition.
+    let mut sim = Simulator::with_natural_policy(placement, 4);
+    let request = &workload.requests()[0];
+    let metrics = sim.serve(&request.objects);
+    println!(
+        "request 0 ({} objects, {:.0} GB): response {:.1} s = switch {:.1} + seek {:.1} + transfer {:.1}",
+        request.objects.len(),
+        metrics.bytes.as_gb(),
+        metrics.response,
+        metrics.switch,
+        metrics.seek,
+        metrics.transfer,
+    );
+    println!(
+        "effective bandwidth: {:.1} MB/s across {} tapes ({} exchanges)",
+        metrics.bandwidth_mbs(),
+        metrics.n_tapes,
+        metrics.n_switches
+    );
+
+    // 5. Average over a popularity-sampled request stream (the paper's
+    //    measurement loop).
+    let run = sim.run_sampled(&workload, 100, 42);
+    println!(
+        "100 sampled requests: avg response {:.1} s, avg bandwidth {:.1} MB/s",
+        run.avg_response(),
+        run.avg_bandwidth_mbs()
+    );
+}

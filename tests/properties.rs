@@ -1,0 +1,154 @@
+//! Property-based integration tests (proptest): randomized workloads and
+//! configurations through the whole pipeline.
+
+use proptest::prelude::*;
+use tapesim_model::specs::{lto3_drive, lto3_tape, stk_l80_library};
+use tapesim_model::{Bytes, ObjectId, SystemConfig};
+use tapesim_placement::{
+    ClusterProbabilityPlacement, ObjectProbabilityPlacement, ParallelBatchPlacement,
+    PlacementPolicy,
+};
+use tapesim_sim::Simulator;
+use tapesim_workload::{ObjectRecord, Request, Workload};
+
+/// Strategy: a random small workload (objects with random sizes, random
+/// overlapping requests with normalised probabilities).
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (20usize..120, 2usize..10, proptest::collection::vec(1u64..64, 20..120)).prop_flat_map(
+        |(n_obj, n_req, mut sizes)| {
+            sizes.truncate(n_obj);
+            while sizes.len() < n_obj {
+                sizes.push(8);
+            }
+            let members = proptest::collection::vec(
+                proptest::collection::vec(0u32..n_obj as u32, 2..12),
+                n_req..=n_req,
+            );
+            let weights = proptest::collection::vec(0.01f64..1.0, n_req..=n_req);
+            (Just(sizes), members, weights).prop_map(|(sizes, members, weights)| {
+                let objects: Vec<ObjectRecord> = sizes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &gb)| ObjectRecord {
+                        id: ObjectId(i as u32),
+                        size: Bytes::gb(gb),
+                    })
+                    .collect();
+                let total_w: f64 = weights.iter().sum();
+                let requests: Vec<Request> = members
+                    .into_iter()
+                    .enumerate()
+                    .map(|(rank, mut objs)| {
+                        objs.sort_unstable();
+                        objs.dedup();
+                        Request {
+                            rank: rank as u32,
+                            probability: weights[rank] / total_w,
+                            objects: objs.into_iter().map(ObjectId).collect(),
+                        }
+                    })
+                    .collect();
+                Workload::new(objects, requests)
+            })
+        },
+    )
+}
+
+fn system(libraries: u16) -> SystemConfig {
+    SystemConfig::new(libraries, stk_l80_library(lto3_drive(), lto3_tape())).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every scheme produces a complete, valid placement on arbitrary
+    /// workloads and library counts.
+    #[test]
+    fn placements_are_always_complete(w in arb_workload(), libs in 1u16..4, m in 1u8..8) {
+        let sys = system(libs);
+        let schemes: Vec<Box<dyn PlacementPolicy>> = vec![
+            Box::new(ParallelBatchPlacement::with_m(m)),
+            Box::new(ObjectProbabilityPlacement::default()),
+            Box::new(ClusterProbabilityPlacement::default()),
+        ];
+        for scheme in schemes {
+            let p = scheme.place(&w, &sys).unwrap();
+            p.verify_against(&w).unwrap();
+            // Every tape layout is within hard capacity (validated by the
+            // builder; re-check the public view).
+            for t in p.used_tapes() {
+                prop_assert!(p.tape_layout(t).used() <= sys.library.tape.capacity);
+            }
+        }
+    }
+
+    /// Simulator invariants hold for arbitrary request subsets: the
+    /// decomposition adds up, bandwidth respects the hardware ceiling, and
+    /// per-request results are deterministic.
+    #[test]
+    fn simulation_invariants(w in arb_workload(), m in 1u8..8, pick in 0usize..100) {
+        let sys = system(2);
+        let p = ParallelBatchPlacement::with_m(m).place(&w, &sys).unwrap();
+        let mut sim = Simulator::with_natural_policy(p, m);
+        let r = &w.requests()[pick % w.requests().len()];
+        let metrics = sim.serve(&r.objects);
+
+        prop_assert!(metrics.response >= 0.0);
+        prop_assert!((metrics.switch + metrics.seek + metrics.transfer - metrics.response).abs() < 1e-6);
+        let ceiling = sys.total_drives() as f64 * 80.0;
+        prop_assert!(metrics.bandwidth_mbs() <= ceiling + 1e-6);
+        // Serving again from a fresh simulator reproduces the result.
+        let p2 = ParallelBatchPlacement::with_m(m).place(&w, &sys).unwrap();
+        let mut sim2 = Simulator::with_natural_policy(p2, m);
+        let again = sim2.serve(&r.objects);
+        prop_assert_eq!(metrics, again);
+    }
+
+    /// A warm repeat of the same request never exchanges more tapes than
+    /// the cold pass, and its response exceeds the cold one by at most a
+    /// full tape pass (the seek back from where the cold pass parked the
+    /// heads).
+    #[test]
+    fn warm_requests_are_monotone(w in arb_workload(), pick in 0usize..100) {
+        let sys = system(2);
+        let p = ObjectProbabilityPlacement::default().place(&w, &sys).unwrap();
+        let mut sim = Simulator::with_natural_policy(p, 4);
+        let r = &w.requests()[pick % w.requests().len()];
+        let cold = sim.serve(&r.objects);
+        let warm = sim.serve(&r.objects);
+        prop_assert!(warm.n_switches <= cold.n_switches);
+        let full_pass = sys.library.drive.full_pass_time;
+        prop_assert!(warm.response <= cold.response + full_pass + 1e-9);
+    }
+
+    /// Object probabilities derived from requests are consistent: the
+    /// popularity-weighted sum of request sizes equals the probability
+    /// mass seen by placement.
+    #[test]
+    fn probability_accounting(w in arb_workload()) {
+        let probs = w.object_probabilities();
+        let total: f64 = probs.iter().sum();
+        let expected: f64 = w
+            .requests()
+            .iter()
+            .map(|r| r.probability * r.objects.len() as f64)
+            .sum();
+        prop_assert!((total - expected).abs() < 1e-9);
+    }
+
+    /// The per-tape probability accounting of a placement matches the
+    /// workload-derived object probabilities.
+    #[test]
+    fn tape_probability_accounting(w in arb_workload()) {
+        let sys = system(2);
+        let p = ClusterProbabilityPlacement::default().place(&w, &sys).unwrap();
+        let probs = w.object_probabilities();
+        let from_tapes: f64 = p
+            .used_tapes()
+            .iter()
+            .map(|&t| p.tape_probability(t))
+            .sum();
+        let from_objects: f64 = probs.iter().sum();
+        prop_assert!((from_tapes - from_objects).abs() < 1e-6);
+    }
+}
