@@ -34,7 +34,11 @@ pub fn ascii_chart(result: &ExperimentResult, width: usize, height: usize) -> St
     } else {
         (ymin_raw, ymax_raw)
     };
-    let xspan = if (xmax - xmin).abs() < 1e-12 { 1.0 } else { xmax - xmin };
+    let xspan = if (xmax - xmin).abs() < 1e-12 {
+        1.0
+    } else {
+        xmax - xmin
+    };
 
     let mut grid = vec![vec![' '; width]; height];
     for (si, s) in result.series.iter().enumerate() {
@@ -111,8 +115,7 @@ mod tests {
     use crate::series::Series;
 
     fn sample() -> ExperimentResult {
-        let mut r =
-            ExperimentResult::new("fig", "Demo", "alpha", "MB/s", vec![0.0, 0.5, 1.0]);
+        let mut r = ExperimentResult::new("fig", "Demo", "alpha", "MB/s", vec![0.0, 0.5, 1.0]);
         r.push_series(Series::new("up", vec![1.0, 2.0, 3.0]));
         r.push_series(Series::new("down", vec![3.0, 2.0, 1.0]));
         r

@@ -107,9 +107,13 @@ mod tests {
     use super::*;
 
     fn sample() -> ExperimentResult {
-        let mut r = ExperimentResult::new("fig6", "Bandwidth vs alpha", "alpha", "MB/s", vec![
-            0.0, 0.5, 1.0,
-        ]);
+        let mut r = ExperimentResult::new(
+            "fig6",
+            "Bandwidth vs alpha",
+            "alpha",
+            "MB/s",
+            vec![0.0, 0.5, 1.0],
+        );
         r.push_series(Series::new("pbp", vec![100.0, 120.0, 150.0]));
         r.push_series(Series::new("opp", vec![50.0, 60.0, 80.0]));
         r.push_note("seed 42");

@@ -28,11 +28,13 @@ fn bench_settings() -> ExperimentSettings {
 
 /// Print a figure's series once (not inside the timing loop).
 fn print_once(id: &str, render: impl FnOnce() -> String) {
-    static PRINTED: OnceLock<std::sync::Mutex<std::collections::HashSet<String>>> =
-        OnceLock::new();
+    static PRINTED: OnceLock<std::sync::Mutex<std::collections::HashSet<String>>> = OnceLock::new();
     let set = PRINTED.get_or_init(Default::default);
     if set.lock().unwrap().insert(id.to_string()) {
-        println!("\n===== {id} (quick-scale regeneration) =====\n{}", render());
+        println!(
+            "\n===== {id} (quick-scale regeneration) =====\n{}",
+            render()
+        );
     }
 }
 
@@ -40,14 +42,7 @@ fn bench_point(c: &mut Criterion, name: &str, settings: ExperimentSettings, sche
     let system = settings.system();
     let workload = settings.generate_workload();
     c.bench_function(name, |b| {
-        b.iter(|| {
-            black_box(evaluate(
-                black_box(&settings),
-                &system,
-                &workload,
-                scheme,
-            ))
-        })
+        b.iter(|| black_box(evaluate(black_box(&settings), &system, &workload, scheme)))
     });
 }
 
@@ -80,12 +75,7 @@ fn figure_benches(c: &mut Criterion) {
     print_once("fig7", || {
         Table::from_result(&fig7::run(&bench_settings())).to_markdown()
     });
-    bench_point(
-        c,
-        "fig7_point_opp",
-        quick,
-        Scheme::ObjectProbability,
-    );
+    bench_point(c, "fig7_point_opp", quick, Scheme::ObjectProbability);
 
     print_once("fig8", || {
         Table::from_result(&fig8::run(&bench_settings())).to_markdown()

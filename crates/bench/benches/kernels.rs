@@ -110,7 +110,13 @@ fn placement_kernels(c: &mut Criterion) {
                     })
                     .collect::<Vec<_>>()
             },
-            |mut bins| black_box(zigzag_assign(std::slice::from_ref(&cluster), &mut bins, Bytes::gb(8))),
+            |mut bins| {
+                black_box(zigzag_assign(
+                    std::slice::from_ref(&cluster),
+                    &mut bins,
+                    Bytes::gb(8),
+                ))
+            },
             BatchSize::SmallInput,
         )
     });
@@ -143,7 +149,9 @@ fn seek_planning(c: &mut Criterion) {
 fn request_service(c: &mut Criterion) {
     let system = paper_table1();
     let w = small_workload();
-    let placement = ParallelBatchPlacement::with_m(4).place(&w, &system).unwrap();
+    let placement = ParallelBatchPlacement::with_m(4)
+        .place(&w, &system)
+        .unwrap();
     c.bench_function("simulator_serve_one_request", |b| {
         let mut sim = Simulator::with_natural_policy(placement.clone(), 4);
         let objects = &w.requests()[10].objects;
@@ -173,7 +181,9 @@ fn extension_kernels(c: &mut Criterion) {
     });
 
     let system = paper_table1();
-    let placement = ParallelBatchPlacement::with_m(4).place(&w, &system).unwrap();
+    let placement = ParallelBatchPlacement::with_m(4)
+        .place(&w, &system)
+        .unwrap();
     c.bench_function("queued_run_30_requests", |b| {
         b.iter_batched(
             || Simulator::with_natural_policy(placement.clone(), 4),
@@ -196,8 +206,7 @@ fn extension_kernels(c: &mut Criterion) {
         let next = tapesim_workload::EvolutionSpec {
             growth: 0.05,
             churn: 0.25,
-            new_sizes: tapesim_workload::ObjectSizeSpec::default()
-                .calibrated(Bytes::mb(1704)),
+            new_sizes: tapesim_workload::ObjectSizeSpec::default().calibrated(Bytes::mb(1704)),
             new_requests: tapesim_workload::RequestSpec {
                 count: 60,
                 min_objects: 20,

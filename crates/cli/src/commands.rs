@@ -195,6 +195,56 @@ pub fn serve(args: &Args) -> Result<String, CommandError> {
     ) + &timeline)
 }
 
+/// `tapesim audit` — serve a sampled request stream with tracing on and
+/// run the DES invariant auditor over every per-request transcript.
+///
+/// The audited invariants (drive exclusivity, robot-arm exclusivity,
+/// load/unload pairing, mount-before-read, exactly-once service, monotone
+/// event times) are checked from the trace alone, independently of the
+/// scheduler's own bookkeeping. Fails (non-zero exit) if any request's
+/// transcript breaches an invariant.
+pub fn audit(args: &Args) -> Result<String, CommandError> {
+    let workload = read_workload(args.require("workload")?)?;
+    let placement = read_placement(args.require("placement")?)?;
+    placement
+        .verify_against(&workload)
+        .map_err(|e| CommandError(format!("placement does not match workload: {e}")))?;
+    let m: u8 = args.get_or("m", 4)?;
+    let samples: usize = args.get_or("samples", 200)?;
+    let seed: u64 = args.get_or("seed", 0xD15Cu64)?;
+    let mut sim = Simulator::with_natural_policy(placement, m);
+    let (run, reports) = sim.run_sampled_audited(&workload, samples, seed);
+
+    let entries: usize = reports.iter().map(|r| r.entries).sum();
+    let transfers: usize = reports.iter().map(|r| r.transfers).sum();
+    let exchanges: usize = reports.iter().map(|r| r.exchanges).sum();
+    let dirty: Vec<_> = reports
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| !r.is_clean())
+        .collect();
+
+    if !dirty.is_empty() {
+        let mut msg = format!(
+            "audit FAILED: {} of {} requests breached invariants\n",
+            dirty.len(),
+            reports.len()
+        );
+        for (i, report) in dirty {
+            msg.push_str(&format!("request {i}: {report}"));
+        }
+        return Err(CommandError(msg));
+    }
+    Ok(format!(
+        "audit clean: {} requests, {entries} trace entries \
+         ({transfers} transfers, {exchanges} exchanges) — all invariants hold\n\
+         effective bandwidth {:.1} MB/s, avg response {:.1} s",
+        run.count(),
+        run.avg_bandwidth_mbs(),
+        run.avg_response(),
+    ))
+}
+
 /// `tapesim inspect` — summarise a placement's physical layout.
 pub fn inspect(args: &Args) -> Result<String, CommandError> {
     let placement = read_placement(args.require("placement")?)?;
@@ -322,14 +372,21 @@ mod tests {
         ))
         .unwrap();
         assert!(msg.contains("timeline:"), "{msg}");
-        assert!(msg.contains("streams"), "trace should show streaming events: {msg}");
+        assert!(
+            msg.contains("streams"),
+            "trace should show streaming events: {msg}"
+        );
 
-        let msg = inspect(&args(
-            &format!("-p {p}"),
-            &["placement"],
+        let msg = audit(&args(
+            &format!("-w {w} -p {p} --samples 10 --seed 3"),
+            &["workload", "placement", "m", "samples", "seed"],
             &[],
         ))
         .unwrap();
+        assert!(msg.contains("audit clean"), "{msg}");
+        assert!(msg.contains("transfers"), "{msg}");
+
+        let msg = inspect(&args(&format!("-p {p}"), &["placement"], &[])).unwrap();
         assert!(msg.contains("pinned batch"), "{msg}");
         assert!(msg.contains("fill map"));
     }

@@ -6,6 +6,7 @@
 //! tapesim place    -w workload.json --scheme parallel-batch --m 4 -o placement.json
 //! tapesim simulate -w workload.json -p placement.json --samples 200
 //! tapesim serve    -w workload.json -p placement.json --request 0
+//! tapesim audit    -w workload.json -p placement.json --samples 200
 //! tapesim inspect  -p placement.json
 //! ```
 
@@ -28,6 +29,9 @@ COMMANDS:
                -w WORKLOAD -p PLACEMENT --samples N --seed S --m M [--json]
   serve      serve one pre-defined request and show the decomposition
                -w WORKLOAD -p PLACEMENT --request RANK --m M [--trace]
+  audit      replay a sampled stream with tracing on and check the DES
+             invariants (drive/robot exclusivity, mount pairing, ...)
+               -w WORKLOAD -p PLACEMENT --samples N --seed S --m M
   inspect    summarise a placement (batches, per-tape fill map)
                -p PLACEMENT
   help       show this message
@@ -74,6 +78,13 @@ fn main() {
         "serve" => Args::parse(rest, &["workload", "placement", "m", "request"], &["trace"])
             .map_err(Into::into)
             .and_then(|a| commands::serve(&a)),
+        "audit" => Args::parse(
+            rest,
+            &["workload", "placement", "m", "samples", "seed"],
+            &[],
+        )
+        .map_err(Into::into)
+        .and_then(|a| commands::audit(&a)),
         "inspect" => Args::parse(rest, &["placement"], &[])
             .map_err(Into::into)
             .and_then(|a| commands::inspect(&a)),

@@ -26,5 +26,9 @@ fn main() {
 
     let t = Instant::now();
     let d = tapesim_cluster::Dendrogram::single_linkage(&g);
-    println!("single-linkage: {} merges [{:?}]", d.merges().len(), t.elapsed());
+    println!(
+        "single-linkage: {} merges [{:?}]",
+        d.merges().len(),
+        t.elapsed()
+    );
 }

@@ -277,10 +277,7 @@ mod tests {
     fn shared_object_requests_stay_separate() {
         // Two 5-object requests sharing one object: the bridge dilutes to
         // well under either request's internal cohesion.
-        let g = graph(
-            9,
-            &[(0.5, &[0, 1, 2, 3, 4]), (0.5, &[4, 5, 6, 7, 8])],
-        );
+        let g = graph(9, &[(0.5, &[0, 1, 2, 3, 4]), (0.5, &[4, 5, 6, 7, 8])]);
         let cs = average_linkage_clusters(&g, 0.25);
         let big: Vec<_> = cs.iter().filter(|c| c.len() >= 4).collect();
         assert_eq!(big.len(), 2, "two request cores: {cs:?}");
@@ -311,7 +308,12 @@ mod tests {
     fn result_is_deterministic() {
         let g = graph(
             10,
-            &[(0.5, &[0, 1, 2, 3]), (0.5, &[3, 4, 5]), (0.2, &[6, 7]), (0.2, &[8, 9])],
+            &[
+                (0.5, &[0, 1, 2, 3]),
+                (0.5, &[3, 4, 5]),
+                (0.2, &[6, 7]),
+                (0.2, &[8, 9]),
+            ],
         );
         let a = average_linkage_clusters(&g, 0.15);
         let b = average_linkage_clusters(&g, 0.15);

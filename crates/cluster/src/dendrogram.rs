@@ -145,7 +145,12 @@ impl Dendrogram {
             out.push(vec![ObjectId(leaf as u32)]);
         }
         // Merge-node roots, split to caps.
-        for (i, _) in self.merges.iter().enumerate().filter(|(i, _)| qualifies[*i]) {
+        for (i, _) in self
+            .merges
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| qualifies[*i])
+        {
             let node = self.n_leaves + i;
             if !is_child[node] {
                 self.split_node(node, max_objects, max_bytes, size_of, &mut out);
@@ -242,7 +247,10 @@ mod tests {
         let capped = d.cut_with_caps(0.4, 2, Bytes(u64::MAX), &|_| Bytes::gb(1));
         assert_eq!(
             capped,
-            vec![vec![ObjectId(0), ObjectId(1)], vec![ObjectId(2), ObjectId(3)]],
+            vec![
+                vec![ObjectId(0), ObjectId(1)],
+                vec![ObjectId(2), ObjectId(3)]
+            ],
             "split severs the weak bridge, not a strong pair"
         );
     }

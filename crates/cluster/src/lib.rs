@@ -274,7 +274,13 @@ mod tests {
         let big = set.clusters().iter().find(|c| c.len() == 5).unwrap();
         assert_eq!(
             *big,
-            vec![ObjectId(0), ObjectId(1), ObjectId(2), ObjectId(3), ObjectId(4)]
+            vec![
+                ObjectId(0),
+                ObjectId(1),
+                ObjectId(2),
+                ObjectId(3),
+                ObjectId(4)
+            ]
         );
     }
 

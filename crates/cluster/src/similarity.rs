@@ -130,7 +130,11 @@ mod tests {
 
     #[test]
     fn edges_sorted_descending_deterministically() {
-        let reqs = vec![req(0, 0.4, &[0, 1]), req(1, 0.4, &[2, 3]), req(2, 0.2, &[0, 2])];
+        let reqs = vec![
+            req(0, 0.4, &[0, 1]),
+            req(1, 0.4, &[2, 3]),
+            req(2, 0.2, &[0, 2]),
+        ];
         let g = CoAccessGraph::from_requests(4, &reqs);
         let edges = g.edges_by_weight_desc();
         assert_eq!(edges.len(), 3);

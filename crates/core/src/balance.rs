@@ -289,10 +289,7 @@ mod tests {
         let loads: Vec<f64> = b.iter().map(|x| x.load).collect();
         let max = loads.iter().cloned().fold(f64::MIN, f64::max);
         let min = loads.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(
-            max / min < 2.0,
-            "imbalanced: {loads:?}"
-        );
+        assert!(max / min < 2.0, "imbalanced: {loads:?}");
     }
 
     #[test]
@@ -321,8 +318,16 @@ mod tests {
         let small = vec![obj(0, 1, 0.1)];
         let big: Vec<_> = (0..3).map(|i| obj(i, 10, 0.1)).collect();
         assert_eq!(choose_ndrv(&small, 8, Bytes::gb(8)), 1);
-        assert_eq!(choose_ndrv(&big, 8, Bytes::gb(8)), 3, "capped by cluster size");
-        assert_eq!(choose_ndrv(&big, 2, Bytes::gb(8)), 2, "capped by batch width");
+        assert_eq!(
+            choose_ndrv(&big, 8, Bytes::gb(8)),
+            3,
+            "capped by cluster size"
+        );
+        assert_eq!(
+            choose_ndrv(&big, 2, Bytes::gb(8)),
+            2,
+            "capped by batch width"
+        );
     }
 
     #[test]

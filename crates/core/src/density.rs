@@ -85,11 +85,26 @@ mod tests {
         // Object 3: 2 GB in both           -> P=1.0, density 0.5
         // Object 4: never requested        -> P=0, density 0
         let objects = vec![
-            ObjectRecord { id: ObjectId(0), size: Bytes::gb(1) },
-            ObjectRecord { id: ObjectId(1), size: Bytes::gb(4) },
-            ObjectRecord { id: ObjectId(2), size: Bytes::gb(1) },
-            ObjectRecord { id: ObjectId(3), size: Bytes::gb(2) },
-            ObjectRecord { id: ObjectId(4), size: Bytes::gb(1) },
+            ObjectRecord {
+                id: ObjectId(0),
+                size: Bytes::gb(1),
+            },
+            ObjectRecord {
+                id: ObjectId(1),
+                size: Bytes::gb(4),
+            },
+            ObjectRecord {
+                id: ObjectId(2),
+                size: Bytes::gb(1),
+            },
+            ObjectRecord {
+                id: ObjectId(3),
+                size: Bytes::gb(2),
+            },
+            ObjectRecord {
+                id: ObjectId(4),
+                size: Bytes::gb(1),
+            },
         ];
         let requests = vec![
             Request {

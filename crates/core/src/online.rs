@@ -180,10 +180,7 @@ impl IncrementalPlacer {
     }
 
     fn used(&self, tape_idx: usize) -> Bytes {
-        self.tape_contents[tape_idx]
-            .iter()
-            .map(|&(_, s)| s)
-            .sum()
+        self.tape_contents[tape_idx].iter().map(|&(_, s)| s).sum()
     }
 
     /// Tapes of switch batch `b` under the bootstrap's geometry.

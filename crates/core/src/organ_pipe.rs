@@ -23,7 +23,10 @@ pub fn organ_pipe_order<T: Copy>(items: &[(T, f64)]) -> Vec<T> {
     // Stable rank by descending probability.
     let mut ranked: Vec<usize> = (0..n).collect();
     ranked.sort_by(|&a, &b| {
-        items[b].1.partial_cmp(&items[a].1).expect("finite probabilities")
+        items[b]
+            .1
+            .partial_cmp(&items[a].1)
+            .expect("finite probabilities")
     });
 
     // Positions ordered middle-out: mid, mid+1, mid-1, mid+2, mid-2, ...
@@ -45,7 +48,9 @@ pub fn organ_pipe_order<T: Copy>(items: &[(T, f64)]) -> Vec<T> {
     for (rank, &item_idx) in ranked.iter().enumerate() {
         out[slots[rank]] = Some(items[item_idx].0);
     }
-    out.into_iter().map(|x| x.expect("every slot filled")).collect()
+    out.into_iter()
+        .map(|x| x.expect("every slot filled"))
+        .collect()
 }
 
 /// Plain descending-probability order (most popular at the front of the
@@ -54,7 +59,10 @@ pub fn organ_pipe_order<T: Copy>(items: &[(T, f64)]) -> Vec<T> {
 pub fn descending_order<T: Copy>(items: &[(T, f64)]) -> Vec<T> {
     let mut ranked: Vec<usize> = (0..items.len()).collect();
     ranked.sort_by(|&a, &b| {
-        items[b].1.partial_cmp(&items[a].1).expect("finite probabilities")
+        items[b]
+            .1
+            .partial_cmp(&items[a].1)
+            .expect("finite probabilities")
     });
     ranked.into_iter().map(|i| items[i].0).collect()
 }
@@ -137,9 +145,7 @@ mod tests {
     #[test]
     fn organ_pipe_beats_descending_for_midpoint_rest() {
         // Uniform 1-byte items, Zipf-ish skew, head resting mid-tape.
-        let items: Vec<(usize, f64)> = (0..101)
-            .map(|i| (i, 1.0 / (i as f64 + 1.0)))
-            .collect();
+        let items: Vec<(usize, f64)> = (0..101).map(|i| (i, 1.0 / (i as f64 + 1.0))).collect();
         let op = organ_pipe_order(&items);
         let desc = descending_order(&items);
         let size = |_: usize| 1u64;
@@ -155,9 +161,7 @@ mod tests {
 
     #[test]
     fn descending_beats_organ_pipe_for_load_point_rest() {
-        let items: Vec<(usize, f64)> = (0..101)
-            .map(|i| (i, 1.0 / (i as f64 + 1.0)))
-            .collect();
+        let items: Vec<(usize, f64)> = (0..101).map(|i| (i, 1.0 / (i as f64 + 1.0))).collect();
         let op = organ_pipe_order(&items);
         let desc = descending_order(&items);
         let size = |_: usize| 1u64;

@@ -98,8 +98,9 @@ impl PlacementPolicy for ClusterProbabilityPlacement {
         for &c in &order {
             let members = &clusters.clusters()[c];
             let bytes: Bytes = members.iter().map(|o| Bytes(by_id[o.idx()].size)).sum();
-            let slot = (0..=frontier.min(tapes.len() - 1))
-                .find(|&i| used[i] + bytes <= soft_cap || (per_tape[i].is_empty() && bytes > soft_cap));
+            let slot = (0..=frontier.min(tapes.len() - 1)).find(|&i| {
+                used[i] + bytes <= soft_cap || (per_tape[i].is_empty() && bytes > soft_cap)
+            });
             let Some(slot) = slot else {
                 return Err(PlacementError::OutOfTapes {
                     needed: tapes.len() + 1,
@@ -208,7 +209,9 @@ mod tests {
     fn placement_is_complete_and_valid() {
         let cfg = paper_table1();
         let w = workload();
-        let p = ClusterProbabilityPlacement::default().place(&w, &cfg).unwrap();
+        let p = ClusterProbabilityPlacement::default()
+            .place(&w, &cfg)
+            .unwrap();
         p.verify_against(&w).unwrap();
         assert!(p.n_used_tapes() >= 1);
     }

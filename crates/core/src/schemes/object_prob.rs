@@ -35,7 +35,9 @@ pub struct ObjectProbabilityPlacement {
 
 impl Default for ObjectProbabilityPlacement {
     fn default() -> Self {
-        ObjectProbabilityPlacement { k_utilization: 0.95 }
+        ObjectProbabilityPlacement {
+            k_utilization: 0.95,
+        }
     }
 }
 
@@ -154,7 +156,9 @@ mod tests {
         let cfg = paper_table1();
         // 30 × 100 GB = 3 TB → pool of ceil(3000/380) = 8 tapes.
         let w = workload(30, 100);
-        let p = ObjectProbabilityPlacement::default().place(&w, &cfg).unwrap();
+        let p = ObjectProbabilityPlacement::default()
+            .place(&w, &cfg)
+            .unwrap();
         p.verify_against(&w).unwrap();
         assert_eq!(p.n_used_tapes(), 8);
         // Consecutive ranks land on different tapes…
@@ -171,7 +175,9 @@ mod tests {
     fn tape_probabilities_are_balanced() {
         let cfg = paper_table1();
         let w = workload(64, 50);
-        let p = ObjectProbabilityPlacement::default().place(&w, &cfg).unwrap();
+        let p = ObjectProbabilityPlacement::default()
+            .place(&w, &cfg)
+            .unwrap();
         let probs: Vec<f64> = p
             .used_tapes()
             .iter()
@@ -189,7 +195,9 @@ mod tests {
     fn organ_pipe_within_tape() {
         let cfg = paper_table1();
         let w = workload(24, 100); // pool of 7; tape of rank 0 gets ranks 0,7,14,21
-        let p = ObjectProbabilityPlacement::default().place(&w, &cfg).unwrap();
+        let p = ObjectProbabilityPlacement::default()
+            .place(&w, &cfg)
+            .unwrap();
         let tape = p.locate(ObjectId(0)).tape;
         let layout = p.tape_layout(tape);
         assert_eq!(layout.len(), 4);

@@ -230,13 +230,11 @@ impl PlacementPolicy for ParallelBatchPlacement {
             let tapes = self.batch_tapes(config, batch).ok_or_else(|| {
                 let per_batch = (m as usize) * config.libraries as usize;
                 PlacementError::OutOfTapes {
-                    needed: (d - m) as usize * config.libraries as usize
-                        + batch.max(1) * per_batch,
+                    needed: (d - m) as usize * config.libraries as usize + batch.max(1) * per_batch,
                     available: config.total_tapes(),
                 }
             })?;
-            let mut bins: Vec<TapeBin> =
-                tapes.iter().map(|&t| TapeBin::new(t, ct)).collect();
+            let mut bins: Vec<TapeBin> = tapes.iter().map(|&t| TapeBin::new(t, ct)).collect();
 
             let (assignments, leftovers) = match self.params.balancing {
                 Balancing::ZigZag => {
@@ -281,7 +279,9 @@ impl PlacementPolicy for ParallelBatchPlacement {
             let role = if batch == 0 {
                 TapeRole::Pinned
             } else {
-                TapeRole::SwitchPool { batch: batch as u16 }
+                TapeRole::SwitchPool {
+                    batch: batch as u16,
+                }
             };
             for (tape, objects) in per_tape {
                 let items: Vec<(usize, f64)> = objects
@@ -347,8 +347,7 @@ mod tests {
         let b2 = scheme.batch_tapes(&cfg, 2).unwrap();
         assert_eq!(b2[0], TapeId::new(LibraryId(0), 8));
         // Batches are disjoint.
-        let all: std::collections::HashSet<_> =
-            b0.iter().chain(&b1).chain(&b2).collect();
+        let all: std::collections::HashSet<_> = b0.iter().chain(&b1).chain(&b2).collect();
         assert_eq!(all.len(), 36);
     }
 
@@ -388,12 +387,12 @@ mod tests {
         let cfg = paper_table1();
         let w = workload(10, 20, 50);
         let p = ParallelBatchPlacement::with_m(4).place(&w, &cfg).unwrap();
-        let pinned_p: f64 = p.pinned_tapes().iter().map(|&t| p.tape_probability(t)).sum();
-        let total_p: f64 = p
-            .used_tapes()
+        let pinned_p: f64 = p
+            .pinned_tapes()
             .iter()
             .map(|&t| p.tape_probability(t))
             .sum();
+        let total_p: f64 = p.used_tapes().iter().map(|&t| p.tape_probability(t)).sum();
         assert!(
             pinned_p / total_p > 0.5,
             "pinned batch holds {pinned_p:.3} of {total_p:.3}"

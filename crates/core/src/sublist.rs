@@ -104,19 +104,18 @@ pub fn partition_with_clusters(
     };
     let mut used = Bytes::ZERO;
 
-    let close =
-        |current: &mut Sublist, used: &mut Bytes, out: &mut Vec<Sublist>| {
-            if !current.objects.is_empty() {
-                out.push(std::mem::replace(
-                    current,
-                    Sublist {
-                        objects: Vec::new(),
-                        capacity: rest_capacity,
-                    },
-                ));
-                *used = Bytes::ZERO;
-            }
-        };
+    let close = |current: &mut Sublist, used: &mut Bytes, out: &mut Vec<Sublist>| {
+        if !current.objects.is_empty() {
+            out.push(std::mem::replace(
+                current,
+                Sublist {
+                    objects: Vec::new(),
+                    capacity: rest_capacity,
+                },
+            ));
+            *used = Bytes::ZERO;
+        }
+    };
 
     for &obj in ranked {
         let c = membership[obj.id.idx()];

@@ -1,0 +1,958 @@
+//! Invariant auditing over recorded traces.
+//!
+//! [`TraceAuditor`] replays a [`crate::trace::Tracer`] transcript through a
+//! small state machine and checks the physical invariants every legal tape
+//! schedule must satisfy:
+//!
+//! 1. **Monotone time** — events are emitted at non-decreasing timestamps.
+//! 2. **Drive exclusivity** — no two transfer windows overlap on one drive.
+//! 3. **Robot exclusivity** — no two exchanges overlap on one robot arm of
+//!    one library.
+//! 4. **Load/unload pairing** — a drive unloads only what it holds, starts
+//!    an exchange only while empty, and a mount completes only the
+//!    exchange that was begun for it.
+//! 5. **Mount-before-read** — a transfer streams only from the tape the
+//!    drive currently holds.
+//! 6. **Exactly-once service** — every submitted job completes exactly
+//!    once, from the tape it was submitted for.
+//!
+//! The auditor is deliberately independent of the scheduling logic: it
+//! never consults the simulator's data structures, only the trace. A bug
+//! that corrupts both the schedule and the metrics in a consistent way
+//! still trips here as long as the emitted intervals disagree with
+//! physical reality.
+
+use crate::time::SimTime;
+use crate::trace::{DriveKey, TapeKey, TraceEntry, TraceEvent};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Slack for comparing interval endpoints, absorbing floating-point
+/// rounding in back-to-back schedules (seconds).
+const EPSILON: f64 = 1e-9;
+
+/// One invariant breach, anchored to the trace entry that revealed it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Index into the audited entry slice.
+    pub index: usize,
+    /// Timestamp of the offending entry.
+    pub time: SimTime,
+    /// What went wrong.
+    pub kind: ViolationKind,
+}
+
+/// The invariant families a trace can breach.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViolationKind {
+    /// Entry timestamp went backwards relative to its predecessor.
+    TimeWentBackwards { previous: SimTime },
+    /// Two transfer windows overlap on one drive.
+    DriveOverlap {
+        drive: DriveKey,
+        first_finish: SimTime,
+        second_start: SimTime,
+    },
+    /// Two exchanges overlap on one robot arm.
+    RobotOverlap {
+        library: u16,
+        arm: u32,
+        first_finish: SimTime,
+        second_start: SimTime,
+    },
+    /// A drive unloaded a tape it did not hold.
+    UnmountMismatch {
+        drive: DriveKey,
+        claimed: TapeKey,
+        actual: Option<TapeKey>,
+    },
+    /// An exchange began while the drive still held a tape.
+    ExchangeWhileMounted { drive: DriveKey, held: TapeKey },
+    /// A mount completed with no matching exchange begun.
+    MountWithoutExchange {
+        drive: DriveKey,
+        tape: TapeKey,
+        expected: Option<TapeKey>,
+    },
+    /// A drive was declared pre-mounted while already holding a tape.
+    DuplicateAssume { drive: DriveKey },
+    /// A transfer streamed from a tape the drive did not hold.
+    ReadWithoutMount {
+        drive: DriveKey,
+        tape: TapeKey,
+        held: Option<TapeKey>,
+    },
+    /// An interval event finished before it started.
+    NegativeInterval { start: SimTime, finish: SimTime },
+    /// The same job index was submitted twice.
+    DuplicateSubmit { job: u32 },
+    /// A transfer or completion referenced a job never submitted.
+    UnknownJob { job: u32 },
+    /// A transfer streamed a job from a different tape than submitted.
+    WrongTapeForJob {
+        job: u32,
+        submitted: TapeKey,
+        streamed: TapeKey,
+    },
+    /// A job completed more than once.
+    CompletedTwice { job: u32 },
+    /// Submitted jobs never completed by the end of the trace.
+    NeverCompleted { jobs: Vec<u32> },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "entry {} at {}: ", self.index, self.time)?;
+        match &self.kind {
+            ViolationKind::TimeWentBackwards { previous } => {
+                write!(f, "time went backwards (previous entry at {previous})")
+            }
+            ViolationKind::DriveOverlap {
+                drive,
+                first_finish,
+                second_start,
+            } => write!(
+                f,
+                "overlapping transfers on {drive}: one runs until {first_finish}, \
+                 the next starts at {second_start}"
+            ),
+            ViolationKind::RobotOverlap {
+                library,
+                arm,
+                first_finish,
+                second_start,
+            } => write!(
+                f,
+                "overlapping exchanges on L{library} arm {arm}: one runs until \
+                 {first_finish}, the next starts at {second_start}"
+            ),
+            ViolationKind::UnmountMismatch {
+                drive,
+                claimed,
+                actual,
+            } => match actual {
+                Some(held) => write!(f, "{drive} unloads {claimed} but holds {held}"),
+                None => write!(f, "{drive} unloads {claimed} but holds nothing"),
+            },
+            ViolationKind::ExchangeWhileMounted { drive, held } => {
+                write!(f, "{drive} begins an exchange while still holding {held}")
+            }
+            ViolationKind::MountWithoutExchange {
+                drive,
+                tape,
+                expected,
+            } => match expected {
+                Some(e) => write!(
+                    f,
+                    "{drive} mounted {tape} but the pending exchange was for {e}"
+                ),
+                None => write!(f, "{drive} mounted {tape} with no exchange begun"),
+            },
+            ViolationKind::DuplicateAssume { drive } => {
+                write!(f, "{drive} declared pre-mounted twice")
+            }
+            ViolationKind::ReadWithoutMount { drive, tape, held } => match held {
+                Some(h) => write!(f, "{drive} streams from {tape} but holds {h}"),
+                None => write!(f, "{drive} streams from {tape} but holds nothing"),
+            },
+            ViolationKind::NegativeInterval { start, finish } => {
+                write!(f, "interval finishes at {finish}, before its start {start}")
+            }
+            ViolationKind::DuplicateSubmit { job } => {
+                write!(f, "job {job} submitted twice")
+            }
+            ViolationKind::UnknownJob { job } => {
+                write!(f, "job {job} referenced but never submitted")
+            }
+            ViolationKind::WrongTapeForJob {
+                job,
+                submitted,
+                streamed,
+            } => write!(
+                f,
+                "job {job} was submitted for {submitted} but streamed from {streamed}"
+            ),
+            ViolationKind::CompletedTwice { job } => {
+                write!(f, "job {job} completed twice")
+            }
+            ViolationKind::NeverCompleted { jobs } => {
+                write!(f, "submitted jobs never completed: {jobs:?}")
+            }
+        }
+    }
+}
+
+/// Summary of one audit pass.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Number of entries examined.
+    pub entries: usize,
+    /// Number of distinct jobs submitted in the trace.
+    pub jobs: usize,
+    /// Number of transfer windows checked for drive exclusivity.
+    pub transfers: usize,
+    /// Number of exchanges checked for robot exclusivity.
+    pub exchanges: usize,
+    /// Every breach found, in trace order.
+    pub violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    /// Whether the trace satisfied every invariant.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "audited {} entries ({} jobs, {} transfers, {} exchanges): {}",
+            self.entries,
+            self.jobs,
+            self.transfers,
+            self.exchanges,
+            if self.is_clean() {
+                "clean".to_string()
+            } else {
+                format!("{} violation(s)", self.violations.len())
+            }
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Replays traces and reports invariant breaches.
+///
+/// Stateless between calls; construct once and [`audit`](Self::audit) any
+/// number of traces. Each trace must cover one request (the per-request
+/// clock restarts at zero, so entries from different requests must not be
+/// concatenated into one audit).
+#[derive(Debug, Default, Clone)]
+pub struct TraceAuditor;
+
+impl TraceAuditor {
+    /// A fresh auditor.
+    pub fn new() -> Self {
+        TraceAuditor
+    }
+
+    /// Checks `entries` against every invariant and reports all breaches.
+    pub fn audit(&self, entries: &[TraceEntry]) -> AuditReport {
+        let mut report = AuditReport {
+            entries: entries.len(),
+            ..AuditReport::default()
+        };
+        let mut mounted: BTreeMap<DriveKey, TapeKey> = BTreeMap::new();
+        let mut pending_exchange: BTreeMap<DriveKey, TapeKey> = BTreeMap::new();
+        let mut submitted: BTreeMap<u32, TapeKey> = BTreeMap::new();
+        let mut completed: BTreeSet<u32> = BTreeSet::new();
+        // Busy intervals, keyed by drive / (library, arm).
+        let mut drive_windows: BTreeMap<DriveKey, Vec<Window>> = BTreeMap::new();
+        let mut arm_windows: BTreeMap<(u16, u32), Vec<Window>> = BTreeMap::new();
+        let mut prev_time = SimTime::ZERO;
+
+        for (index, entry) in entries.iter().enumerate() {
+            let flag = |sink: &mut Vec<Violation>, kind: ViolationKind| {
+                sink.push(Violation {
+                    index,
+                    time: entry.time,
+                    kind,
+                });
+            };
+
+            if entry.time < prev_time {
+                flag(
+                    &mut report.violations,
+                    ViolationKind::TimeWentBackwards {
+                        previous: prev_time,
+                    },
+                );
+            }
+            prev_time = prev_time.max(entry.time);
+
+            match entry.event {
+                TraceEvent::AssumeMounted { drive, tape } => {
+                    if mounted.contains_key(&drive) {
+                        flag(
+                            &mut report.violations,
+                            ViolationKind::DuplicateAssume { drive },
+                        );
+                    }
+                    mounted.insert(drive, tape);
+                }
+                TraceEvent::JobSubmitted { job, tape } => {
+                    if submitted.insert(job, tape).is_some() {
+                        flag(
+                            &mut report.violations,
+                            ViolationKind::DuplicateSubmit { job },
+                        );
+                    }
+                }
+                TraceEvent::Unmounted { drive, tape } => {
+                    let actual = mounted.remove(&drive);
+                    if actual != Some(tape) {
+                        flag(
+                            &mut report.violations,
+                            ViolationKind::UnmountMismatch {
+                                drive,
+                                claimed: tape,
+                                actual,
+                            },
+                        );
+                    }
+                }
+                TraceEvent::ExchangeBegun {
+                    drive,
+                    tape,
+                    arm,
+                    start,
+                    finish,
+                } => {
+                    report.exchanges += 1;
+                    if let Some(&held) = mounted.get(&drive) {
+                        flag(
+                            &mut report.violations,
+                            ViolationKind::ExchangeWhileMounted { drive, held },
+                        );
+                    }
+                    if finish < start {
+                        flag(
+                            &mut report.violations,
+                            ViolationKind::NegativeInterval { start, finish },
+                        );
+                    }
+                    pending_exchange.insert(drive, tape);
+                    arm_windows
+                        .entry((drive.library(), arm))
+                        .or_default()
+                        .push((index, start, finish));
+                }
+                TraceEvent::Mounted { drive, tape } => {
+                    let expected = pending_exchange.remove(&drive);
+                    if expected != Some(tape) {
+                        flag(
+                            &mut report.violations,
+                            ViolationKind::MountWithoutExchange {
+                                drive,
+                                tape,
+                                expected,
+                            },
+                        );
+                    }
+                    mounted.insert(drive, tape);
+                }
+                TraceEvent::Transfer {
+                    drive,
+                    tape,
+                    job,
+                    start,
+                    finish,
+                    ..
+                } => {
+                    report.transfers += 1;
+                    let held = mounted.get(&drive).copied();
+                    if held != Some(tape) {
+                        flag(
+                            &mut report.violations,
+                            ViolationKind::ReadWithoutMount { drive, tape, held },
+                        );
+                    }
+                    if finish < start {
+                        flag(
+                            &mut report.violations,
+                            ViolationKind::NegativeInterval { start, finish },
+                        );
+                    }
+                    match submitted.get(&job) {
+                        None => flag(&mut report.violations, ViolationKind::UnknownJob { job }),
+                        Some(&sub) if sub != tape => flag(
+                            &mut report.violations,
+                            ViolationKind::WrongTapeForJob {
+                                job,
+                                submitted: sub,
+                                streamed: tape,
+                            },
+                        ),
+                        Some(_) => {}
+                    }
+                    drive_windows
+                        .entry(drive)
+                        .or_default()
+                        .push((index, start, finish));
+                }
+                TraceEvent::JobCompleted { job, .. } => {
+                    if !submitted.contains_key(&job) {
+                        flag(&mut report.violations, ViolationKind::UnknownJob { job });
+                    }
+                    if !completed.insert(job) {
+                        flag(
+                            &mut report.violations,
+                            ViolationKind::CompletedTwice { job },
+                        );
+                    }
+                }
+            }
+        }
+
+        report.jobs = submitted.len();
+
+        // Exclusivity: sort each resource's windows by start and flag any
+        // window that begins before its predecessor ends (minus epsilon).
+        for (drive, windows) in &mut drive_windows {
+            for (index, finish, start) in overlaps(windows) {
+                report.violations.push(Violation {
+                    index,
+                    time: start,
+                    kind: ViolationKind::DriveOverlap {
+                        drive: *drive,
+                        first_finish: finish,
+                        second_start: start,
+                    },
+                });
+            }
+        }
+        for ((library, arm), windows) in &mut arm_windows {
+            for (index, finish, start) in overlaps(windows) {
+                report.violations.push(Violation {
+                    index,
+                    time: start,
+                    kind: ViolationKind::RobotOverlap {
+                        library: *library,
+                        arm: *arm,
+                        first_finish: finish,
+                        second_start: start,
+                    },
+                });
+            }
+        }
+
+        // Exactly-once service: whatever was submitted must have completed.
+        let unserved: Vec<u32> = submitted
+            .keys()
+            .filter(|j| !completed.contains(j))
+            .copied()
+            .collect();
+        if !unserved.is_empty() {
+            report.violations.push(Violation {
+                index: entries.len().saturating_sub(1),
+                time: prev_time,
+                kind: ViolationKind::NeverCompleted { jobs: unserved },
+            });
+        }
+
+        report.violations.sort_by_key(|v| v.index);
+        report
+    }
+}
+
+/// A busy window: the emitting entry's index plus `[start, finish]`.
+type Window = (usize, SimTime, SimTime);
+
+/// Sorts `windows` by start time and yields `(entry index, previous
+/// finish, this start)` for every pair of consecutive windows that
+/// overlap by more than [`EPSILON`].
+fn overlaps(windows: &mut [Window]) -> Vec<Window> {
+    windows.sort_by_key(|w| w.1);
+    let eps = SimTime::from_secs(EPSILON);
+    let mut found = Vec::new();
+    for pair in windows.windows(2) {
+        let (_, _, prev_finish) = pair[0];
+        let (index, start, _) = pair[1];
+        if start + eps < prev_finish {
+            found.push((index, prev_finish, start));
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn entry(secs: f64, event: TraceEvent) -> TraceEntry {
+        TraceEntry {
+            time: t(secs),
+            event,
+        }
+    }
+
+    const D0: DriveKey = DriveKey(0);
+    const D1: DriveKey = DriveKey(1);
+    const TAPE_A: TapeKey = TapeKey(5);
+    const TAPE_B: TapeKey = TapeKey(6);
+
+    fn transfer(secs: f64, drive: DriveKey, tape: TapeKey, job: u32, dur: f64) -> TraceEntry {
+        entry(
+            secs,
+            TraceEvent::Transfer {
+                drive,
+                tape,
+                job,
+                extents: 1,
+                seek: SimTime::ZERO,
+                transfer: t(dur),
+                start: t(secs),
+                finish: t(secs + dur),
+            },
+        )
+    }
+
+    /// Mount A on D0, stream job 0, switch to B, stream job 1.
+    fn valid_trace() -> Vec<TraceEntry> {
+        vec![
+            entry(
+                0.0,
+                TraceEvent::AssumeMounted {
+                    drive: D0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 1,
+                    tape: TAPE_B,
+                },
+            ),
+            transfer(0.0, D0, TAPE_A, 0, 10.0),
+            entry(10.0, TraceEvent::JobCompleted { job: 0, drive: D0 }),
+            entry(
+                10.0,
+                TraceEvent::Unmounted {
+                    drive: D0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                10.0,
+                TraceEvent::ExchangeBegun {
+                    drive: D0,
+                    tape: TAPE_B,
+                    arm: 0,
+                    start: t(12.0),
+                    finish: t(40.0),
+                },
+            ),
+            entry(
+                40.0,
+                TraceEvent::Mounted {
+                    drive: D0,
+                    tape: TAPE_B,
+                },
+            ),
+            transfer(40.0, D0, TAPE_B, 1, 5.0),
+            entry(45.0, TraceEvent::JobCompleted { job: 1, drive: D0 }),
+        ]
+    }
+
+    #[test]
+    fn valid_trace_is_clean() {
+        let report = TraceAuditor::new().audit(&valid_trace());
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.jobs, 2);
+        assert_eq!(report.transfers, 2);
+        assert_eq!(report.exchanges, 1);
+    }
+
+    #[test]
+    fn empty_trace_is_clean() {
+        assert!(TraceAuditor::new().audit(&[]).is_clean());
+    }
+
+    #[test]
+    fn flags_time_going_backwards() {
+        let mut trace = valid_trace();
+        // Entry 4 (the completion) is emitted at 10.0; pulling entry 5
+        // back to 3.0 makes time run backwards.
+        trace[5].time = t(3.0);
+        let report = TraceAuditor::new().audit(&trace);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::TimeWentBackwards { .. })));
+    }
+
+    #[test]
+    fn flags_overlapping_transfers_on_one_drive() {
+        let trace = vec![
+            entry(
+                0.0,
+                TraceEvent::AssumeMounted {
+                    drive: D0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 1,
+                    tape: TAPE_A,
+                },
+            ),
+            transfer(0.0, D0, TAPE_A, 0, 10.0),
+            transfer(4.0, D0, TAPE_A, 1, 10.0), // starts inside job 0's window
+            entry(10.0, TraceEvent::JobCompleted { job: 0, drive: D0 }),
+            entry(14.0, TraceEvent::JobCompleted { job: 1, drive: D0 }),
+        ];
+        let report = TraceAuditor::new().audit(&trace);
+        assert!(
+            report.violations.iter().any(
+                |v| matches!(v.kind, ViolationKind::DriveOverlap { drive, .. } if drive == D0)
+            ),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn back_to_back_transfers_are_not_an_overlap() {
+        let trace = vec![
+            entry(
+                0.0,
+                TraceEvent::AssumeMounted {
+                    drive: D0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 1,
+                    tape: TAPE_A,
+                },
+            ),
+            transfer(0.0, D0, TAPE_A, 0, 10.0),
+            entry(10.0, TraceEvent::JobCompleted { job: 0, drive: D0 }),
+            transfer(10.0, D0, TAPE_A, 1, 5.0),
+            entry(15.0, TraceEvent::JobCompleted { job: 1, drive: D0 }),
+        ];
+        assert!(TraceAuditor::new().audit(&trace).is_clean());
+    }
+
+    #[test]
+    fn flags_overlapping_exchanges_on_one_arm() {
+        let trace = vec![
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 1,
+                    tape: TAPE_B,
+                },
+            ),
+            entry(
+                0.0,
+                TraceEvent::ExchangeBegun {
+                    drive: D0,
+                    tape: TAPE_A,
+                    arm: 0,
+                    start: t(0.0),
+                    finish: t(30.0),
+                },
+            ),
+            entry(
+                5.0,
+                TraceEvent::ExchangeBegun {
+                    drive: D1,
+                    tape: TAPE_B,
+                    arm: 0, // same arm, overlapping window
+                    start: t(5.0),
+                    finish: t(35.0),
+                },
+            ),
+            entry(
+                30.0,
+                TraceEvent::Mounted {
+                    drive: D0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                35.0,
+                TraceEvent::Mounted {
+                    drive: D1,
+                    tape: TAPE_B,
+                },
+            ),
+            transfer(35.0, D0, TAPE_A, 0, 1.0),
+            transfer(35.0, D1, TAPE_B, 1, 1.0),
+            entry(36.0, TraceEvent::JobCompleted { job: 0, drive: D0 }),
+            entry(36.0, TraceEvent::JobCompleted { job: 1, drive: D1 }),
+        ];
+        let report = TraceAuditor::new().audit(&trace);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v.kind, ViolationKind::RobotOverlap { arm: 0, .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn distinct_arms_may_overlap() {
+        let trace = vec![
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 1,
+                    tape: TAPE_B,
+                },
+            ),
+            entry(
+                0.0,
+                TraceEvent::ExchangeBegun {
+                    drive: D0,
+                    tape: TAPE_A,
+                    arm: 0,
+                    start: t(0.0),
+                    finish: t(30.0),
+                },
+            ),
+            entry(
+                0.0,
+                TraceEvent::ExchangeBegun {
+                    drive: D1,
+                    tape: TAPE_B,
+                    arm: 1,
+                    start: t(0.0),
+                    finish: t(30.0),
+                },
+            ),
+            entry(
+                30.0,
+                TraceEvent::Mounted {
+                    drive: D0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                30.0,
+                TraceEvent::Mounted {
+                    drive: D1,
+                    tape: TAPE_B,
+                },
+            ),
+            transfer(30.0, D0, TAPE_A, 0, 1.0),
+            transfer(30.0, D1, TAPE_B, 1, 1.0),
+            entry(31.0, TraceEvent::JobCompleted { job: 0, drive: D0 }),
+            entry(31.0, TraceEvent::JobCompleted { job: 1, drive: D1 }),
+        ];
+        assert!(TraceAuditor::new().audit(&trace).is_clean());
+    }
+
+    #[test]
+    fn flags_broken_load_unload_pairing() {
+        // Unload of a tape the drive does not hold.
+        let trace = vec![entry(
+            0.0,
+            TraceEvent::Unmounted {
+                drive: D0,
+                tape: TAPE_A,
+            },
+        )];
+        let report = TraceAuditor::new().audit(&trace);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::UnmountMismatch { .. })));
+
+        // Exchange begun while the drive still holds a tape.
+        let trace = vec![
+            entry(
+                0.0,
+                TraceEvent::AssumeMounted {
+                    drive: D0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                0.0,
+                TraceEvent::ExchangeBegun {
+                    drive: D0,
+                    tape: TAPE_B,
+                    arm: 0,
+                    start: t(0.0),
+                    finish: t(30.0),
+                },
+            ),
+        ];
+        let report = TraceAuditor::new().audit(&trace);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::ExchangeWhileMounted { .. })));
+
+        // Mount with no exchange begun.
+        let trace = vec![entry(
+            0.0,
+            TraceEvent::Mounted {
+                drive: D0,
+                tape: TAPE_A,
+            },
+        )];
+        let report = TraceAuditor::new().audit(&trace);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::MountWithoutExchange { .. })));
+    }
+
+    #[test]
+    fn flags_read_without_mount() {
+        let trace = vec![
+            entry(
+                0.0,
+                TraceEvent::AssumeMounted {
+                    drive: D0,
+                    tape: TAPE_B,
+                },
+            ),
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 0,
+                    tape: TAPE_A,
+                },
+            ),
+            transfer(0.0, D0, TAPE_A, 0, 1.0), // streams A while holding B
+            entry(1.0, TraceEvent::JobCompleted { job: 0, drive: D0 }),
+        ];
+        let report = TraceAuditor::new().audit(&trace);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::ReadWithoutMount { .. })));
+    }
+
+    #[test]
+    fn flags_double_and_missing_completions() {
+        let trace = vec![
+            entry(
+                0.0,
+                TraceEvent::AssumeMounted {
+                    drive: D0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 1,
+                    tape: TAPE_A,
+                },
+            ),
+            transfer(0.0, D0, TAPE_A, 0, 1.0),
+            entry(1.0, TraceEvent::JobCompleted { job: 0, drive: D0 }),
+            entry(1.0, TraceEvent::JobCompleted { job: 0, drive: D0 }), // again
+        ];
+        let report = TraceAuditor::new().audit(&trace);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::CompletedTwice { job: 0 })));
+        assert!(report.violations.iter().any(
+            |v| matches!(&v.kind, ViolationKind::NeverCompleted { jobs } if jobs == &vec![1])
+        ));
+    }
+
+    #[test]
+    fn flags_unknown_job_and_wrong_tape() {
+        let trace = vec![
+            entry(
+                0.0,
+                TraceEvent::AssumeMounted {
+                    drive: D0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 7,
+                    tape: TAPE_B,
+                },
+            ),
+            transfer(0.0, D0, TAPE_A, 3, 1.0), // job 3 never submitted
+            entry(1.0, TraceEvent::JobCompleted { job: 3, drive: D0 }),
+        ];
+        let report = TraceAuditor::new().audit(&trace);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::UnknownJob { job: 3 })));
+
+        let trace = vec![
+            entry(
+                0.0,
+                TraceEvent::AssumeMounted {
+                    drive: D0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 0,
+                    tape: TAPE_B,
+                },
+            ),
+            transfer(0.0, D0, TAPE_A, 0, 1.0), // submitted for B, streamed A
+            entry(1.0, TraceEvent::JobCompleted { job: 0, drive: D0 }),
+        ];
+        let report = TraceAuditor::new().audit(&trace);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::WrongTapeForJob { .. })));
+    }
+}

@@ -13,7 +13,9 @@
 //! * [`Scheduler`] / [`World`] — the execution model: a world handles one
 //!   event at a time and may schedule further events,
 //! * [`Resource`] — a calendar-based FCFS server (used for robot arms),
-//! * [`stats`] — lightweight online statistics used by simulations.
+//! * [`stats`] — lightweight online statistics used by simulations,
+//! * [`trace`] / [`audit`] — a typed event transcript ([`Tracer`]) and an
+//!   invariant checker over it ([`TraceAuditor`]).
 //!
 //! ## Determinism
 //!
@@ -49,6 +51,7 @@
 //! assert_eq!(world.fired.len(), 4);
 //! ```
 
+pub mod audit;
 pub mod queue;
 pub mod resource;
 pub mod scheduler;
@@ -56,8 +59,9 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use audit::{AuditReport, TraceAuditor, Violation, ViolationKind};
 pub use queue::{EventHandle, EventQueue};
 pub use resource::Resource;
 pub use scheduler::{RunOutcome, Scheduler, World};
 pub use time::SimTime;
-pub use trace::{TraceEntry, Tracer};
+pub use trace::{DriveKey, TapeKey, TraceEntry, TraceEvent, Tracer};

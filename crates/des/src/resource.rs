@@ -56,13 +56,16 @@ impl Resource {
     /// Requests a job of length `duration` at time `at`; books the
     /// earliest-free server and returns the grant.
     pub fn acquire(&mut self, at: SimTime, duration: SimTime) -> Grant {
-        let (server, free) = self
-            .free_at
-            .iter()
-            .copied()
-            .enumerate()
-            .min_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)))
-            .expect("at least one server");
+        // Earliest-free server, lowest index on ties (strict `<` keeps the
+        // first minimum). The constructor guarantees at least one server.
+        let mut server = 0;
+        let mut free = self.free_at[0];
+        for (i, &t) in self.free_at.iter().enumerate().skip(1) {
+            if t < free {
+                server = i;
+                free = t;
+            }
+        }
         let start = at.max(free);
         let finish = start + duration;
         self.free_at[server] = finish;
@@ -81,8 +84,8 @@ impl Resource {
             .free_at
             .iter()
             .copied()
-            .min()
-            .expect("at least one server");
+            .reduce(SimTime::min)
+            .unwrap_or(SimTime::ZERO);
         at.max(free)
     }
 
@@ -214,6 +217,30 @@ mod proptests {
                 }
             }
             prop_assert!((r.total_busy().as_secs() - total).abs() < 1e-9);
+        }
+
+        /// FCFS: when requests arrive in non-decreasing time order, the
+        /// granted start times are non-decreasing too — a later request
+        /// never jumps ahead of an earlier one.
+        #[test]
+        fn fcfs_grants_start_in_request_order(
+            servers in 1usize..4,
+            jobs in proptest::collection::vec((0u32..50, 1u32..100), 1..60),
+        ) {
+            let mut r = Resource::new(servers);
+            let mut at = 0.0f64;
+            let mut last_start = SimTime::ZERO;
+            for &(gap, dur) in &jobs {
+                at += gap as f64;
+                let g = r.acquire(SimTime::from_secs(at), SimTime::from_secs(dur as f64));
+                prop_assert!(
+                    g.start >= last_start,
+                    "start went backwards: {:?} after {:?}",
+                    g.start,
+                    last_start
+                );
+                last_start = g.start;
+            }
         }
     }
 }

@@ -138,7 +138,10 @@ impl<E> Scheduler<E> {
             if next_time > horizon {
                 return (RunOutcome::HorizonReached, self.now);
             }
-            let (time, event) = self.queue.pop().expect("peeked entry disappeared");
+            // `peek_time` just returned `Some`, so the queue cannot be empty.
+            let Some((time, event)) = self.queue.pop() else {
+                return (RunOutcome::Drained, self.now);
+            };
             debug_assert!(time >= self.now, "event queue went backwards in time");
             self.now = time;
             self.events_processed += 1;

@@ -35,7 +35,9 @@ impl SimTime {
             secs.is_finite() && secs >= 0.0,
             "SimTime must be finite and non-negative, got {secs}"
         );
-        SimTime(secs)
+        // `+ 0.0` turns -0.0 into +0.0 so IEEE total order (`Ord`) agrees
+        // with numeric equality.
+        SimTime(secs + 0.0)
     }
 
     /// The raw number of seconds.
@@ -50,7 +52,8 @@ impl SimTime {
     /// push a nominally non-negative difference slightly below zero.
     #[inline]
     pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
-        SimTime((self.0 - rhs.0).max(0.0))
+        // `+ 0.0` normalises a -0.0 clamp result for `total_cmp`-based `Ord`.
+        SimTime((self.0 - rhs.0).max(0.0) + 0.0)
     }
 
     /// The larger of two times.
@@ -83,14 +86,12 @@ impl PartialOrd for SimTime {
     }
 }
 
-// `SimTime` construction forbids NaN, so the inner `partial_cmp` never
-// fails and the ordering is total.
+// `SimTime` construction forbids NaN and negative values, so IEEE total
+// order coincides with the numeric order and gives a branch-free `Ord`.
 impl Ord for SimTime {
     #[inline]
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .expect("SimTime is always finite")
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -220,5 +221,79 @@ mod tests {
         let t = SimTime::from_secs(1.23456);
         assert_eq!(format!("{t}"), "1.235s");
         assert_eq!(format!("{t:.1}"), "1.2s");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn mul_by_nan_panics() {
+        let _ = SimTime::from_secs(1.0) * f64::NAN;
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn mul_by_infinity_panics() {
+        let _ = SimTime::from_secs(1.0) * f64::INFINITY;
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn mul_by_negative_panics() {
+        let _ = SimTime::from_secs(1.0) * -2.0;
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn div_by_zero_panics() {
+        let _ = SimTime::from_secs(1.0) / 0.0;
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn div_by_nan_panics() {
+        let _ = SimTime::from_secs(1.0) / f64::NAN;
+    }
+
+    #[test]
+    fn negative_zero_is_normalised() {
+        // -0.0 passes the `>= 0.0` gate; the `+ 0.0` canonicalisation must
+        // keep `total_cmp`-based Ord consistent with numeric equality.
+        let z = SimTime::from_secs(-0.0);
+        assert_eq!(z.cmp(&SimTime::ZERO), std::cmp::Ordering::Equal);
+        assert_eq!(z.max(SimTime::ZERO), z.min(SimTime::ZERO));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// `saturating_sub` never goes negative and agrees with exact
+        /// subtraction whenever the exact result is non-negative — even
+        /// when cancellation would nudge a float difference below zero.
+        #[test]
+        fn saturating_sub_never_negative(a in 0.0f64..1e12, b in 0.0f64..1e12) {
+            let (ta, tb) = (SimTime::from_secs(a), SimTime::from_secs(b));
+            let d = ta.saturating_sub(tb);
+            prop_assert!(d >= SimTime::ZERO);
+            if a >= b {
+                prop_assert_eq!(d.as_secs(), a - b);
+            } else {
+                prop_assert_eq!(d, SimTime::ZERO);
+            }
+            // Never below the exact clamp, and ordering stays total.
+            prop_assert_eq!(d.cmp(&d), std::cmp::Ordering::Equal);
+        }
+
+        /// Ord agrees with the underlying numeric order for all valid
+        /// values, including equal ones arriving via different expressions.
+        #[test]
+        fn ord_matches_numeric_order(a in 0.0f64..1e12, b in 0.0f64..1e12) {
+            let (ta, tb) = (SimTime::from_secs(a), SimTime::from_secs(b));
+            prop_assert_eq!(ta.cmp(&tb), a.partial_cmp(&b).unwrap());
+            prop_assert_eq!(ta.max(tb).as_secs(), a.max(b));
+            prop_assert_eq!(ta.min(tb).as_secs(), a.min(b));
+        }
     }
 }

@@ -1,24 +1,172 @@
-//! Optional event tracing for debugging and tests.
+//! Typed event tracing for debugging, tests and invariant auditing.
 //!
-//! A [`Tracer`] records labelled timestamps. Simulations call
-//! [`Tracer::emit`] at interesting points; tests assert on the resulting
-//! sequence, and debugging sessions can dump it. The no-op default compiles
-//! to nothing in the hot path when tracing is disabled.
+//! A [`Tracer`] records [`TraceEvent`]s at simulation timestamps.
+//! Simulations call [`Tracer::emit`] at interesting points; tests assert on
+//! the resulting sequence, the [`crate::audit::TraceAuditor`] checks
+//! physical invariants over it, and debugging sessions can dump it via
+//! `Display`. The disabled default records nothing.
+//!
+//! The engine crate is domain-agnostic, so events carry *keys* — packed
+//! integer forms of the domain's tape/drive identifiers ([`TapeKey`],
+//! [`DriveKey`]). The domain layer (the model crate) provides conversions
+//! between its rich identifier types and these keys.
 
 use crate::time::SimTime;
 use std::fmt;
 
-/// One traced event.
-#[derive(Debug, Clone, PartialEq)]
+/// Packed tape identifier: `library << 32 | slot`.
+///
+/// The packing is part of this crate's public contract so that domain
+/// crates can map their identifiers in and out without a dependency cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TapeKey(pub u64);
+
+impl TapeKey {
+    /// Packs a (library, slot) pair.
+    pub fn pack(library: u32, slot: u32) -> TapeKey {
+        TapeKey(((library as u64) << 32) | slot as u64)
+    }
+
+    /// The library part.
+    pub fn library(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// The slot part.
+    pub fn slot(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+impl fmt::Display for TapeKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}:T{}", self.library(), self.slot())
+    }
+}
+
+/// Packed drive identifier: `library << 16 | bay`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DriveKey(pub u32);
+
+impl DriveKey {
+    /// Packs a (library, bay) pair.
+    pub fn pack(library: u16, bay: u16) -> DriveKey {
+        DriveKey(((library as u32) << 16) | bay as u32)
+    }
+
+    /// The library part.
+    pub fn library(self) -> u16 {
+        (self.0 >> 16) as u16
+    }
+
+    /// The bay part.
+    pub fn bay(self) -> u16 {
+        self.0 as u16
+    }
+}
+
+impl fmt::Display for DriveKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}:D{}", self.library(), self.bay())
+    }
+}
+
+/// One simulation event, in the vocabulary the auditor understands.
+///
+/// Events are emitted at a monotone wall of `now` timestamps; events that
+/// describe an *interval* (an exchange occupying a robot arm, a streaming
+/// window on a drive) carry the interval explicitly so the auditor can
+/// check exclusivity without replaying the schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// Initial condition: `drive` already holds `tape` when the request
+    /// starts (carried over from a previous request or startup mounts).
+    AssumeMounted { drive: DriveKey, tape: TapeKey },
+    /// A tape job of the current request was submitted: `job` is the
+    /// request-local job index, `tape` the cartridge it reads.
+    JobSubmitted { job: u32, tape: TapeKey },
+    /// `drive` relinquished `tape` (rewind + unload begins).
+    Unmounted { drive: DriveKey, tape: TapeKey },
+    /// A robot exchange bringing `tape` onto `drive` holds `arm` of the
+    /// drive's library for `[start, finish]`.
+    ExchangeBegun {
+        drive: DriveKey,
+        tape: TapeKey,
+        arm: u32,
+        start: SimTime,
+        finish: SimTime,
+    },
+    /// The exchange completed; `drive` now holds `tape`.
+    Mounted { drive: DriveKey, tape: TapeKey },
+    /// `drive` streams `extents` extents of `job` from `tape` over
+    /// `[start, finish]` (`seek` + `transfer` seconds, back to back).
+    Transfer {
+        drive: DriveKey,
+        tape: TapeKey,
+        job: u32,
+        extents: u32,
+        seek: SimTime,
+        transfer: SimTime,
+        start: SimTime,
+        finish: SimTime,
+    },
+    /// `job` finished streaming on `drive`.
+    JobCompleted { job: u32, drive: DriveKey },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::AssumeMounted { drive, tape } => {
+                write!(f, "{drive} starts with {tape} mounted")
+            }
+            TraceEvent::JobSubmitted { job, tape } => {
+                write!(f, "job {job} submitted for {tape}")
+            }
+            TraceEvent::Unmounted { drive, tape } => write!(f, "{drive} unloads {tape}"),
+            TraceEvent::ExchangeBegun {
+                drive,
+                tape,
+                arm,
+                start,
+                finish,
+            } => write!(
+                f,
+                "{drive} begins exchange for {tape} (arm {arm}, {start} .. {finish})"
+            ),
+            TraceEvent::Mounted { drive, tape } => write!(f, "{drive} mounted {tape}"),
+            TraceEvent::Transfer {
+                drive,
+                tape,
+                job,
+                extents,
+                seek,
+                transfer,
+                ..
+            } => write!(
+                f,
+                "{drive} streams {extents} extent(s) of job {job} from {tape} \
+                 (seek {seek}, transfer {transfer})"
+            ),
+            TraceEvent::JobCompleted { job, drive } => {
+                write!(f, "{drive} done (job {job})")
+            }
+        }
+    }
+}
+
+/// One traced event with its emission timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceEntry {
-    /// When the event occurred.
+    /// When the event was emitted (for interval events: when the interval
+    /// became known, which is at or before its start).
     pub time: SimTime,
-    /// Free-form label, e.g. `"lib0/drive3 mount tape 17"`.
-    pub label: String,
+    /// The event.
+    pub event: TraceEvent,
 }
 
 /// Collects [`TraceEntry`] records when enabled.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Tracer {
     enabled: bool,
     entries: Vec<TraceEntry>,
@@ -46,15 +194,11 @@ impl Tracer {
         self.enabled
     }
 
-    /// Records a label at `time` if enabled. The label closure is only
-    /// evaluated when tracing is on, so formatting cost is avoided otherwise.
+    /// Records `event` at `time` if enabled.
     #[inline]
-    pub fn emit<F: FnOnce() -> String>(&mut self, time: SimTime, label: F) {
+    pub fn emit(&mut self, time: SimTime, event: TraceEvent) {
         if self.enabled {
-            self.entries.push(TraceEntry {
-                time,
-                label: label(),
-            });
+            self.entries.push(TraceEntry { time, event });
         }
     }
 
@@ -72,7 +216,7 @@ impl Tracer {
 impl fmt::Display for Tracer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for e in &self.entries {
-            writeln!(f, "[{:>12}] {}", format!("{}", e.time), e.label)?;
+            writeln!(f, "[{:>12}] {}", format!("{}", e.time), e.event)?;
         }
         Ok(())
     }
@@ -83,26 +227,52 @@ mod tests {
     use super::*;
 
     #[test]
-    fn disabled_records_nothing_and_skips_formatting() {
-        let mut t = Tracer::disabled();
-        let mut evaluated = false;
-        t.emit(SimTime::ZERO, || {
-            evaluated = true;
-            "x".to_string()
-        });
-        assert!(!evaluated, "label closure must not run when disabled");
-        assert!(t.entries().is_empty());
+    fn keys_round_trip_and_display() {
+        let t = TapeKey::pack(2, 15);
+        assert_eq!((t.library(), t.slot()), (2, 15));
+        assert_eq!(format!("{t}"), "L2:T15");
+        let d = DriveKey::pack(1, 3);
+        assert_eq!((d.library(), d.bay()), (1, 3));
+        assert_eq!(format!("{d}"), "L1:D3");
     }
 
     #[test]
-    fn enabled_records_in_order() {
+    fn disabled_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.emit(
+            SimTime::ZERO,
+            TraceEvent::Mounted {
+                drive: DriveKey::pack(0, 0),
+                tape: TapeKey::pack(0, 1),
+            },
+        );
+        assert!(t.entries().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_records_in_order_and_displays() {
         let mut t = Tracer::enabled();
-        t.emit(SimTime::from_secs(1.0), || "a".into());
-        t.emit(SimTime::from_secs(2.0), || "b".into());
+        let drive = DriveKey::pack(0, 3);
+        let tape = TapeKey::pack(0, 7);
+        t.emit(SimTime::from_secs(1.0), TraceEvent::Mounted { drive, tape });
+        t.emit(
+            SimTime::from_secs(1.0),
+            TraceEvent::Transfer {
+                drive,
+                tape,
+                job: 0,
+                extents: 2,
+                seek: SimTime::from_secs(1.5),
+                transfer: SimTime::from_secs(100.0),
+                start: SimTime::from_secs(1.0),
+                finish: SimTime::from_secs(102.5),
+            },
+        );
         assert_eq!(t.entries().len(), 2);
-        assert_eq!(t.entries()[0].label, "a");
         let shown = format!("{t}");
-        assert!(shown.contains("a") && shown.contains("b"));
+        assert!(shown.contains("L0:D3 mounted L0:T7"), "{shown}");
+        assert!(shown.contains("streams 2 extent(s)"), "{shown}");
         t.clear();
         assert!(t.entries().is_empty());
     }

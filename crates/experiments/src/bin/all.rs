@@ -19,7 +19,8 @@ fn main() {
     std::fs::write(dir.join("table1.md"), &report).expect("write table1");
     println!("{report}");
 
-    type Driver = fn(&tapesim_experiments::ExperimentSettings) -> tapesim_analysis::ExperimentResult;
+    type Driver =
+        fn(&tapesim_experiments::ExperimentSettings) -> tapesim_analysis::ExperimentResult;
     let drivers: Vec<(&str, Driver)> = vec![
         ("fig5", figures::fig5::run),
         ("fig6", figures::fig6::run),

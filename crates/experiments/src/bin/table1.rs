@@ -2,7 +2,10 @@
 
 fn main() {
     let table = tapesim_experiments::figures::table1::run();
-    let report = format!("## table1 — Tape drive/library specifications\n\n{}", table.to_markdown());
+    let report = format!(
+        "## table1 — Tape drive/library specifications\n\n{}",
+        table.to_markdown()
+    );
     let dir = tapesim_experiments::harness::results_dir();
     std::fs::create_dir_all(&dir).expect("results dir");
     std::fs::write(dir.join("table1.md"), &report).expect("write table1");

@@ -19,8 +19,9 @@
 use crate::harness::evaluate_placement;
 use crate::settings::ExperimentSettings;
 use tapesim_analysis::{ExperimentResult, Series};
-use tapesim_placement::{IncrementalPlacer, ParallelBatchParams, ParallelBatchPlacement,
-    PlacementPolicy};
+use tapesim_placement::{
+    IncrementalPlacer, ParallelBatchParams, ParallelBatchPlacement, PlacementPolicy,
+};
 use tapesim_workload::EvolutionSpec;
 
 /// Number of epochs simulated (epoch 0 = the bootstrap placement).
@@ -35,8 +36,8 @@ pub fn run(base: &ExperimentSettings) -> ExperimentResult {
     let params = ParallelBatchParams::default().with_m(base.m);
 
     let mut workload = base.generate_workload();
-    let mut placer = IncrementalPlacer::bootstrap(&workload, &system, params)
-        .expect("bootstrap placement");
+    let mut placer =
+        IncrementalPlacer::bootstrap(&workload, &system, params).expect("bootstrap placement");
 
     let mut incremental = Vec::with_capacity(n_epochs);
     let mut oracle = Vec::with_capacity(n_epochs);
@@ -52,8 +53,7 @@ pub fn run(base: &ExperimentSettings) -> ExperimentResult {
             .advance(&workload);
         }
         let inc_placement = placer.advance(&workload).expect("incremental placement");
-        incremental
-            .push(evaluate_placement(base, &workload, inc_placement).avg_bandwidth_mbs());
+        incremental.push(evaluate_placement(base, &workload, inc_placement).avg_bandwidth_mbs());
         let oracle_placement = ParallelBatchPlacement::new(params)
             .place(&workload, &system)
             .expect("oracle placement");
@@ -67,11 +67,13 @@ pub fn run(base: &ExperimentSettings) -> ExperimentResult {
         "bandwidth (MB/s)",
         (0..n_epochs).map(|e| e as f64).collect(),
     );
-    result.push_series(Series::new("incremental (no migration)", incremental.clone()));
+    result.push_series(Series::new(
+        "incremental (no migration)",
+        incremental.clone(),
+    ));
     result.push_series(Series::new("oracle full re-place", oracle.clone()));
-    let final_gap = (oracle.last().unwrap() - incremental.last().unwrap())
-        / oracle.last().unwrap()
-        * 100.0;
+    let final_gap =
+        (oracle.last().unwrap() - incremental.last().unwrap()) / oracle.last().unwrap() * 100.0;
     result.push_note(format!(
         "5% object growth and 25% request churn per epoch; final-epoch gap {final_gap:.0}% \
          — the cost of §7's open problem"
@@ -90,7 +92,10 @@ mod tests {
         let mut s = quick_settings();
         s.samples = 30;
         let r = run(&s);
-        let inc = &r.series_by_label("incremental (no migration)").unwrap().values;
+        let inc = &r
+            .series_by_label("incremental (no migration)")
+            .unwrap()
+            .values;
         let ora = &r.series_by_label("oracle full re-place").unwrap().values;
         assert_eq!(inc.len(), epochs());
         // Epoch 0: identical physical layout → identical measurement.

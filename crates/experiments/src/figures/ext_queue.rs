@@ -91,7 +91,13 @@ mod tests {
         }
         // …parallel batch placement stays fastest at every rate…
         for i in 0..r.x.len() {
-            assert!(pbp[i] < cpp[i], "rate {}: pbp {} vs cpp {}", r.x[i], pbp[i], cpp[i]);
+            assert!(
+                pbp[i] < cpp[i],
+                "rate {}: pbp {} vs cpp {}",
+                r.x[i],
+                pbp[i],
+                cpp[i]
+            );
         }
         // …and the absolute gap widens as the queue saturates.
         let gap_low = cpp[0] - pbp[0];

@@ -47,10 +47,7 @@ pub fn run(base: &ExperimentSettings) -> ExperimentResult {
         "bandwidth (MB/s)",
         pcts.clone(),
     );
-    result.push_series(Series::new(
-        "bandwidth",
-        rows.iter().map(|r| r.0).collect(),
-    ));
+    result.push_series(Series::new("bandwidth", rows.iter().map(|r| r.0).collect()));
     result.push_series(Series::new(
         "exchanges per request",
         rows.iter().map(|r| r.1).collect(),

@@ -27,13 +27,48 @@ pub struct Variant {
 /// The variations exercised.
 pub fn variants() -> Vec<Variant> {
     vec![
-        Variant { name: "baseline", objects_factor: 1.0, requests_factor: 1.0, samples_factor: 1.0 },
-        Variant { name: "objects ÷ 2", objects_factor: 0.5, requests_factor: 1.0, samples_factor: 1.0 },
-        Variant { name: "objects × 2", objects_factor: 2.0, requests_factor: 1.0, samples_factor: 1.0 },
-        Variant { name: "requests ÷ 2", objects_factor: 1.0, requests_factor: 0.5, samples_factor: 1.0 },
-        Variant { name: "requests × 2", objects_factor: 1.0, requests_factor: 2.0, samples_factor: 1.0 },
-        Variant { name: "samples ÷ 2", objects_factor: 1.0, requests_factor: 1.0, samples_factor: 0.5 },
-        Variant { name: "samples × 2", objects_factor: 1.0, requests_factor: 1.0, samples_factor: 2.0 },
+        Variant {
+            name: "baseline",
+            objects_factor: 1.0,
+            requests_factor: 1.0,
+            samples_factor: 1.0,
+        },
+        Variant {
+            name: "objects ÷ 2",
+            objects_factor: 0.5,
+            requests_factor: 1.0,
+            samples_factor: 1.0,
+        },
+        Variant {
+            name: "objects × 2",
+            objects_factor: 2.0,
+            requests_factor: 1.0,
+            samples_factor: 1.0,
+        },
+        Variant {
+            name: "requests ÷ 2",
+            objects_factor: 1.0,
+            requests_factor: 0.5,
+            samples_factor: 1.0,
+        },
+        Variant {
+            name: "requests × 2",
+            objects_factor: 1.0,
+            requests_factor: 2.0,
+            samples_factor: 1.0,
+        },
+        Variant {
+            name: "samples ÷ 2",
+            objects_factor: 1.0,
+            requests_factor: 1.0,
+            samples_factor: 0.5,
+        },
+        Variant {
+            name: "samples × 2",
+            objects_factor: 1.0,
+            requests_factor: 1.0,
+            samples_factor: 2.0,
+        },
     ]
 }
 

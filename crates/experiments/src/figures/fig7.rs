@@ -68,8 +68,7 @@ pub fn run(base: &ExperimentSettings) -> ExperimentResult {
 
     // Extreme case: everything fits the n×d startup-mounted tapes.
     let nd = system.total_drives() as u64;
-    let all_mounted_bytes =
-        Bytes(system.library.tape.capacity.get() * nd).scale(0.9);
+    let all_mounted_bytes = Bytes(system.library.tape.capacity.get() * nd).scale(0.9);
     let per_request = Bytes(
         (all_mounted_bytes.get() as f64 / base.workload.objects as f64
             * mean_request_objects(&base)) as u64,

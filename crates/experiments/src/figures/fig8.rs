@@ -74,10 +74,7 @@ mod tests {
         let pbp = &r.series_by_label("parallel batch").unwrap().values;
         let cpp = &r.series_by_label("cluster probability").unwrap().values;
         // Parallel batch placement gains substantially from 1 → 6 libraries.
-        assert!(
-            pbp[5] > pbp[0] * 1.5,
-            "pbp should scale: {pbp:?}"
-        );
+        assert!(pbp[5] > pbp[0] * 1.5, "pbp should scale: {pbp:?}");
         // Cluster probability placement barely moves past n = 3 (robot
         // contention relief only).
         assert!(

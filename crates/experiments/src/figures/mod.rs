@@ -9,9 +9,9 @@ pub mod ext_online;
 pub mod ext_queue;
 pub mod ext_replication;
 pub mod ext_robots;
-pub mod ext_tail;
-pub mod ext_striping;
 pub mod ext_scale;
+pub mod ext_striping;
+pub mod ext_tail;
 pub mod ext_technology;
 pub mod fig5;
 pub mod fig6;

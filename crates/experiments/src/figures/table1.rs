@@ -17,7 +17,10 @@ pub fn run() -> Table {
         "Average cell to drive time",
         format!("{:.1}s", r.cell_to_drive_time),
     );
-    row("Tape load and thread to ready", format!("{:.0}s", d.load_time));
+    row(
+        "Tape load and thread to ready",
+        format!("{:.0}s", d.load_time),
+    );
     row("Data transfer rate, native", format!("{}", d.native_rate));
     row(
         "Maximum/average rewind time",
@@ -44,7 +47,10 @@ pub fn run() -> Table {
                 )
         ),
     );
-    row("Number of tapes per library", format!("{}", sys.library.tapes));
+    row(
+        "Number of tapes per library",
+        format!("{}", sys.library.tapes),
+    );
     row("Tape capacity", format!("{}", sys.library.tape.capacity));
     row("Tape drives per library", format!("{}", sys.library.drives));
     row("Number of tape libraries", format!("{}", sys.libraries));
@@ -59,7 +65,14 @@ mod tests {
     fn echoes_every_table1_constant() {
         let md = run().to_markdown();
         for needle in [
-            "7.6s", "19s", "80.0 MB/s", "98/49s", "80", "400.00 GB", "8", "3",
+            "7.6s",
+            "19s",
+            "80.0 MB/s",
+            "98/49s",
+            "80",
+            "400.00 GB",
+            "8",
+            "3",
         ] {
             assert!(md.contains(needle), "missing {needle} in:\n{md}");
         }

@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use tapesim_des::{DriveKey, TapeKey};
 
 /// A data object (file / dataset) identifier. Dense, 0-based.
 #[derive(
@@ -72,6 +73,20 @@ impl fmt::Display for TapeId {
     }
 }
 
+/// Packs into the engine's trace key (`library << 32 | slot`); the key's
+/// `Display` matches [`TapeId`]'s.
+impl From<TapeId> for TapeKey {
+    fn from(id: TapeId) -> TapeKey {
+        TapeKey::pack(id.library.0 as u32, id.slot as u32)
+    }
+}
+
+impl From<TapeKey> for TapeId {
+    fn from(key: TapeKey) -> TapeId {
+        TapeId::new(LibraryId(key.library() as u16), key.slot() as u16)
+    }
+}
+
 /// A tape drive: `bay` within its owning `library`.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
@@ -96,6 +111,20 @@ impl fmt::Display for DriveId {
     }
 }
 
+/// Packs into the engine's trace key (`library << 16 | bay`); the key's
+/// `Display` matches [`DriveId`]'s.
+impl From<DriveId> for DriveKey {
+    fn from(id: DriveId) -> DriveKey {
+        DriveKey::pack(id.library.0, id.bay as u16)
+    }
+}
+
+impl From<DriveKey> for DriveId {
+    fn from(key: DriveKey) -> DriveId {
+        DriveId::new(LibraryId(key.library()), key.bay() as u8)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +143,19 @@ mod tests {
         let a = TapeId::new(LibraryId(0), 99);
         let b = TapeId::new(LibraryId(1), 0);
         assert!(a < b, "library is the major sort key");
+    }
+
+    #[test]
+    fn trace_keys_round_trip() {
+        let tape = TapeId::new(LibraryId(3), 41);
+        let key = TapeKey::from(tape);
+        assert_eq!(TapeId::from(key), tape);
+        assert_eq!(format!("{key}"), format!("{tape}"));
+
+        let drive = DriveId::new(LibraryId(1), 7);
+        let key = DriveKey::from(drive);
+        assert_eq!(DriveId::from(key), drive);
+        assert_eq!(format!("{key}"), format!("{drive}"));
     }
 
     #[test]

@@ -92,16 +92,14 @@ impl SystemConfig {
 
     /// All drive ids, grouped by library then bay.
     pub fn drive_ids(&self) -> impl Iterator<Item = DriveId> + '_ {
-        self.library_ids().flat_map(move |lib| {
-            (0..self.library.drives).map(move |bay| DriveId::new(lib, bay))
-        })
+        self.library_ids()
+            .flat_map(move |lib| (0..self.library.drives).map(move |bay| DriveId::new(lib, bay)))
     }
 
     /// All tape ids, grouped by library then slot.
     pub fn tape_ids(&self) -> impl Iterator<Item = TapeId> + '_ {
-        self.library_ids().flat_map(move |lib| {
-            (0..self.library.tapes).map(move |slot| TapeId::new(lib, slot))
-        })
+        self.library_ids()
+            .flat_map(move |lib| (0..self.library.tapes).map(move |slot| TapeId::new(lib, slot)))
     }
 
     /// Dense 0-based index of a tape across the whole system
@@ -214,7 +212,10 @@ mod tests {
         bad.tapes = 4;
         assert!(matches!(
             SystemConfig::new(1, bad).unwrap_err(),
-            ConfigError::FewerTapesThanDrives { tapes: 4, drives: 8 }
+            ConfigError::FewerTapesThanDrives {
+                tapes: 4,
+                drives: 8
+            }
         ));
         let mut bad = lib_spec();
         bad.tapes = 0;

@@ -162,7 +162,10 @@ impl std::fmt::Display for LayoutError {
                 object,
                 expected,
                 found,
-            } => write!(f, "gap before {object}: expected offset {expected}, found {found}"),
+            } => write!(
+                f,
+                "gap before {object}: expected offset {expected}, found {found}"
+            ),
             LayoutError::OverCapacity { used, capacity } => {
                 write!(f, "layout uses {used} of a {capacity} cartridge")
             }

@@ -89,10 +89,12 @@ mod tests {
         let t1 = TapeId::new(LibraryId(1), 0);
         // Objects 0,2,4 on t0; 1,3,5 on t1.
         for i in [0u32, 2, 4] {
-            b.append(t0, ObjectId(i), Bytes::gb((i + 1) as u64), 0.1).unwrap();
+            b.append(t0, ObjectId(i), Bytes::gb((i + 1) as u64), 0.1)
+                .unwrap();
         }
         for i in [1u32, 3, 5] {
-            b.append(t1, ObjectId(i), Bytes::gb((i + 1) as u64), 0.1).unwrap();
+            b.append(t1, ObjectId(i), Bytes::gb((i + 1) as u64), 0.1)
+                .unwrap();
         }
         b.build().unwrap()
     }

@@ -20,7 +20,7 @@ use crate::catalog::TapeJob;
 use crate::metrics::RequestMetrics;
 use crate::policy::SwitchPolicy;
 use crate::seek_order;
-use tapesim_des::{Resource, Scheduler, SimTime, Tracer, World};
+use tapesim_des::{Resource, Scheduler, SimTime, TraceEvent, Tracer, World};
 use tapesim_model::{Bytes, DriveId, SystemConfig, TapeId};
 use tapesim_placement::Placement;
 
@@ -67,6 +67,8 @@ struct RequestSim<'a> {
     jobs: Vec<TapeJob>,
     pending: Vec<Vec<usize>>, // per library, front = next to dispatch
     busy: Vec<bool>,
+    /// Job index a drive is streaming or switching for, for trace events.
+    current_job: Vec<Option<usize>>,
     // Per-drive accounting for this request.
     seek: Vec<f64>,
     transfer: Vec<f64>,
@@ -80,10 +82,7 @@ struct RequestSim<'a> {
 impl<'a> RequestSim<'a> {
     fn drive_id(&self, idx: usize) -> DriveId {
         let d = self.cfg.library.drives as usize;
-        DriveId::new(
-            tapesim_model::LibraryId((idx / d) as u16),
-            (idx % d) as u8,
-        )
+        DriveId::new(tapesim_model::LibraryId((idx / d) as u16), (idx % d) as u8)
     }
 
     /// Starts streaming `job` on `drive` (tape already mounted) and
@@ -104,16 +103,22 @@ impl<'a> RequestSim<'a> {
         self.seek[drive] += seek_s;
         self.transfer[drive] += xfer_s;
         self.busy[drive] = true;
-        let id = self.drive_id(drive);
-        let tape = self.jobs[job].tape;
-        let n = plan.len();
-        self.tracer.emit(now, || {
-            format!("{id} streams {n} extent(s) from {tape} (seek {seek_s:.1}s, transfer {xfer_s:.1}s)")
-        });
-        sched.schedule_at(
-            now + SimTime::from_secs(seek_s + xfer_s),
-            Ev::DriveDone { drive },
+        self.current_job[drive] = Some(job);
+        let finish = now + SimTime::from_secs(seek_s + xfer_s);
+        self.tracer.emit(
+            now,
+            TraceEvent::Transfer {
+                drive: self.drive_id(drive).into(),
+                tape: self.jobs[job].tape.into(),
+                job: job as u32,
+                extents: plan.len() as u32,
+                seek: SimTime::from_secs(seek_s),
+                transfer: SimTime::from_secs(xfer_s),
+                start: now,
+                finish,
+            },
         );
+        sched.schedule_at(finish, Ev::DriveDone { drive });
     }
 
     /// Begins a tape exchange bringing `job`'s tape onto `drive`.
@@ -132,22 +137,33 @@ impl<'a> RequestSim<'a> {
         };
         // The cartridge leaves the drive; until SwitchDone the drive is in
         // transition (busy) and holds nothing.
-        self.state.mounted[drive] = None;
+        if let Some(old) = self.state.mounted[drive].take() {
+            self.tracer.emit(
+                now,
+                TraceEvent::Unmounted {
+                    drive: self.drive_id(drive).into(),
+                    tape: old.into(),
+                },
+            );
+        }
         self.state.head[drive] = Bytes::ZERO;
         self.busy[drive] = true;
+        self.current_job[drive] = Some(job);
 
         let rewind_done = now + SimTime::from_secs(rewind_s);
         let grant = self.robots[lib].acquire(rewind_done, SimTime::from_secs(exchange_s));
         self.robot_wait += (grant.start - rewind_done).as_secs();
         self.n_switches += 1;
-        let id = self.drive_id(drive);
-        let tape = self.jobs[job].tape;
-        let wait = (grant.start - rewind_done).as_secs();
-        self.tracer.emit(now, || {
-            format!(
-                "{id} begins exchange for {tape} (rewind {rewind_s:.1}s, robot wait {wait:.1}s)"
-            )
-        });
+        self.tracer.emit(
+            now,
+            TraceEvent::ExchangeBegun {
+                drive: self.drive_id(drive).into(),
+                tape: self.jobs[job].tape.into(),
+                arm: grant.server as u32,
+                start: grant.start,
+                finish: grant.finish,
+            },
+        );
         sched.schedule_at(grant.finish, Ev::SwitchDone { drive, job });
     }
 
@@ -193,17 +209,28 @@ impl World for RequestSim<'_> {
             Ev::SwitchDone { drive, job } => {
                 self.state.mounted[drive] = Some(self.jobs[job].tape);
                 self.state.head[drive] = Bytes::ZERO;
-                let id = self.drive_id(drive);
-                let tape = self.jobs[job].tape;
-                self.tracer.emit(now, || format!("{id} mounted {tape}"));
+                self.tracer.emit(
+                    now,
+                    TraceEvent::Mounted {
+                        drive: self.drive_id(drive).into(),
+                        tape: self.jobs[job].tape.into(),
+                    },
+                );
                 self.start_service(drive, job, now, sched);
             }
             Ev::DriveDone { drive } => {
                 self.busy[drive] = false;
                 self.completion[drive] = now;
                 self.outstanding -= 1;
-                let id = self.drive_id(drive);
-                self.tracer.emit(now, || format!("{id} done"));
+                if let Some(job) = self.current_job[drive].take() {
+                    self.tracer.emit(
+                        now,
+                        TraceEvent::JobCompleted {
+                            job: job as u32,
+                            drive: self.drive_id(drive).into(),
+                        },
+                    );
+                }
                 let lib = self.drive_id(drive).library.idx();
                 self.try_dispatch(lib, now, sched);
             }
@@ -249,15 +276,44 @@ pub fn serve_request_traced(
         jobs,
         pending: vec![Vec::new(); n_libs],
         busy: vec![false; n_drives],
+        current_job: vec![None; n_drives],
         seek: vec![0.0; n_drives],
         transfer: vec![0.0; n_drives],
         completion: vec![SimTime::ZERO; n_drives],
         n_switches: 0,
         robot_wait: 0.0,
-        tracer: if trace { Tracer::enabled() } else { Tracer::disabled() },
+        tracer: if trace {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        },
     };
 
     let mut sched: Scheduler<Ev> = Scheduler::new();
+
+    // Trace prologue: the initial mount state (carried over from previous
+    // requests) and the request's job list, so the audited transcript is
+    // self-contained.
+    for drive in 0..n_drives {
+        if let Some(tape) = sim.state.mounted[drive] {
+            sim.tracer.emit(
+                SimTime::ZERO,
+                TraceEvent::AssumeMounted {
+                    drive: sim.drive_id(drive).into(),
+                    tape: tape.into(),
+                },
+            );
+        }
+    }
+    for (job, j) in sim.jobs.iter().enumerate() {
+        sim.tracer.emit(
+            SimTime::ZERO,
+            TraceEvent::JobSubmitted {
+                job: job as u32,
+                tape: j.tape.into(),
+            },
+        );
+    }
 
     // t = 0: mounted jobs start streaming; the rest queue per library.
     for job in 0..sim.jobs.len() {
@@ -284,9 +340,7 @@ pub fn serve_request_traced(
     let response = end.as_secs();
     let last = (0..n_drives)
         .max_by(|&a, &b| {
-            sim.completion[a]
-                .cmp(&sim.completion[b])
-                .then(b.cmp(&a)) // deterministic: smaller index wins ties
+            sim.completion[a].cmp(&sim.completion[b]).then(b.cmp(&a)) // deterministic: smaller index wins ties
         })
         .unwrap_or(0);
     let seek = sim.seek[last];
@@ -354,7 +408,11 @@ mod tests {
         // All three tapes are among the initial mounts; heads at 0, each
         // object is the first extent on its tape → zero seek, 100 s each in
         // parallel.
-        assert!((m.response - XFER_8GB).abs() < 1e-9, "response {}", m.response);
+        assert!(
+            (m.response - XFER_8GB).abs() < 1e-9,
+            "response {}",
+            m.response
+        );
         assert_eq!(m.n_switches, 0);
         assert!((m.switch - 0.0).abs() < 1e-9);
         assert!((m.transfer - XFER_8GB).abs() < 1e-9);
@@ -437,7 +495,13 @@ mod tests {
 
         // Request 1 occupies both drives with T0 and T2.
         let mut state = MountState::new(vec![None; 2]);
-        serve_request(&cfg, &p, &policy, &mut state, tape_jobs(&p, &[ObjectId(0), ObjectId(2)]));
+        serve_request(
+            &cfg,
+            &p,
+            &policy,
+            &mut state,
+            tape_jobs(&p, &[ObjectId(0), ObjectId(2)]),
+        );
         assert!(state.mounted.iter().all(|m| m.is_some()));
 
         // Request 2 needs T1: both drives occupied, the victim is the
@@ -498,7 +562,11 @@ mod tests {
         // Objects 0 (L0) and 3 (L1): one switch in each library.
         let jobs = tape_jobs(&p, &[ObjectId(0), ObjectId(3)]);
         let m = serve_request(&cfg, &p, &policy, &mut state, jobs);
-        assert!((m.response - (26.6 + XFER_8GB)).abs() < 1e-9, "got {}", m.response);
+        assert!(
+            (m.response - (26.6 + XFER_8GB)).abs() < 1e-9,
+            "got {}",
+            m.response
+        );
         assert_eq!(m.n_switches, 2);
         assert!((m.robot_wait - 0.0).abs() < 1e-9, "no robot queueing");
     }

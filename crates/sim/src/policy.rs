@@ -83,10 +83,11 @@ impl SwitchPolicy {
                         .filter(|&t| !placement.tape_layout(t).is_empty())
                         .collect();
                     tapes.sort_by(|&a, &b| {
+                        // Probabilities are finite, so IEEE total order is
+                        // the numeric order.
                         placement
                             .tape_probability(b)
-                            .partial_cmp(&placement.tape_probability(a))
-                            .expect("finite probabilities")
+                            .total_cmp(&placement.tape_probability(a))
                             .then(a.cmp(&b))
                     });
                     for (bay, &tape) in tapes.iter().take(d as usize).enumerate() {
@@ -187,9 +188,12 @@ mod tests {
         );
         let mut b = PlacementBuilder::new(&cfg, &w);
         let lib = LibraryId(0);
-        b.append(TapeId::new(lib, 10), ObjectId(0), Bytes::gb(1), 0.2).unwrap();
-        b.append(TapeId::new(lib, 11), ObjectId(1), Bytes::gb(1), 0.5).unwrap();
-        b.append(TapeId::new(lib, 12), ObjectId(2), Bytes::gb(1), 0.3).unwrap();
+        b.append(TapeId::new(lib, 10), ObjectId(0), Bytes::gb(1), 0.2)
+            .unwrap();
+        b.append(TapeId::new(lib, 11), ObjectId(1), Bytes::gb(1), 0.5)
+            .unwrap();
+        b.append(TapeId::new(lib, 12), ObjectId(2), Bytes::gb(1), 0.3)
+            .unwrap();
         let p = b.build().unwrap();
 
         let policy = SwitchPolicy::for_placement(&p, 4);

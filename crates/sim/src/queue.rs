@@ -156,7 +156,11 @@ mod tests {
             },
         );
         assert_eq!(m.served(), 30);
-        assert!(m.avg_wait() < 1e-9, "wait {} in the sparse regime", m.avg_wait());
+        assert!(
+            m.avg_wait() < 1e-9,
+            "wait {} in the sparse regime",
+            m.avg_wait()
+        );
         assert!((m.avg_sojourn() - m.avg_service()).abs() < 1e-9);
         assert!(m.utilisation() < 0.1);
     }
@@ -186,7 +190,15 @@ mod tests {
         let mut waits = Vec::new();
         for &r in &rates {
             let (mut sim, w) = setup();
-            let m = run_queued(&mut sim, &w, 40, ArrivalSpec { per_hour: r, seed: 5 });
+            let m = run_queued(
+                &mut sim,
+                &w,
+                40,
+                ArrivalSpec {
+                    per_hour: r,
+                    seed: 5,
+                },
+            );
             waits.push(m.avg_wait());
         }
         assert!(
@@ -199,7 +211,10 @@ mod tests {
     fn deterministic() {
         let (mut sim1, w) = setup();
         let (mut sim2, _) = setup();
-        let spec = ArrivalSpec { per_hour: 6.0, seed: 9 };
+        let spec = ArrivalSpec {
+            per_hour: 6.0,
+            seed: 9,
+        };
         let a = run_queued(&mut sim1, &w, 25, spec);
         let b = run_queued(&mut sim2, &w, 25, spec);
         assert_eq!(a.avg_sojourn(), b.avg_sojourn());
@@ -209,6 +224,14 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_zero_rate() {
         let (mut sim, w) = setup();
-        let _ = run_queued(&mut sim, &w, 1, ArrivalSpec { per_hour: 0.0, seed: 0 });
+        let _ = run_queued(
+            &mut sim,
+            &w,
+            1,
+            ArrivalSpec {
+                per_hour: 0.0,
+                seed: 0,
+            },
+        );
     }
 }

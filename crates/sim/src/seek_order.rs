@@ -15,7 +15,9 @@
 //! 2. extents above the head ascending, then the ones below ascending,
 //! 3. extents above the head ascending, then the ones below **descending**
 //!    (grab-on-the-way-down),
-//! 4. below descending first, then above ascending.
+//! 4. below descending first, then above ascending,
+//! 5. the nearest below-extent first (a short backward hop), then the
+//!    rest ascending from the bottom.
 //!
 //! [`optimal_order`] (exhaustive permutation search) bounds the gap in the
 //! test suite: across randomized cases the chosen candidate stays within a
@@ -45,11 +47,10 @@ pub fn plan(head: Bytes, extents: &[Extent]) -> Vec<Extent> {
     }
     let mut asc: Vec<Extent> = extents.to_vec();
     asc.sort_by_key(|e| e.offset);
-    let (below, above): (Vec<Extent>, Vec<Extent>) =
-        asc.iter().partition(|e| e.offset < head);
+    let (below, above): (Vec<Extent>, Vec<Extent>) = asc.iter().partition(|e| e.offset < head);
     let below_desc: Vec<Extent> = below.iter().rev().copied().collect();
 
-    let mut candidates: Vec<Vec<Extent>> = Vec::with_capacity(4);
+    let mut candidates: Vec<Vec<Extent>> = Vec::with_capacity(5);
     // 1. Plain ascending sweep.
     candidates.push(asc.clone());
     // 2. Above ascending, then below ascending.
@@ -60,6 +61,16 @@ pub fn plan(head: Bytes, extents: &[Extent]) -> Vec<Extent> {
     let mut c = above.clone();
     c.extend(below_desc.iter().copied());
     candidates.push(c);
+    // 5. Short backward hop to the nearest below-extent, then a plain
+    //    ascending sweep of the rest. Wins when one extent sits just
+    //    behind the head and the others are far below: the hop costs
+    //    little and the sweep restarts from the bottom.
+    if let Some(&nearest_below) = below.last() {
+        let mut c = vec![nearest_below];
+        c.extend(below[..below.len() - 1].iter().copied());
+        c.extend(above.iter().copied());
+        candidates.push(c);
+    }
     // 4. Below descending, then above ascending.
     let mut c = below_desc;
     c.extend(above);
@@ -67,23 +78,28 @@ pub fn plan(head: Bytes, extents: &[Extent]) -> Vec<Extent> {
 
     candidates
         .into_iter()
-        .min_by_key(|c| seek_distance(head, c))
-        .expect("non-empty candidate set")
+        .map(|c| (seek_distance(head, &c), c))
+        // First minimum on ties, matching `min_by_key`; the candidate list
+        // is never empty, so the fallback is unreachable.
+        .reduce(|best, next| if next.0 < best.0 { next } else { best })
+        .map(|(_, c)| c)
+        .unwrap_or_default()
 }
 
 /// Exhaustive optimum over all permutations — O(n!), for tests and tiny
 /// inputs only.
 pub fn optimal_order(head: Bytes, extents: &[Extent]) -> Vec<Extent> {
     assert!(extents.len() <= 8, "exhaustive search capped at 8 extents");
-    let mut best: Option<(u64, Vec<Extent>)> = None;
+    // Seed with the identity order so `best` always holds a permutation.
+    let mut best = (seek_distance(head, extents), extents.to_vec());
     let mut current = extents.to_vec();
     permute(&mut current, 0, &mut |perm| {
         let d = seek_distance(head, perm);
-        if best.as_ref().is_none_or(|(bd, _)| d < *bd) {
-            best = Some((d, perm.to_vec()));
+        if d < best.0 {
+            best = (d, perm.to_vec());
         }
     });
-    best.expect("at least one permutation").1
+    best.1
 }
 
 fn permute<F: FnMut(&[Extent])>(items: &mut [Extent], k: usize, visit: &mut F) {
@@ -137,16 +153,26 @@ mod tests {
     fn above_first_when_head_in_the_middle() {
         let extents = [ext(0, 101, 2), ext(1, 2, 1)];
         let order = plan(Bytes::gb(100), &extents);
-        assert_eq!(order[0].object, ObjectId(0), "serve the near-above extent first");
+        assert_eq!(
+            order[0].object,
+            ObjectId(0),
+            "serve the near-above extent first"
+        );
     }
 
     #[test]
     fn matches_exhaustive_on_canonical_cases() {
         let cases: Vec<(u64, Vec<Extent>)> = vec![
             (0, vec![ext(0, 10, 2), ext(1, 30, 5), ext(2, 1, 1)]),
-            (50, vec![ext(0, 10, 2), ext(1, 60, 5), ext(2, 45, 3), ext(3, 90, 1)]),
+            (
+                50,
+                vec![ext(0, 10, 2), ext(1, 60, 5), ext(2, 45, 3), ext(3, 90, 1)],
+            ),
             (200, vec![ext(0, 10, 2), ext(1, 60, 5)]),
-            (35, vec![ext(0, 30, 4), ext(1, 36, 4), ext(2, 20, 4), ext(3, 50, 4)]),
+            (
+                35,
+                vec![ext(0, 30, 4), ext(1, 36, 4), ext(2, 20, 4), ext(3, 50, 4)],
+            ),
         ];
         for (head_gb, extents) in cases {
             let head = Bytes::gb(head_gb);
@@ -196,7 +222,9 @@ mod tests {
 
     #[test]
     fn result_is_a_permutation() {
-        let extents: Vec<Extent> = (0..6).map(|i| ext(i, 13 * (i as u64 + 1) % 97, 2)).collect();
+        let extents: Vec<Extent> = (0..6)
+            .map(|i| ext(i, 13 * (i as u64 + 1) % 97, 2))
+            .collect();
         let order = plan(Bytes::gb(40), &extents);
         assert_eq!(order.len(), extents.len());
         let mut ids: Vec<u32> = order.iter().map(|e| e.object.0).collect();

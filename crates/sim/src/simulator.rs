@@ -81,10 +81,7 @@ impl Simulator {
     /// Serves one request and returns the event timeline alongside the
     /// metrics (mounts, exchanges, streams, completions — the
     /// `tapesim serve --trace` view).
-    pub fn serve_traced(
-        &mut self,
-        objects: &[ObjectId],
-    ) -> (RequestMetrics, tapesim_des::Tracer) {
+    pub fn serve_traced(&mut self, objects: &[ObjectId]) -> (RequestMetrics, tapesim_des::Tracer) {
         let jobs = tape_jobs(&self.placement, objects);
         crate::engine::serve_request_traced(
             &self.config,
@@ -104,6 +101,31 @@ impl Simulator {
             run.push(&metrics);
         }
         run
+    }
+
+    /// Like [`Simulator::run_sampled`], but traces every request and runs
+    /// the [`tapesim_des::TraceAuditor`] over each per-request transcript
+    /// (the per-request clock restarts at zero, so requests are audited
+    /// independently). Returns the aggregate metrics and every audit
+    /// report, one per request in service order.
+    pub fn run_sampled_audited(
+        &mut self,
+        workload: &Workload,
+        samples: usize,
+        seed: u64,
+    ) -> (RunMetrics, Vec<tapesim_des::AuditReport>) {
+        let sampler = workload.request_sampler();
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let auditor = tapesim_des::TraceAuditor::new();
+        let mut run = RunMetrics::new();
+        let mut reports = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let idx = sampler.sample(&mut rng);
+            let (metrics, tracer) = self.serve_traced(&workload.requests()[idx].objects);
+            run.push(&metrics);
+            reports.push(auditor.audit(tracer.entries()));
+        }
+        (run, reports)
     }
 
     /// Like [`Simulator::run_sampled`], but returns every per-request
@@ -180,8 +202,7 @@ mod tests {
             );
             // Decomposition holds on averages.
             assert!(
-                (run.avg_switch() + run.avg_seek() + run.avg_transfer() - run.avg_response())
-                    .abs()
+                (run.avg_switch() + run.avg_seek() + run.avg_transfer() - run.avg_response()).abs()
                     < 1e-6,
                 "{name}"
             );
@@ -189,14 +210,75 @@ mod tests {
     }
 
     #[test]
+    fn audit_is_clean_for_all_three_schemes() {
+        let cfg = paper_table1();
+        let w = small_workload();
+        let schemes: Vec<(&str, Box<dyn PlacementPolicy>)> = vec![
+            ("pbp", Box::new(ParallelBatchPlacement::with_m(4))),
+            ("opp", Box::new(ObjectProbabilityPlacement::default())),
+            ("cpp", Box::new(ClusterProbabilityPlacement::default())),
+        ];
+        for (name, scheme) in schemes {
+            let placement = scheme.place(&w, &cfg).unwrap();
+            let mut sim = Simulator::with_natural_policy(placement, 4);
+            let (run, reports) = sim.run_sampled_audited(&w, 15, 99);
+            assert_eq!(run.count(), 15, "{name}");
+            assert_eq!(reports.len(), 15, "{name}");
+            for (i, report) in reports.iter().enumerate() {
+                assert!(report.is_clean(), "{name} request {i}: {report}");
+            }
+            assert!(
+                reports.iter().any(|r| r.transfers > 0),
+                "{name}: audits saw no transfers — tracing is broken"
+            );
+        }
+    }
+
+    #[test]
+    fn audit_rejects_a_corrupted_trace() {
+        use tapesim_des::{TraceAuditor, TraceEvent, ViolationKind};
+
+        let cfg = paper_table1();
+        let w = small_workload();
+        let placement = ParallelBatchPlacement::with_m(4).place(&w, &cfg).unwrap();
+        let mut sim = Simulator::with_natural_policy(placement, 4);
+        let (_, tracer) = sim.serve_traced(&w.requests()[0].objects);
+        let mut entries = tracer.entries().to_vec();
+        assert!(TraceAuditor::new().audit(&entries).is_clean());
+
+        // Corrupt the trace: duplicate a transfer shifted to start midway
+        // through the original window — two overlapping streams on one
+        // drive, which no legal schedule can produce.
+        let pos = entries
+            .iter()
+            .position(|e| matches!(e.event, TraceEvent::Transfer { .. }))
+            .expect("the request streams at least one transfer");
+        let mut forged = entries[pos];
+        if let TraceEvent::Transfer { start, finish, .. } = entries[pos].event {
+            let midway = start + (finish.saturating_sub(start)) / 2.0;
+            forged.time = midway;
+            if let TraceEvent::Transfer { start, .. } = &mut forged.event {
+                *start = midway;
+            }
+        }
+        entries.insert(pos + 1, forged);
+
+        let report = TraceAuditor::new().audit(&entries);
+        assert!(!report.is_clean());
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v.kind, ViolationKind::DriveOverlap { .. })),
+            "expected a drive-exclusivity violation: {report}"
+        );
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let cfg = paper_table1();
         let w = small_workload();
-        let place = || {
-            ParallelBatchPlacement::with_m(4)
-                .place(&w, &cfg)
-                .unwrap()
-        };
+        let place = || ParallelBatchPlacement::with_m(4).place(&w, &cfg).unwrap();
         let mut sim1 = Simulator::with_natural_policy(place(), 4);
         let mut sim2 = Simulator::with_natural_policy(place(), 4);
         let r1 = sim1.run_sampled(&w, 30, 5);
@@ -225,7 +307,9 @@ mod tests {
         let cfg = paper_table1();
         let w = small_workload();
         let pbp = ParallelBatchPlacement::with_m(4).place(&w, &cfg).unwrap();
-        let cpp = ClusterProbabilityPlacement::default().place(&w, &cfg).unwrap();
+        let cpp = ClusterProbabilityPlacement::default()
+            .place(&w, &cfg)
+            .unwrap();
         let bw_pbp = Simulator::with_natural_policy(pbp, 4)
             .run_sampled(&w, 60, 3)
             .avg_bandwidth_mbs();

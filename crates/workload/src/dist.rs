@@ -110,8 +110,7 @@ impl Zipf {
             alpha.is_finite() && alpha >= 0.0,
             "alpha must be finite and non-negative"
         );
-        let mut probabilities: Vec<f64> =
-            (1..=n).map(|r| (r as f64).powf(-alpha)).collect();
+        let mut probabilities: Vec<f64> = (1..=n).map(|r| (r as f64).powf(-alpha)).collect();
         let c: f64 = probabilities.iter().sum();
         for p in &mut probabilities {
             *p /= c;

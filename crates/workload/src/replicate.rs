@@ -109,7 +109,10 @@ pub fn replicate_workload(workload: &Workload, spec: ReplicationSpec) -> (Worklo
         }
     }
 
-    (Workload::new(objects, requests), ReplicaMap { copies, spent })
+    (
+        Workload::new(objects, requests),
+        ReplicaMap { copies, spent },
+    )
 }
 
 #[cfg(test)]
@@ -126,9 +129,21 @@ mod tests {
             })
             .collect();
         let requests = vec![
-            Request { rank: 0, probability: 0.5, objects: vec![ObjectId(0), ObjectId(1), ObjectId(2)] },
-            Request { rank: 1, probability: 0.3, objects: vec![ObjectId(0), ObjectId(1), ObjectId(3)] },
-            Request { rank: 2, probability: 0.2, objects: vec![ObjectId(0), ObjectId(4), ObjectId(5)] },
+            Request {
+                rank: 0,
+                probability: 0.5,
+                objects: vec![ObjectId(0), ObjectId(1), ObjectId(2)],
+            },
+            Request {
+                rank: 1,
+                probability: 0.3,
+                objects: vec![ObjectId(0), ObjectId(1), ObjectId(3)],
+            },
+            Request {
+                rank: 2,
+                probability: 0.2,
+                objects: vec![ObjectId(0), ObjectId(4), ObjectId(5)],
+            },
         ];
         Workload::new(objects, requests)
     }
@@ -138,7 +153,9 @@ mod tests {
         let w = base();
         let (replicated, map) = replicate_workload(
             &w,
-            ReplicationSpec { budget: Bytes::tb(1) },
+            ReplicationSpec {
+                budget: Bytes::tb(1),
+            },
         );
         // Object 0: 2 extra copies; object 1: 1 extra copy.
         assert_eq!(map.n_copies(), 3);
@@ -165,7 +182,12 @@ mod tests {
     #[test]
     fn zero_budget_changes_nothing() {
         let w = base();
-        let (replicated, map) = replicate_workload(&w, ReplicationSpec { budget: Bytes::ZERO });
+        let (replicated, map) = replicate_workload(
+            &w,
+            ReplicationSpec {
+                budget: Bytes::ZERO,
+            },
+        );
         assert_eq!(map.n_copies(), 0);
         assert_eq!(map.spent, Bytes::ZERO);
         assert_eq!(&replicated, &w);
@@ -177,7 +199,9 @@ mod tests {
         // 4 GB covers object 0 (2 copies × 2 GB) but not object 1 as well.
         let (replicated, map) = replicate_workload(
             &w,
-            ReplicationSpec { budget: Bytes::gb(4) },
+            ReplicationSpec {
+                budget: Bytes::gb(4),
+            },
         );
         assert_eq!(map.spent, Bytes::gb(4));
         assert_eq!(map.n_copies(), 2);
@@ -191,7 +215,9 @@ mod tests {
         let w = base();
         let (replicated, _) = replicate_workload(
             &w,
-            ReplicationSpec { budget: Bytes::tb(1) },
+            ReplicationSpec {
+                budget: Bytes::tb(1),
+            },
         );
         for (orig, rep) in w.requests().iter().zip(replicated.requests()) {
             assert_eq!(w.request_bytes(orig), replicated.request_bytes(rep));

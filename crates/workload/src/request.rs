@@ -136,7 +136,11 @@ mod tests {
             let len = r.objects.len() as u32;
             assert!((spec.min_objects..=spec.max_objects).contains(&len));
             let distinct: HashSet<_> = r.objects.iter().collect();
-            assert_eq!(distinct.len(), r.objects.len(), "objects distinct within a request");
+            assert_eq!(
+                distinct.len(),
+                r.objects.len(),
+                "objects distinct within a request"
+            );
         }
         // Popularity is monotone in rank.
         for pair in reqs.windows(2) {

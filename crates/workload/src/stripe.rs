@@ -119,9 +119,18 @@ mod tests {
 
     fn base_workload() -> Workload {
         let objects = vec![
-            ObjectRecord { id: ObjectId(0), size: Bytes::gb(8) },
-            ObjectRecord { id: ObjectId(1), size: Bytes::mb(100) }, // below min
-            ObjectRecord { id: ObjectId(2), size: Bytes(4_000_000_003) }, // uneven split
+            ObjectRecord {
+                id: ObjectId(0),
+                size: Bytes::gb(8),
+            },
+            ObjectRecord {
+                id: ObjectId(1),
+                size: Bytes::mb(100),
+            }, // below min
+            ObjectRecord {
+                id: ObjectId(2),
+                size: Bytes(4_000_000_003),
+            }, // uneven split
         ];
         let requests = vec![Request {
             rank: 0,

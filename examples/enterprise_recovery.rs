@@ -36,26 +36,64 @@ struct AppGroup {
 
 fn groups() -> Vec<AppGroup> {
     let spread = |base: u64, n: usize| -> Vec<u64> {
-        (0..n).map(|i| base + (i as u64 * 7) % base.max(2)).collect()
+        (0..n)
+            .map(|i| base + (i as u64 * 7) % base.max(2))
+            .collect()
     };
     // ~80 restore units of a couple hundred GB each (one per application
     // service), ≈19 TB total — far more than the 9.1 TB of startup-mounted
     // capacity, so placement (not raw drive count) decides recovery time.
     let mut gs = vec![
-        AppGroup { name: "trading-core", priority: 10.0, files: spread(8, 30) },
-        AppGroup { name: "payments", priority: 8.0, files: spread(7, 28) },
-        AppGroup { name: "crm", priority: 4.0, files: spread(6, 32) },
-        AppGroup { name: "data-warehouse", priority: 2.0, files: spread(10, 30) },
-        AppGroup { name: "mail-archive", priority: 1.5, files: spread(5, 40) },
-        AppGroup { name: "build-farm", priority: 1.0, files: spread(4, 36) },
-        AppGroup { name: "log-retention", priority: 0.8, files: spread(8, 30) },
-        AppGroup { name: "vm-images", priority: 0.8, files: spread(12, 24) },
+        AppGroup {
+            name: "trading-core",
+            priority: 10.0,
+            files: spread(8, 30),
+        },
+        AppGroup {
+            name: "payments",
+            priority: 8.0,
+            files: spread(7, 28),
+        },
+        AppGroup {
+            name: "crm",
+            priority: 4.0,
+            files: spread(6, 32),
+        },
+        AppGroup {
+            name: "data-warehouse",
+            priority: 2.0,
+            files: spread(10, 30),
+        },
+        AppGroup {
+            name: "mail-archive",
+            priority: 1.5,
+            files: spread(5, 40),
+        },
+        AppGroup {
+            name: "build-farm",
+            priority: 1.0,
+            files: spread(4, 36),
+        },
+        AppGroup {
+            name: "log-retention",
+            priority: 0.8,
+            files: spread(8, 30),
+        },
+        AppGroup {
+            name: "vm-images",
+            priority: 0.8,
+            files: spread(12, 24),
+        },
     ];
     // Long tail of departmental services with decaying priority.
     for i in 0..72u32 {
         gs.push(AppGroup {
-            name: ["dept-service-a", "dept-service-b", "dept-service-c", "dept-service-d"]
-                [(i % 4) as usize],
+            name: [
+                "dept-service-a",
+                "dept-service-b",
+                "dept-service-c",
+                "dept-service-d",
+            ][(i % 4) as usize],
             priority: 0.6 / (1.0 + i as f64 * 0.1),
             files: spread(5 + (i as u64 % 6), 24 + (i as usize % 12)),
         });
@@ -104,9 +142,18 @@ fn main() {
     );
 
     let schemes: Vec<(&str, Box<dyn PlacementPolicy>)> = vec![
-        ("parallel batch (paper)", Box::new(ParallelBatchPlacement::with_m(4))),
-        ("object probability [11]", Box::new(ObjectProbabilityPlacement::default())),
-        ("cluster probability [20]", Box::new(ClusterProbabilityPlacement::default())),
+        (
+            "parallel batch (paper)",
+            Box::new(ParallelBatchPlacement::with_m(4)),
+        ),
+        (
+            "object probability [11]",
+            Box::new(ObjectProbabilityPlacement::default()),
+        ),
+        (
+            "cluster probability [20]",
+            Box::new(ClusterProbabilityPlacement::default()),
+        ),
     ];
     for (name, scheme) in schemes {
         let placement = scheme.place(&workload, &system).expect("placement");

@@ -38,7 +38,9 @@ fn build_workload(campaigns: &[Campaign]) -> Workload {
     let mut requests = Vec::new();
     let mut next_id = 0u32;
     // Recency-weighted return probability: campaign i (0 = most recent).
-    let weights: Vec<f64> = (0..campaigns.len()).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+    let weights: Vec<f64> = (0..campaigns.len())
+        .map(|i| 1.0 / (i as f64 + 1.0))
+        .collect();
     let total_w: f64 = weights.iter().sum();
     for (i, c) in campaigns.iter().enumerate() {
         let mut members = Vec::new();
@@ -93,9 +95,18 @@ fn main() {
     );
 
     let schemes: Vec<(&str, Box<dyn PlacementPolicy>)> = vec![
-        ("parallel batch (paper)", Box::new(ParallelBatchPlacement::with_m(4))),
-        ("object probability [11]", Box::new(ObjectProbabilityPlacement::default())),
-        ("cluster probability [20]", Box::new(ClusterProbabilityPlacement::default())),
+        (
+            "parallel batch (paper)",
+            Box::new(ParallelBatchPlacement::with_m(4)),
+        ),
+        (
+            "object probability [11]",
+            Box::new(ObjectProbabilityPlacement::default()),
+        ),
+        (
+            "cluster probability [20]",
+            Box::new(ClusterProbabilityPlacement::default()),
+        ),
     ];
     for (name, scheme) in schemes {
         let placement = scheme.place(&workload, &system).expect("placement");

@@ -37,8 +37,7 @@ fn main() {
     }
     .generate();
 
-    let mut placer =
-        IncrementalPlacer::bootstrap(&workload, &system, params).expect("bootstrap");
+    let mut placer = IncrementalPlacer::bootstrap(&workload, &system, params).expect("bootstrap");
     println!(
         "{:>5} {:>9} {:>12} {:>14} {:>14} {:>7}",
         "epoch", "objects", "data (TB)", "incr (MB/s)", "oracle (MB/s)", "gap"

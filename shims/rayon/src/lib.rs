@@ -1,0 +1,114 @@
+//! Std-only shim of the `rayon` API surface used by this workspace:
+//! `slice.par_iter().map(f).collect()`.
+//!
+//! Work is genuinely parallel — items are split into one contiguous chunk
+//! per available core and mapped on scoped `std::thread`s, preserving input
+//! order in the collected output. No work stealing; the experiment sweeps
+//! this serves are uniform enough that static chunking is fine.
+
+/// A pending parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps `f` over the items in parallel.
+    pub fn map<R, F: Fn(&'a T) -> R + Sync>(self, f: F) -> ParMap<'a, T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Runs the map on scoped threads and collects results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let n = self.items.len();
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &self.f;
+        let mut parts: Vec<Vec<R>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk)
+                .map(|items| scope.spawn(move || items.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            parts = handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel map worker panicked"))
+                .collect();
+        });
+        parts.into_iter().flatten().collect()
+    }
+}
+
+/// Entry points normally provided by rayon's prelude.
+pub mod prelude {
+    use super::ParIter;
+
+    /// Types with a by-reference parallel iterator.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The item type.
+        type Item: 'a;
+
+        /// A parallel iterator over references.
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order_and_covers_all_items() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_small_inputs() {
+        let one = [5u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![6]);
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! The JSON-shaped value tree shared by the `serde` and `serde_json` shims.
+
+/// A JSON-shaped dynamic value.
+///
+/// Objects keep their fields in insertion order (a `Vec` of pairs, not a
+/// map), so serialization is deterministic and mirrors field declaration
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative or signed integer.
+    Int(i64),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object, field order preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up a field by name in an object's field list.
+pub fn field<'a>(fields: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}

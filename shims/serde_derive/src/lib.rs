@@ -1,0 +1,473 @@
+//! Std-only shim of serde's `#[derive(Serialize, Deserialize)]`.
+//!
+//! The offline build environment cannot fetch `syn`/`quote`, so this macro
+//! parses the item's token stream by hand and emits the impl as a source
+//! string. It supports exactly the shapes this workspace derives:
+//!
+//! * structs with named fields (optional `#[serde(default = "path")]`),
+//! * tuple structs (single-field ones serialize transparently),
+//! * enums whose variants are unit or struct-like.
+//!
+//! Generic types are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default_fn: Option<String>,
+}
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens")
+}
+
+/// Scans one `#[...]` attribute group for `serde(default = "path")` and
+/// returns the path if present.
+fn serde_default_of(group: &proc_macro::Group) -> Option<String> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(inner)))
+            if id.to_string() == "serde" =>
+        {
+            let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+            let mut i = 0;
+            while i < inner.len() {
+                if let TokenTree::Ident(key) = &inner[i] {
+                    if key.to_string() == "default" {
+                        if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                            (inner.get(i + 1), inner.get(i + 2))
+                        {
+                            if eq.as_char() == '=' {
+                                let s = lit.to_string();
+                                return Some(s.trim_matches('"').to_string());
+                            }
+                        }
+                    }
+                }
+                i += 1;
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Skips attributes at `*i`, returning any `serde(default)` path seen.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> Option<String> {
+    let mut default_fn = None;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            if let Some(path) = serde_default_of(g) {
+                default_fn = Some(path);
+            }
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+    default_fn
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)` at `*i`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parses named fields out of a brace group's token list.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let default_fn = skip_attrs(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected ':' after field {name}, got {other:?}")),
+        }
+        // Consume the type: everything until a ',' outside angle brackets.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        fields.push(Field { name, default_fn });
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct's paren group.
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for tok in tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    commas + 1 - usize::from(trailing_comma)
+}
+
+/// Parses enum variants out of a brace group's token list.
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Fields::Named(parse_named_fields(&inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Fields::Tuple(count_tuple_fields(&inner))
+            }
+            _ => Fields::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generic type {name}"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Named(parse_named_fields(&inner)?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Tuple(count_tuple_fields(&inner))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unsupported struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let variants = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    parse_variants(&inner)?
+                }
+                other => return Err(format!("unsupported enum body: {other:?}")),
+            };
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for item kind '{other}'")),
+    }
+}
+
+/// Emits `("name", to_value(&EXPR.name))` object pairs for named fields.
+fn ser_named_pairs(fields: &[Field], access: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value({access}{n})),",
+                n = f.name
+            )
+        })
+        .collect()
+}
+
+/// Emits named-field constructor entries reading from `fields`.
+fn de_named_entries(fields: &[Field], context: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let missing = match &f.default_fn {
+                Some(path) => format!("{path}()"),
+                None => format!(
+                    "return ::std::result::Result::Err(::serde::Error::missing(\"{n}\", \"{context}\"))",
+                    n = f.name
+                ),
+            };
+            format!(
+                "{n}: match ::serde::value::field(fields, \"{n}\") {{ \
+                   ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?, \
+                   ::std::option::Option::None => {missing}, \
+                 }},",
+                n = f.name
+            )
+        })
+        .collect()
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match &item {
+        Item::Struct {
+            fields: Fields::Named(fields),
+            ..
+        } => format!(
+            "::serde::Value::Object(::std::vec![{}])",
+            ser_named_pairs(fields, "&self.")
+        ),
+        Item::Struct {
+            fields: Fields::Tuple(1),
+            ..
+        } => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Item::Struct {
+            fields: Fields::Tuple(n),
+            ..
+        } => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        Item::Struct {
+            fields: Fields::Unit,
+            name,
+        } => format!("::serde::Value::Str(::std::string::String::from(\"{name}\"))"),
+        Item::Enum { variants, .. } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match &v.fields {
+                    Fields::Unit => format!(
+                        "Self::{n} => ::serde::Value::Str(::std::string::String::from(\"{n}\")),",
+                        n = v.name
+                    ),
+                    Fields::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        format!(
+                            "Self::{n} {{ {binds} }} => ::serde::Value::Object(::std::vec![(\
+                               ::std::string::String::from(\"{n}\"), \
+                               ::serde::Value::Object(::std::vec![{pairs}]))]),",
+                            n = v.name,
+                            binds = binds.join(", "),
+                            pairs = ser_named_pairs(fields, "")
+                        )
+                    }
+                    Fields::Tuple(_) => format!(
+                        "Self::{n}(..) => ::std::unimplemented!(\
+                           \"serde shim: tuple enum variants are not supported\"),",
+                        n = v.name
+                    ),
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name.clone(),
+    };
+    let body = match &item {
+        Item::Struct {
+            fields: Fields::Named(fields),
+            ..
+        } => format!(
+            "let fields = v.as_object().ok_or_else(|| \
+               ::serde::Error::expected(\"object\", \"{name}\"))?; \
+             ::std::result::Result::Ok(Self {{ {entries} }})",
+            entries = de_named_entries(fields, &name)
+        ),
+        Item::Struct {
+            fields: Fields::Tuple(1),
+            ..
+        } => "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(v)?))".to_string(),
+        Item::Struct {
+            fields: Fields::Tuple(n),
+            ..
+        } => {
+            let entries: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "match v {{ \
+                   ::serde::Value::Array(items) if items.len() == {n} => \
+                     ::std::result::Result::Ok(Self({entries})), \
+                   _ => ::std::result::Result::Err(\
+                     ::serde::Error::expected(\"{n}-element array\", \"{name}\")), \
+                 }}"
+            )
+        }
+        Item::Struct {
+            fields: Fields::Unit,
+            ..
+        } => "::std::result::Result::Ok(Self)".to_string(),
+        Item::Enum { variants, .. } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{n}\" => return ::std::result::Result::Ok(Self::{n}),",
+                        n = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| match &v.fields {
+                    Fields::Named(fields) => Some(format!(
+                        "\"{n}\" => {{ \
+                           let fields = inner.as_object().ok_or_else(|| \
+                             ::serde::Error::expected(\"object\", \"{name}::{n}\"))?; \
+                           return ::std::result::Result::Ok(Self::{n} {{ {entries} }}); \
+                         }}",
+                        n = v.name,
+                        entries = de_named_entries(fields, &format!("{name}::{}", v.name))
+                    )),
+                    _ => None,
+                })
+                .collect();
+            format!(
+                "if let ::serde::Value::Str(s) = v {{ \
+                   match s.as_str() {{ {unit_arms} _ => {{}} }} \
+                 }} \
+                 if let ::serde::Value::Object(tagged) = v {{ \
+                   if tagged.len() == 1 {{ \
+                     let (tag, inner) = &tagged[0]; \
+                     let _ = inner; \
+                     match tag.as_str() {{ {tagged_arms} _ => {{}} }} \
+                   }} \
+                 }} \
+                 ::std::result::Result::Err(\
+                   ::serde::Error::expected(\"variant of {name}\", \"{name}\"))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_value(v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl")
+}

@@ -31,9 +31,18 @@ fn workload() -> Workload {
 
 fn schemes() -> Vec<(&'static str, Box<dyn PlacementPolicy>)> {
     vec![
-        ("parallel_batch", Box::new(ParallelBatchPlacement::with_m(4))),
-        ("object_prob", Box::new(ObjectProbabilityPlacement::default())),
-        ("cluster_prob", Box::new(ClusterProbabilityPlacement::default())),
+        (
+            "parallel_batch",
+            Box::new(ParallelBatchPlacement::with_m(4)),
+        ),
+        (
+            "object_prob",
+            Box::new(ObjectProbabilityPlacement::default()),
+        ),
+        (
+            "cluster_prob",
+            Box::new(ClusterProbabilityPlacement::default()),
+        ),
     ]
 }
 
@@ -51,9 +60,7 @@ fn every_scheme_places_and_simulates() {
         assert_eq!(run.count(), 50, "{name}");
 
         // Physical invariants.
-        let peak = system.total_drives() as f64
-            * system.library.drive.native_rate.get()
-            / 1e6;
+        let peak = system.total_drives() as f64 * system.library.drive.native_rate.get() / 1e6;
         assert!(
             run.avg_bandwidth_mbs() > 0.0 && run.avg_bandwidth_mbs() <= peak,
             "{name}: bandwidth {} outside (0, {peak}]",
@@ -73,7 +80,9 @@ fn response_never_beats_the_physics() {
     // rate) and at least the largest single extent's transfer time.
     let system = paper_table1();
     let w = workload();
-    let placement = ParallelBatchPlacement::with_m(4).place(&w, &system).unwrap();
+    let placement = ParallelBatchPlacement::with_m(4)
+        .place(&w, &system)
+        .unwrap();
     let mut sim = Simulator::with_natural_policy(placement, 4);
     let rate = system.library.drive.native_rate.get();
     for r in w.requests().iter().take(20) {
@@ -99,7 +108,9 @@ fn response_never_beats_the_physics() {
 fn pinned_tapes_stay_mounted_forever() {
     let system = paper_table1();
     let w = workload();
-    let placement = ParallelBatchPlacement::with_m(4).place(&w, &system).unwrap();
+    let placement = ParallelBatchPlacement::with_m(4)
+        .place(&w, &system)
+        .unwrap();
     let pinned = placement.pinned_tapes();
     assert!(!pinned.is_empty());
     let mut sim = Simulator::with_natural_policy(placement, 4);
@@ -117,7 +128,9 @@ fn pinned_tapes_stay_mounted_forever() {
 fn switch_drives_actually_rotate() {
     let system = paper_table1();
     let w = workload();
-    let placement = ParallelBatchPlacement::with_m(4).place(&w, &system).unwrap();
+    let placement = ParallelBatchPlacement::with_m(4)
+        .place(&w, &system)
+        .unwrap();
     let initial_switch_tapes = placement.switch_batch(1);
     let mut sim = Simulator::with_natural_policy(placement, 4);
     sim.run_sampled(&w, 80, 9);
@@ -165,7 +178,6 @@ fn mount_state_warms_up_repeat_requests() {
             warm.response,
             cold.response
         );
-
     }
 }
 
@@ -173,7 +185,9 @@ fn mount_state_warms_up_repeat_requests() {
 fn roles_partition_used_tapes() {
     let system = paper_table1();
     let w = workload();
-    let placement = ParallelBatchPlacement::with_m(4).place(&w, &system).unwrap();
+    let placement = ParallelBatchPlacement::with_m(4)
+        .place(&w, &system)
+        .unwrap();
     for t in placement.used_tapes() {
         assert_ne!(
             placement.role(t),
@@ -194,7 +208,9 @@ fn simulation_is_reproducible_across_fresh_builds() {
     let system = paper_table1();
     let w = workload();
     let run = |seed: u64| {
-        let placement = ParallelBatchPlacement::with_m(4).place(&w, &system).unwrap();
+        let placement = ParallelBatchPlacement::with_m(4)
+            .place(&w, &system)
+            .unwrap();
         Simulator::with_natural_policy(placement, 4)
             .run_sampled(&w, 40, seed)
             .avg_response()

@@ -11,8 +11,7 @@ use tapesim_placement::{
 use tapesim_sim::queue::{run_queued, ArrivalSpec};
 use tapesim_sim::Simulator;
 use tapesim_workload::{
-    stripe_workload, EvolutionSpec, ObjectSizeSpec, RequestSpec, StripeSpec, Workload,
-    WorkloadSpec,
+    stripe_workload, EvolutionSpec, ObjectSizeSpec, RequestSpec, StripeSpec, Workload, WorkloadSpec,
 };
 
 fn workload() -> Workload {
@@ -95,7 +94,9 @@ fn incremental_placement_survives_a_five_epoch_campaign() {
 fn queueing_preserves_service_metrics_and_orders_waits() {
     let system = paper_table1();
     let w = workload();
-    let placement = ParallelBatchPlacement::with_m(4).place(&w, &system).unwrap();
+    let placement = ParallelBatchPlacement::with_m(4)
+        .place(&w, &system)
+        .unwrap();
 
     // Mean service time under queueing equals the plain sampled mean for
     // the same seed structure (the queue changes waits, not services).
@@ -131,7 +132,9 @@ fn second_robot_arm_only_helps() {
     let place = |arms: u8| {
         let mut system = paper_table1();
         system.library.robot.arms = arms;
-        let p = ObjectProbabilityPlacement::default().place(&w, &system).unwrap();
+        let p = ObjectProbabilityPlacement::default()
+            .place(&w, &system)
+            .unwrap();
         Simulator::with_natural_policy(p, 4)
             .run_sampled(&w, 40, 9)
             .avg_response()

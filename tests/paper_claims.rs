@@ -61,7 +61,10 @@ fn figure9_component_profile() {
         "CPP must be transfer-dominated"
     );
     for r in &runs {
-        assert!(r.avg_seek() < 0.3 * r.avg_response(), "seek must stay minor");
+        assert!(
+            r.avg_seek() < 0.3 * r.avg_response(),
+            "seek must stay minor"
+        );
     }
 }
 
@@ -105,7 +108,10 @@ fn figure6_alpha_trends() {
     };
     let pbp_lo = eval(0.0, Scheme::ParallelBatch);
     let pbp_hi = eval(1.0, Scheme::ParallelBatch);
-    assert!(pbp_hi > pbp_lo, "PBP must gain from skew: {pbp_lo} → {pbp_hi}");
+    assert!(
+        pbp_hi > pbp_lo,
+        "PBP must gain from skew: {pbp_lo} → {pbp_hi}"
+    );
 
     let cpp_lo = eval(0.0, Scheme::ClusterProbability);
     let cpp_hi = eval(1.0, Scheme::ClusterProbability);
@@ -128,7 +134,10 @@ fn figure8_library_scaling() {
     };
     let pbp1 = eval(1, Scheme::ParallelBatch);
     let pbp4 = eval(4, Scheme::ParallelBatch);
-    assert!(pbp4 > pbp1 * 1.4, "PBP must scale with libraries: {pbp1} → {pbp4}");
+    assert!(
+        pbp4 > pbp1 * 1.4,
+        "PBP must scale with libraries: {pbp1} → {pbp4}"
+    );
 
     let cpp1 = eval(1, Scheme::ClusterProbability);
     let cpp4 = eval(4, Scheme::ClusterProbability);

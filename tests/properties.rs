@@ -14,8 +14,12 @@ use tapesim_workload::{ObjectRecord, Request, Workload};
 /// Strategy: a random small workload (objects with random sizes, random
 /// overlapping requests with normalised probabilities).
 fn arb_workload() -> impl Strategy<Value = Workload> {
-    (20usize..120, 2usize..10, proptest::collection::vec(1u64..64, 20..120)).prop_flat_map(
-        |(n_obj, n_req, mut sizes)| {
+    (
+        20usize..120,
+        2usize..10,
+        proptest::collection::vec(1u64..64, 20..120),
+    )
+        .prop_flat_map(|(n_obj, n_req, mut sizes)| {
             sizes.truncate(n_obj);
             while sizes.len() < n_obj {
                 sizes.push(8);
@@ -50,8 +54,7 @@ fn arb_workload() -> impl Strategy<Value = Workload> {
                     .collect();
                 Workload::new(objects, requests)
             })
-        },
-    )
+        })
 }
 
 fn system(libraries: u16) -> SystemConfig {

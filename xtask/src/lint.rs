@@ -1,0 +1,637 @@
+//! Custom static checks over `crates/*/src`.
+//!
+//! Four rules guard the invariants the type system cannot express:
+//!
+//! * **L1 — typed time**: no `.as_secs()` escape from `SimTime` outside
+//!   `crates/des/src/time.rs` and the allowlisted metrics boundary. Raw
+//!   f64-seconds arithmetic is how unit bugs and catastrophic cancellation
+//!   sneak into a DES; all clock math must stay behind the newtype.
+//! * **L2 — determinism**: no `std::time::Instant`, `SystemTime` or
+//!   `thread_rng` in the deterministic crates (`des`, `sim`, `core`). The
+//!   simulator must be a pure function of (config, placement, workload,
+//!   seed); wall-clock reads or OS entropy silently break replayability.
+//! * **L3 — iteration order**: no iteration over `HashMap`/`HashSet` in
+//!   simulation-order-sensitive code (`des`, `sim`, `core`). Unordered
+//!   iteration reorders tie-broken events between runs and platforms; use
+//!   `Vec`, `BTreeMap` or sort before iterating.
+//! * **L4 — no panic shortcuts**: no `.unwrap()`/`.expect(` in non-test
+//!   code of the `des`/`sim` hot paths. Invariants there must either be
+//!   encoded structurally or surfaced as `Result`s the caller can audit.
+//!
+//! Findings can be suppressed via `xtask/lint.allow`: one
+//! `RULE path-substring` pair per line, `#` comments allowed. Each rule has
+//! a negative self-test below that seeds a violation into a temp tree and
+//! asserts the lint fires.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One lint hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`L1`..`L4`).
+    pub rule: &'static str,
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending line, trimmed.
+    pub excerpt: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}:{}: {}",
+            self.rule, self.file, self.line, self.excerpt
+        )
+    }
+}
+
+/// Parsed `lint.allow`: `(rule, path substring)` suppression pairs.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<(String, String)>,
+}
+
+impl Allowlist {
+    /// Parses the allowlist format: one `RULE path-substring` per line,
+    /// blank lines and `#` comments ignored.
+    pub fn parse(text: &str) -> Allowlist {
+        let entries = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .filter_map(|l| {
+                let (rule, path) = l.split_once(char::is_whitespace)?;
+                Some((rule.to_string(), path.trim().to_string()))
+            })
+            .collect();
+        Allowlist { entries }
+    }
+
+    /// True if `rule` is suppressed for `file`.
+    pub fn allows(&self, rule: &str, file: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|(r, p)| r == rule && file.contains(p.as_str()))
+    }
+}
+
+/// Entry point for `cargo xtask lint`.
+pub fn run(args: &[String]) -> ExitCode {
+    if !args.is_empty() {
+        eprintln!("cargo xtask lint takes no arguments (got {args:?})");
+        return ExitCode::FAILURE;
+    }
+    let root = workspace_root();
+    let allow_path = root.join("xtask/lint.allow");
+    let allow = match fs::read_to_string(&allow_path) {
+        Ok(text) => Allowlist::parse(&text),
+        Err(_) => Allowlist::default(),
+    };
+    let findings = match scan_workspace(&root, &allow) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if findings.is_empty() {
+        eprintln!("xtask lint: clean (rules L1-L4 over crates/*/src)");
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            eprintln!("{f}");
+        }
+        eprintln!(
+            "xtask lint: {} finding(s). Fix them or add a justified entry to \
+             xtask/lint.allow.",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // xtask lives directly under the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Scans every `crates/*/src/**/*.rs` under `root`.
+pub fn scan_workspace(root: &Path, allow: &Allowlist) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    for entry in fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let content = fs::read_to_string(&path)?;
+        findings.extend(scan_file(&rel, &content, allow));
+    }
+    Ok(findings)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Which rule families apply to a file, by crate.
+fn crate_of(rel: &str) -> Option<&str> {
+    let rest = rel.strip_prefix("crates/")?;
+    let (name, _) = rest.split_once('/')?;
+    Some(name)
+}
+
+/// Runs all rules over one file.
+pub fn scan_file(rel: &str, content: &str, allow: &Allowlist) -> Vec<Finding> {
+    let Some(krate) = crate_of(rel) else {
+        return Vec::new();
+    };
+    let in_test = test_line_mask(content);
+    let code_lines: Vec<String> = content.lines().map(code_portion).collect();
+    let mut findings = Vec::new();
+
+    let deterministic = matches!(krate, "des" | "sim" | "core");
+    let hot_path = matches!(krate, "des" | "sim");
+    let mut push = |rule: &'static str, idx: usize, line: &str| {
+        if !allow.allows(rule, rel) {
+            findings.push(Finding {
+                rule,
+                file: rel.to_string(),
+                line: idx + 1,
+                excerpt: line.trim().to_string(),
+            });
+        }
+    };
+
+    // L1: typed time — `.as_secs()` escapes outside des::time (test code
+    // converting for assertions is fine).
+    if rel != "crates/des/src/time.rs" {
+        for (i, code) in code_lines.iter().enumerate() {
+            if !in_test[i] && code.contains(".as_secs()") {
+                push("L1", i, content.lines().nth(i).unwrap_or(code));
+            }
+        }
+    }
+
+    // L2: determinism — wall clocks and OS entropy, anywhere in the file
+    // (even tests: a time- or entropy-dependent test is a flaky test).
+    if deterministic {
+        for (i, code) in code_lines.iter().enumerate() {
+            if [
+                "std::time::Instant",
+                "Instant::now",
+                "SystemTime",
+                "thread_rng",
+            ]
+            .iter()
+            .any(|p| code.contains(p))
+            {
+                push("L2", i, content.lines().nth(i).unwrap_or(code));
+            }
+        }
+    }
+
+    // L3: unordered iteration. Two detectors: (a) a binding declared as
+    // HashMap/HashSet whose name is later iterated, (b) declaration and
+    // iteration on one line.
+    if deterministic {
+        let bindings = hash_bindings(&code_lines, &in_test);
+        for (i, code) in code_lines.iter().enumerate() {
+            if in_test[i] {
+                continue;
+            }
+            let direct =
+                (code.contains("HashMap") || code.contains("HashSet")) && has_iteration(code, None);
+            let via_binding = bindings.iter().any(|name| has_iteration(code, Some(name)));
+            if direct || via_binding {
+                push("L3", i, content.lines().nth(i).unwrap_or(code));
+            }
+        }
+    }
+
+    // L4: panic shortcuts in hot paths (non-test code only).
+    if hot_path {
+        for (i, code) in code_lines.iter().enumerate() {
+            if !in_test[i] && (code.contains(".unwrap()") || code.contains(".expect(")) {
+                push("L4", i, content.lines().nth(i).unwrap_or(code));
+            }
+        }
+    }
+
+    findings
+}
+
+/// Names bound to `HashMap`/`HashSet` in the non-test part of this file
+/// (`let x: HashMap<..>`, `let x = HashMap::new()`, struct fields
+/// `x: HashMap<..>`). Test-only bindings are excluded so a test-local set
+/// does not taint an unrelated non-test variable of the same name.
+fn hash_bindings(code_lines: &[String], in_test: &[bool]) -> Vec<String> {
+    let mut names = Vec::new();
+    for (i, code) in code_lines.iter().enumerate() {
+        if in_test[i] || (!code.contains("HashMap") && !code.contains("HashSet")) {
+            continue;
+        }
+        // `let [mut] NAME :|= ... Hash{Map,Set}`
+        if let Some(rest) = code.trim_start().strip_prefix("let ") {
+            let rest = rest.trim_start().strip_prefix("mut ").unwrap_or(rest);
+            let name: String = rest
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                names.push(name);
+            }
+        } else if let Some((field, ty)) = code.split_once(':') {
+            // struct field `name: HashMap<..>,`
+            let field = field.trim();
+            if (ty.contains("HashMap") || ty.contains("HashSet"))
+                && !field.is_empty()
+                && field.chars().all(|c| c.is_alphanumeric() || c == '_')
+            {
+                names.push(field.to_string());
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Does `code` iterate — either any iteration verb (`name` = None) or an
+/// iteration verb applied to `name` (`name.iter()`, `for .. in &name`)?
+fn has_iteration(code: &str, name: Option<&str>) -> bool {
+    const VERBS: [&str; 6] = [
+        ".iter()",
+        ".iter_mut()",
+        ".into_iter()",
+        ".keys()",
+        ".values()",
+        ".drain(",
+    ];
+    match name {
+        None => VERBS.iter().any(|v| code.contains(v)),
+        Some(n) => {
+            VERBS.iter().any(|v| code.contains(&format!("{n}{v}")))
+                || code.contains(&format!("in &{n}"))
+                || code.contains(&format!("in &mut {n}"))
+                || code.contains(&format!("in {n} "))
+                || code.trim_end().ends_with(&format!("in {n}"))
+        }
+    }
+}
+
+/// Marks lines inside `#[cfg(test)]`-guarded items by brace matching.
+fn test_line_mask(content: &str) -> Vec<bool> {
+    let lines: Vec<&str> = content.lines().collect();
+    let mut mask = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    // Depth at which a test region closes (region is active while
+    // depth > entry depth after the region's opening brace).
+    let mut region_close_depth: Option<i64> = None;
+    let mut pending_cfg_test = false;
+    for (i, raw) in lines.iter().enumerate() {
+        let code = code_portion(raw);
+        let trimmed = code.trim();
+        if region_close_depth.is_none() && trimmed.starts_with("#[cfg(test)]") {
+            pending_cfg_test = true;
+            mask[i] = true;
+            depth += brace_delta(&code);
+            continue;
+        }
+        let before = depth;
+        depth += brace_delta(&code);
+        if let Some(close) = region_close_depth {
+            mask[i] = true;
+            if depth <= close {
+                region_close_depth = None;
+            }
+        } else if pending_cfg_test {
+            mask[i] = true;
+            // Attributes / doc lines between the cfg and the item keep the
+            // pending flag; the first line that opens a brace starts the
+            // region.
+            if depth > before {
+                region_close_depth = Some(before);
+                pending_cfg_test = false;
+            } else if trimmed.ends_with(';') {
+                // `#[cfg(test)] use ...;` — single-item guard, no region.
+                pending_cfg_test = false;
+            }
+        }
+    }
+    mask
+}
+
+/// Net `{`/`}` balance of a line, ignoring braces in strings, chars and
+/// comments.
+fn brace_delta(code: &str) -> i64 {
+    let mut delta = 0i64;
+    let mut chars = code.chars().peekable();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            // Character literal like '{' — skip its body conservatively.
+            '\'' => {
+                if let Some(&n) = chars.peek() {
+                    if n == '\\' {
+                        chars.next();
+                        chars.next();
+                        chars.next();
+                    } else if chars.clone().nth(1) == Some('\'') {
+                        chars.next();
+                        chars.next();
+                    }
+                    // Otherwise it's a lifetime; leave the stream alone.
+                }
+            }
+            '{' => delta += 1,
+            '}' => delta -= 1,
+            _ => {}
+        }
+    }
+    delta
+}
+
+/// The line with `//` comments and string-literal contents removed, so
+/// pattern matching never fires on prose or literals.
+fn code_portion(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => {
+                    in_str = false;
+                    out.push('"');
+                }
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push('"');
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    /// A scratch workspace tree under the system temp dir.
+    struct Fixture {
+        root: PathBuf,
+    }
+
+    static FIXTURE_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    impl Fixture {
+        fn new() -> Fixture {
+            let n = FIXTURE_SEQ.fetch_add(1, Ordering::Relaxed);
+            let root =
+                std::env::temp_dir().join(format!("tapesim-lint-test-{}-{n}", std::process::id()));
+            let _ = fs::remove_dir_all(&root);
+            fs::create_dir_all(&root).unwrap();
+            Fixture { root }
+        }
+
+        fn write(&self, rel: &str, content: &str) {
+            let path = self.root.join(rel);
+            fs::create_dir_all(path.parent().unwrap()).unwrap();
+            fs::write(path, content).unwrap();
+        }
+
+        fn scan(&self, allow: &Allowlist) -> Vec<Finding> {
+            scan_workspace(&self.root, allow).unwrap()
+        }
+    }
+
+    impl Drop for Fixture {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.root);
+        }
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn l1_fires_on_as_secs_escape() {
+        let fx = Fixture::new();
+        fx.write(
+            "crates/sim/src/bad.rs",
+            "pub fn f(t: SimTime) -> f64 {\n    t.as_secs() * 2.0\n}\n",
+        );
+        let findings = fx.scan(&Allowlist::default());
+        assert_eq!(rules_of(&findings), vec!["L1"]);
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn l1_spares_time_rs_tests_and_allowlisted_files() {
+        let fx = Fixture::new();
+        fx.write(
+            "crates/des/src/time.rs",
+            "pub fn as_secs(self) -> f64 { self.0.as_secs() }\n",
+        );
+        fx.write(
+            "crates/des/src/stats.rs",
+            "pub fn mean(t: SimTime) -> f64 { t.as_secs() }\n",
+        );
+        fx.write(
+            "crates/sim/src/ok.rs",
+            "#[cfg(test)]\nmod tests {\n    fn f(t: SimTime) -> f64 { t.as_secs() }\n}\n",
+        );
+        let allow = Allowlist::parse("# metrics boundary\nL1 crates/des/src/stats.rs\n");
+        assert!(fx.scan(&allow).is_empty());
+    }
+
+    #[test]
+    fn l2_fires_on_wall_clock_and_entropy() {
+        let fx = Fixture::new();
+        fx.write(
+            "crates/des/src/bad.rs",
+            "pub fn f() {\n    let t = std::time::Instant::now();\n    let _ = t;\n}\n",
+        );
+        fx.write(
+            "crates/core/src/bad.rs",
+            "pub fn g() -> u64 {\n    rand::thread_rng().next_u64()\n}\n",
+        );
+        let mut rules = rules_of(&fx.scan(&Allowlist::default()));
+        rules.sort_unstable();
+        assert_eq!(rules, vec!["L2", "L2"]);
+    }
+
+    #[test]
+    fn l2_ignores_non_deterministic_crates_and_comments() {
+        let fx = Fixture::new();
+        fx.write(
+            "crates/cli/src/ok.rs",
+            "pub fn f() { let _ = std::time::Instant::now(); }\n",
+        );
+        fx.write(
+            "crates/des/src/ok.rs",
+            "// A comment mentioning SystemTime and thread_rng is fine.\n",
+        );
+        assert!(fx.scan(&Allowlist::default()).is_empty());
+    }
+
+    #[test]
+    fn l3_fires_on_hashmap_iteration() {
+        let fx = Fixture::new();
+        fx.write(
+            "crates/sim/src/bad.rs",
+            "use std::collections::HashMap;\n\
+             pub fn f(m: &HashMap<u32, u32>) -> u32 {\n\
+             \x20   let mut counts = HashMap::new();\n\
+             \x20   counts.insert(1u32, 2u32);\n\
+             \x20   counts.values().sum::<u32>()\n\
+             }\n",
+        );
+        let findings = fx.scan(&Allowlist::default());
+        assert_eq!(rules_of(&findings), vec!["L3"]);
+        assert_eq!(findings[0].line, 5);
+    }
+
+    #[test]
+    fn l3_allows_membership_use_without_iteration() {
+        let fx = Fixture::new();
+        fx.write(
+            "crates/sim/src/ok.rs",
+            "use std::collections::HashSet;\n\
+             pub fn f(xs: &[u32]) -> bool {\n\
+             \x20   let mut seen = HashSet::new();\n\
+             \x20   xs.iter().all(|x| seen.insert(*x))\n\
+             }\n",
+        );
+        assert!(fx.scan(&Allowlist::default()).is_empty());
+    }
+
+    #[test]
+    fn l4_fires_on_unwrap_and_expect_in_hot_paths() {
+        let fx = Fixture::new();
+        fx.write(
+            "crates/des/src/bad.rs",
+            "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+        );
+        fx.write(
+            "crates/sim/src/bad.rs",
+            "pub fn g(x: Option<u32>) -> u32 {\n    x.expect(\"present\")\n}\n",
+        );
+        let mut rules = rules_of(&fx.scan(&Allowlist::default()));
+        rules.sort_unstable();
+        assert_eq!(rules, vec!["L4", "L4"]);
+    }
+
+    #[test]
+    fn l4_spares_tests_other_crates_and_unwrap_or() {
+        let fx = Fixture::new();
+        fx.write(
+            "crates/des/src/ok.rs",
+            "pub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             \x20   #[test]\n\
+             \x20   fn t() { assert_eq!(super::f(Some(3)), Some(3).unwrap()); }\n\
+             }\n",
+        );
+        fx.write(
+            "crates/cluster/src/ok.rs",
+            "pub fn g(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        );
+        assert!(fx.scan(&Allowlist::default()).is_empty());
+    }
+
+    #[test]
+    fn allowlist_is_per_rule() {
+        let fx = Fixture::new();
+        fx.write(
+            "crates/sim/src/bad.rs",
+            "pub fn f(t: SimTime, x: Option<u32>) -> f64 {\n\
+             \x20   let _ = x.unwrap();\n\
+             \x20   t.as_secs()\n\
+             }\n",
+        );
+        let allow = Allowlist::parse("L1 crates/sim/src/bad.rs\n");
+        // L1 suppressed; L4 still fires.
+        assert_eq!(rules_of(&fx.scan(&allow)), vec!["L4"]);
+    }
+
+    #[test]
+    fn test_mask_tracks_nested_braces() {
+        let src = "fn a() { if x { y() } }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   \x20   fn helper() { z() }\n\
+                   }\n\
+                   fn b() {}\n";
+        let mask = test_line_mask(src);
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn the_real_workspace_is_clean() {
+        let root = workspace_root();
+        let allow_text = fs::read_to_string(root.join("xtask/lint.allow")).unwrap_or_default();
+        let allow = Allowlist::parse(&allow_text);
+        let findings = scan_workspace(&root, &allow).unwrap();
+        assert!(
+            findings.is_empty(),
+            "workspace has lint findings:\n{}",
+            findings
+                .iter()
+                .map(Finding::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Workspace automation tasks. See `cargo xtask --help`.
+
+mod lint;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint::run(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print_help();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown xtask `{other}`\n");
+            print_help();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    eprintln!(
+        "cargo xtask <TASK>\n\n\
+         Tasks:\n  \
+         lint    Run the repository's custom static checks over crates/*/src.\n\
+         \n\
+         Lint rules (see DESIGN.md for rationale):\n  \
+         L1  no raw f64 seconds arithmetic outside des::time and the metrics boundary\n  \
+         L2  no wall-clock or OS randomness in deterministic simulation crates\n  \
+         L3  no iteration over unordered maps/sets in simulation-order-sensitive code\n  \
+         L4  no unwrap/expect in non-test code of the des/sim hot paths\n\
+         \n\
+         Allowlist: xtask/lint.allow (one `RULE path/substring` per line)."
+    );
+}
