@@ -5,6 +5,7 @@
 //! without spawning processes.
 
 use crate::args::{ArgError, Args};
+use serde::Serialize;
 use std::path::Path;
 use tapesim_model::specs::{lto3_drive, lto3_tape, stk_l80_library};
 use tapesim_model::{Bytes, SystemConfig};
@@ -12,8 +13,9 @@ use tapesim_placement::{
     ClusterProbabilityPlacement, ObjectProbabilityPlacement, ParallelBatchPlacement, Placement,
     PlacementPolicy, TapeRole,
 };
+use tapesim_sched::{run_scheduled, PolicyKind, SchedConfig};
 use tapesim_sim::Simulator;
-use tapesim_workload::{ObjectSizeSpec, RequestSpec, Workload, WorkloadSpec};
+use tapesim_workload::{ArrivalSpec, ObjectSizeSpec, RequestSpec, Workload, WorkloadSpec};
 
 /// A command failure with a user-facing message.
 #[derive(Debug)]
@@ -245,6 +247,157 @@ pub fn audit(args: &Args) -> Result<String, CommandError> {
     ))
 }
 
+/// One row of `tapesim sched` output.
+#[derive(Debug, Serialize)]
+struct SchedRow {
+    scheme: &'static str,
+    policy: &'static str,
+    served: u64,
+    avg_wait_s: f64,
+    avg_sojourn_s: f64,
+    p50_sojourn_s: f64,
+    p99_sojourn_s: f64,
+    mounts: u64,
+    utilisation: f64,
+}
+
+/// The deterministic built-in workload used by `tapesim sched --smoke`.
+/// Sized so the requested working set overflows the initially mounted
+/// capacity: the smoke run must exercise tape exchanges (and audit them),
+/// not just stream from always-mounted tapes.
+fn smoke_workload() -> Workload {
+    WorkloadSpec {
+        objects: 4_000,
+        sizes: ObjectSizeSpec::default().calibrated(Bytes::gb(8)),
+        requests: RequestSpec {
+            count: 60,
+            min_objects: 30,
+            max_objects: 50,
+            count_shape: 1.0,
+            alpha: 0.3,
+        },
+        seed: 17,
+    }
+    .generate()
+}
+
+/// `tapesim sched` — run the concurrent scheduler over an arrival stream,
+/// sweeping placement schemes × scheduling policies, with trace auditing
+/// on by default (non-zero exit on any invariant breach).
+pub fn sched(args: &Args) -> Result<String, CommandError> {
+    let smoke = args.has("smoke");
+    let workload = if smoke {
+        smoke_workload()
+    } else {
+        read_workload(args.require("workload")?)?
+    };
+    let system = system_from(args)?;
+    let m: u8 = args.get_or("m", 4)?;
+    let samples: usize = args.get_or("samples", if smoke { 30 } else { 100 })?;
+    let rate: f64 = args.get_or("rate", 12.0)?;
+    let seed: u64 = args.get_or("seed", 0xD15Cu64)?;
+    let max_batch: usize = args.get_or("max-batch", 0)?;
+    let audit = !args.has("no-audit");
+    let spec = ArrivalSpec {
+        per_hour: rate,
+        seed,
+    };
+
+    let scheme_arg = args.get("scheme").unwrap_or("all");
+    let schemes: Vec<&'static str> = match scheme_arg {
+        "all" => vec!["parallel-batch", "object-prob", "cluster-prob"],
+        "parallel-batch" | "pbp" => vec!["parallel-batch"],
+        "object-prob" | "opp" => vec!["object-prob"],
+        "cluster-prob" | "cpp" => vec!["cluster-prob"],
+        other => {
+            return Err(CommandError(format!(
+                "unknown scheme '{other}' (all | parallel-batch | object-prob | cluster-prob)"
+            )))
+        }
+    };
+    let policy_arg = args.get("policy").unwrap_or("all");
+    let policies: Vec<PolicyKind> = match policy_arg {
+        "all" => PolicyKind::ALL.to_vec(),
+        other => vec![PolicyKind::parse(other).ok_or_else(|| {
+            CommandError(format!(
+                "unknown policy '{other}' (all | fcfs | batch | sltf)"
+            ))
+        })?],
+    };
+
+    let mut rows = Vec::new();
+    let mut dirty = Vec::new();
+    for scheme in schemes {
+        let policy: Box<dyn PlacementPolicy> = match scheme {
+            "parallel-batch" => Box::new(ParallelBatchPlacement::with_m(m)),
+            "object-prob" => Box::new(ObjectProbabilityPlacement::default()),
+            _ => Box::new(ClusterProbabilityPlacement::default()),
+        };
+        let placement = policy
+            .place(&workload, &system)
+            .map_err(|e| CommandError(format!("{} failed: {e}", policy.display_name())))?;
+        for &kind in &policies {
+            let mut sim = Simulator::with_natural_policy(placement.clone(), m);
+            let cfg = SchedConfig::new(spec, samples)
+                .with_max_batch(max_batch)
+                .with_audit(audit);
+            let out = run_scheduled(&mut sim, &workload, kind.build().as_ref(), &cfg);
+            for report in out.reports.iter().filter(|r| !r.is_clean()) {
+                dirty.push(format!("{scheme}/{}: {report}", kind.label()));
+            }
+            rows.push(SchedRow {
+                scheme,
+                policy: kind.label(),
+                served: out.metrics.served(),
+                avg_wait_s: out.metrics.avg_wait(),
+                avg_sojourn_s: out.metrics.avg_sojourn(),
+                p50_sojourn_s: out.metrics.sojourn_percentile(50.0),
+                p99_sojourn_s: out.metrics.sojourn_percentile(99.0),
+                mounts: out.metrics.mounts(),
+                utilisation: out.metrics.utilisation(),
+            });
+        }
+    }
+    if !dirty.is_empty() {
+        return Err(CommandError(format!(
+            "sched audit FAILED:\n{}",
+            dirty.join("\n")
+        )));
+    }
+    if args.has("json") {
+        return Ok(serde_json::to_string_pretty(&rows)?);
+    }
+    let mut out = format!(
+        "scheduled run: {samples} requests at {rate}/h (seed {seed}), audit {}\n\
+         {:<15} {:<6} {:>6} {:>10} {:>12} {:>12} {:>12} {:>7} {:>6}\n",
+        if audit { "on" } else { "off" },
+        "scheme",
+        "policy",
+        "served",
+        "avg wait",
+        "avg sojourn",
+        "p50 sojourn",
+        "p99 sojourn",
+        "mounts",
+        "util"
+    );
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<15} {:<6} {:>6} {:>9.1}s {:>11.1}s {:>11.1}s {:>11.1}s {:>7} {:>6.2}\n",
+            r.scheme,
+            r.policy,
+            r.served,
+            r.avg_wait_s,
+            r.avg_sojourn_s,
+            r.p50_sojourn_s,
+            r.p99_sojourn_s,
+            r.mounts,
+            r.utilisation,
+        ));
+    }
+    Ok(out)
+}
+
 /// `tapesim inspect` — summarise a placement's physical layout.
 pub fn inspect(args: &Args) -> Result<String, CommandError> {
     let placement = read_placement(args.require("placement")?)?;
@@ -389,6 +542,68 @@ mod tests {
         let msg = inspect(&args(&format!("-p {p}"), &["placement"], &[])).unwrap();
         assert!(msg.contains("pinned batch"), "{msg}");
         assert!(msg.contains("fill map"));
+    }
+
+    const SCHED_VALUES: &[&str] = &[
+        "workload",
+        "scheme",
+        "policy",
+        "rate",
+        "samples",
+        "seed",
+        "m",
+        "max-batch",
+        "libraries",
+        "tapes",
+    ];
+    const SCHED_BOOLS: &[&str] = &["json", "smoke", "no-audit"];
+
+    #[test]
+    fn sched_smoke_runs_all_schemes_and_policies() {
+        let msg = sched(&args(
+            "--smoke --samples 10 --rate 20",
+            SCHED_VALUES,
+            SCHED_BOOLS,
+        ))
+        .unwrap();
+        for label in ["parallel-batch", "object-prob", "cluster-prob"] {
+            assert!(msg.contains(label), "missing scheme {label}: {msg}");
+        }
+        for label in ["fcfs", "batch", "sltf"] {
+            assert!(msg.contains(label), "missing policy {label}: {msg}");
+        }
+        assert!(msg.contains("audit on"), "{msg}");
+    }
+
+    #[test]
+    fn sched_smoke_is_deterministic() {
+        let run = || {
+            sched(&args(
+                "--smoke --samples 8 --rate 15",
+                SCHED_VALUES,
+                SCHED_BOOLS,
+            ))
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sched_json_output() {
+        let msg = sched(&args(
+            "--smoke --samples 5 --policy batch --scheme pbp --json",
+            SCHED_VALUES,
+            SCHED_BOOLS,
+        ))
+        .unwrap();
+        assert!(msg.trim_start().starts_with('['), "{msg}");
+        assert!(msg.contains("\"p99_sojourn_s\""), "{msg}");
+    }
+
+    #[test]
+    fn sched_rejects_unknown_policy() {
+        let err = sched(&args("--smoke --policy bogus", SCHED_VALUES, SCHED_BOOLS)).unwrap_err();
+        assert!(err.0.contains("unknown policy"), "{err}");
     }
 
     #[test]

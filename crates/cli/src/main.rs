@@ -32,6 +32,11 @@ COMMANDS:
   audit      replay a sampled stream with tracing on and check the DES
              invariants (drive/robot exclusivity, mount pairing, ...)
                -w WORKLOAD -p PLACEMENT --samples N --seed S --m M
+  sched      run the concurrent scheduler over a Poisson arrival stream,
+             sweeping placement schemes x policies, audited by default
+               -w WORKLOAD --scheme all|pbp|opp|cpp --policy all|fcfs|batch|sltf
+               --rate PER_HOUR --samples N --seed S --m M --max-batch N
+               [--smoke] [--json] [--no-audit]
   inspect    summarise a placement (batches, per-tape fill map)
                -p PLACEMENT
   help       show this message
@@ -85,6 +90,24 @@ fn main() {
         )
         .map_err(Into::into)
         .and_then(|a| commands::audit(&a)),
+        "sched" => Args::parse(
+            rest,
+            &[
+                "workload",
+                "scheme",
+                "policy",
+                "rate",
+                "samples",
+                "seed",
+                "m",
+                "max-batch",
+                "libraries",
+                "tapes",
+            ],
+            &["json", "smoke", "no-audit"],
+        )
+        .map_err(Into::into)
+        .and_then(|a| commands::sched(&a)),
         "inspect" => Args::parse(rest, &["placement"], &[])
             .map_err(Into::into)
             .and_then(|a| commands::inspect(&a)),

@@ -14,7 +14,15 @@
 //! 5. **Mount-before-read** — a transfer streams only from the tape the
 //!    drive currently holds.
 //! 6. **Exactly-once service** — every submitted job completes exactly
-//!    once, from the tape it was submitted for.
+//!    once, from the tape it was submitted for, and never streams again
+//!    after completing.
+//! 7. **Causality** — no job's transfer window starts, and no completion
+//!    fires, before the job was submitted.
+//!
+//! Batched service is legal: one `Mounted` may be followed by many
+//! `Transfer` windows for *different* jobs on the same tape (a single
+//! mount amortised over a batch), as long as the windows are disjoint per
+//! drive and each job still completes exactly once.
 //!
 //! The auditor is deliberately independent of the scheduling logic: it
 //! never consults the simulator's data structures, only the trace. A bug
@@ -24,7 +32,7 @@
 
 use crate::time::SimTime;
 use crate::trace::{DriveKey, TapeKey, TraceEntry, TraceEvent};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Slack for comparing interval endpoints, absorbing floating-point
@@ -96,6 +104,15 @@ pub enum ViolationKind {
     },
     /// A job completed more than once.
     CompletedTwice { job: u32 },
+    /// A job's service (transfer start or completion) preceded its
+    /// submission.
+    ServedBeforeSubmit {
+        job: u32,
+        submitted: SimTime,
+        start: SimTime,
+    },
+    /// A job streamed again after already completing.
+    TransferAfterCompletion { job: u32 },
     /// Submitted jobs never completed by the end of the trace.
     NeverCompleted { jobs: Vec<u32> },
 }
@@ -175,6 +192,17 @@ impl fmt::Display for Violation {
             ViolationKind::CompletedTwice { job } => {
                 write!(f, "job {job} completed twice")
             }
+            ViolationKind::ServedBeforeSubmit {
+                job,
+                submitted,
+                start,
+            } => write!(
+                f,
+                "job {job} served from {start}, before its submission at {submitted}"
+            ),
+            ViolationKind::TransferAfterCompletion { job } => {
+                write!(f, "job {job} streamed again after completing")
+            }
             ViolationKind::NeverCompleted { jobs } => {
                 write!(f, "submitted jobs never completed: {jobs:?}")
             }
@@ -229,9 +257,11 @@ impl fmt::Display for AuditReport {
 /// Replays traces and reports invariant breaches.
 ///
 /// Stateless between calls; construct once and [`audit`](Self::audit) any
-/// number of traces. Each trace must cover one request (the per-request
-/// clock restarts at zero, so entries from different requests must not be
-/// concatenated into one audit).
+/// number of traces. A trace must cover one contiguous stretch of one
+/// clock: either a single per-request service (the per-request clock
+/// restarts at zero, so entries from different requests must not be
+/// concatenated into one audit) or one whole scheduled run in which jobs
+/// are submitted on arrival and served in batches.
 #[derive(Debug, Default, Clone)]
 pub struct TraceAuditor;
 
@@ -249,8 +279,10 @@ impl TraceAuditor {
         };
         let mut mounted: BTreeMap<DriveKey, TapeKey> = BTreeMap::new();
         let mut pending_exchange: BTreeMap<DriveKey, TapeKey> = BTreeMap::new();
-        let mut submitted: BTreeMap<u32, TapeKey> = BTreeMap::new();
-        let mut completed: BTreeSet<u32> = BTreeSet::new();
+        // Per job: the tape it was submitted for and the submit timestamp.
+        let mut submitted: BTreeMap<u32, (TapeKey, SimTime)> = BTreeMap::new();
+        // Per job: the completion timestamp.
+        let mut completed: BTreeMap<u32, SimTime> = BTreeMap::new();
         // Busy intervals, keyed by drive / (library, arm).
         let mut drive_windows: BTreeMap<DriveKey, Vec<Window>> = BTreeMap::new();
         let mut arm_windows: BTreeMap<(u16, u32), Vec<Window>> = BTreeMap::new();
@@ -286,7 +318,7 @@ impl TraceAuditor {
                     mounted.insert(drive, tape);
                 }
                 TraceEvent::JobSubmitted { job, tape } => {
-                    if submitted.insert(job, tape).is_some() {
+                    if submitted.insert(job, (tape, entry.time)).is_some() {
                         flag(
                             &mut report.violations,
                             ViolationKind::DuplicateSubmit { job },
@@ -368,9 +400,10 @@ impl TraceAuditor {
                             ViolationKind::NegativeInterval { start, finish },
                         );
                     }
+                    let eps = SimTime::from_secs(EPSILON);
                     match submitted.get(&job) {
                         None => flag(&mut report.violations, ViolationKind::UnknownJob { job }),
-                        Some(&sub) if sub != tape => flag(
+                        Some(&(sub, _)) if sub != tape => flag(
                             &mut report.violations,
                             ViolationKind::WrongTapeForJob {
                                 job,
@@ -378,7 +411,21 @@ impl TraceAuditor {
                                 streamed: tape,
                             },
                         ),
+                        Some(&(_, at)) if start + eps < at => flag(
+                            &mut report.violations,
+                            ViolationKind::ServedBeforeSubmit {
+                                job,
+                                submitted: at,
+                                start,
+                            },
+                        ),
                         Some(_) => {}
+                    }
+                    if completed.contains_key(&job) {
+                        flag(
+                            &mut report.violations,
+                            ViolationKind::TransferAfterCompletion { job },
+                        );
                     }
                     drive_windows
                         .entry(drive)
@@ -386,10 +433,20 @@ impl TraceAuditor {
                         .push((index, start, finish));
                 }
                 TraceEvent::JobCompleted { job, .. } => {
-                    if !submitted.contains_key(&job) {
-                        flag(&mut report.violations, ViolationKind::UnknownJob { job });
+                    let eps = SimTime::from_secs(EPSILON);
+                    match submitted.get(&job) {
+                        None => flag(&mut report.violations, ViolationKind::UnknownJob { job }),
+                        Some(&(_, at)) if entry.time + eps < at => flag(
+                            &mut report.violations,
+                            ViolationKind::ServedBeforeSubmit {
+                                job,
+                                submitted: at,
+                                start: entry.time,
+                            },
+                        ),
+                        Some(_) => {}
                     }
-                    if !completed.insert(job) {
+                    if completed.insert(job, entry.time).is_some() {
                         flag(
                             &mut report.violations,
                             ViolationKind::CompletedTwice { job },
@@ -434,7 +491,7 @@ impl TraceAuditor {
         // Exactly-once service: whatever was submitted must have completed.
         let unserved: Vec<u32> = submitted
             .keys()
-            .filter(|j| !completed.contains(j))
+            .filter(|j| !completed.contains_key(j))
             .copied()
             .collect();
         if !unserved.is_empty() {
@@ -903,6 +960,164 @@ mod tests {
         assert!(report.violations.iter().any(
             |v| matches!(&v.kind, ViolationKind::NeverCompleted { jobs } if jobs == &vec![1])
         ));
+    }
+
+    #[test]
+    fn batched_service_is_clean() {
+        // One exchange + mount amortised over three jobs submitted at
+        // different arrival times: the scheduler's coalescing shape.
+        let trace = vec![
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                1.0,
+                TraceEvent::JobSubmitted {
+                    job: 1,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                2.0,
+                TraceEvent::JobSubmitted {
+                    job: 2,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                2.0,
+                TraceEvent::ExchangeBegun {
+                    drive: D0,
+                    tape: TAPE_A,
+                    arm: 0,
+                    start: t(2.0),
+                    finish: t(30.0),
+                },
+            ),
+            entry(
+                30.0,
+                TraceEvent::Mounted {
+                    drive: D0,
+                    tape: TAPE_A,
+                },
+            ),
+            transfer(30.0, D0, TAPE_A, 0, 10.0),
+            // Emitted when the batch was planned (30.0) but occupying
+            // later windows: legal, the entry clock stays monotone.
+            entry(
+                30.0,
+                TraceEvent::Transfer {
+                    drive: D0,
+                    tape: TAPE_A,
+                    job: 1,
+                    extents: 1,
+                    seek: SimTime::ZERO,
+                    transfer: t(5.0),
+                    start: t(40.0),
+                    finish: t(45.0),
+                },
+            ),
+            entry(
+                30.0,
+                TraceEvent::Transfer {
+                    drive: D0,
+                    tape: TAPE_A,
+                    job: 2,
+                    extents: 1,
+                    seek: SimTime::ZERO,
+                    transfer: t(5.0),
+                    start: t(45.0),
+                    finish: t(50.0),
+                },
+            ),
+            entry(40.0, TraceEvent::JobCompleted { job: 0, drive: D0 }),
+            entry(45.0, TraceEvent::JobCompleted { job: 1, drive: D0 }),
+            entry(50.0, TraceEvent::JobCompleted { job: 2, drive: D0 }),
+        ];
+        let report = TraceAuditor::new().audit(&trace);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.jobs, 3);
+        assert_eq!(report.transfers, 3);
+        assert_eq!(report.exchanges, 1);
+    }
+
+    #[test]
+    fn flags_service_before_submission() {
+        let trace = vec![
+            entry(
+                0.0,
+                TraceEvent::AssumeMounted {
+                    drive: D0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                20.0,
+                TraceEvent::JobSubmitted {
+                    job: 0,
+                    tape: TAPE_A,
+                },
+            ),
+            // Transfer window starts at 20 (legal emission time) but the
+            // window itself begins at 5, before the job existed.
+            entry(
+                20.0,
+                TraceEvent::Transfer {
+                    drive: D0,
+                    tape: TAPE_A,
+                    job: 0,
+                    extents: 1,
+                    seek: SimTime::ZERO,
+                    transfer: t(1.0),
+                    start: t(5.0),
+                    finish: t(6.0),
+                },
+            ),
+            entry(21.0, TraceEvent::JobCompleted { job: 0, drive: D0 }),
+        ];
+        let report = TraceAuditor::new().audit(&trace);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v.kind, ViolationKind::ServedBeforeSubmit { job: 0, .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn flags_transfer_after_completion() {
+        let trace = vec![
+            entry(
+                0.0,
+                TraceEvent::AssumeMounted {
+                    drive: D0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 0,
+                    tape: TAPE_A,
+                },
+            ),
+            transfer(0.0, D0, TAPE_A, 0, 1.0),
+            entry(1.0, TraceEvent::JobCompleted { job: 0, drive: D0 }),
+            transfer(1.0, D0, TAPE_A, 0, 1.0), // streams again after done
+        ];
+        let report = TraceAuditor::new().audit(&trace);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v.kind, ViolationKind::TransferAfterCompletion { job: 0 })),
+            "{report}"
+        );
     }
 
     #[test]

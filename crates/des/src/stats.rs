@@ -2,7 +2,9 @@
 //!
 //! [`Welford`] provides numerically stable streaming mean/variance;
 //! [`TimeWeighted`] tracks the time-weighted average of a piecewise-constant
-//! signal (e.g. queue depth or the number of busy drives over time).
+//! signal (e.g. queue depth or the number of busy drives over time);
+//! [`Samples`] retains every observation so percentiles (p50/p99 sojourn
+//! and the like) can be extracted after the run.
 
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -103,6 +105,73 @@ impl Welford {
         self.n += other.n;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+}
+
+/// A retained-sample accumulator for percentile extraction.
+///
+/// Unlike [`Welford`] this keeps every observation, trading memory for the
+/// ability to answer order-statistic queries (median, p99 tails) exactly.
+/// Simulation runs are bounded (a few hundred to a few hundred thousand
+/// requests), so retention is cheap; for unbounded streams use [`Welford`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Samples {
+    values: Vec<f64>,
+}
+
+impl Samples {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Samples { values: Vec::new() }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.values.push(x);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// The `p`-th percentile (`p` in `[0, 100]`) by linear interpolation
+    /// between order statistics; NaN when empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.values.is_empty() {
+            return f64::NAN;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = (p / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+
+    /// Appends all of `other`'s observations.
+    pub fn merge(&mut self, other: &Samples) {
+        self.values.extend_from_slice(&other.values);
+    }
+
+    /// The raw observations, in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
     }
 }
 
@@ -208,6 +277,38 @@ mod tests {
         assert_eq!(a.count(), whole.count());
         assert!((a.mean() - whole.mean()).abs() < 1e-9);
         assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_percentiles_interpolate() {
+        let mut s = Samples::new();
+        // Insert shuffled 1..=5 so sorting matters.
+        for x in [3.0, 1.0, 5.0, 2.0, 4.0] {
+            s.push(x);
+        }
+        assert_eq!(s.len(), 5);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(50.0), 3.0);
+        assert_eq!(s.percentile(100.0), 5.0);
+        // p25 interpolates between the 1st and 2nd order statistics.
+        assert!((s.percentile(25.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_empty_and_merge() {
+        let s = Samples::new();
+        assert!(s.is_empty());
+        assert!(s.percentile(50.0).is_nan());
+        assert_eq!(s.mean(), 0.0);
+
+        let mut a = Samples::new();
+        a.push(1.0);
+        let mut b = Samples::new();
+        b.push(3.0);
+        a.merge(&b);
+        assert_eq!(a.values(), &[1.0, 3.0]);
+        assert!((a.mean() - 2.0).abs() < 1e-12);
     }
 
     #[test]

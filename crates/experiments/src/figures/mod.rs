@@ -10,6 +10,7 @@ pub mod ext_queue;
 pub mod ext_replication;
 pub mod ext_robots;
 pub mod ext_scale;
+pub mod ext_sched;
 pub mod ext_striping;
 pub mod ext_tail;
 pub mod ext_technology;

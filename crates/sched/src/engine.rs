@@ -1,0 +1,825 @@
+//! The concurrent scheduled-service engine.
+//!
+//! Where the legacy `sim::queue` loop serves one request at a time on a
+//! conceptual single server, [`run_scheduled`] runs the *whole* arrival
+//! stream as one discrete-event simulation: requests arrive while earlier
+//! ones are still streaming, their per-tape jobs join a shared admission
+//! queue, and every drive serves from that queue concurrently. Jobs
+//! targeting the same tape coalesce into a batch — one mount amortised
+//! over every queued job for that tape, ordered within the tape by the
+//! same `seek_order` planner the per-request engine uses.
+//!
+//! Two gears:
+//!
+//! * **Sequential** (policies with [`SchedPolicy::sequential`] — FCFS):
+//!   a faithful re-run of the legacy queue loop, same RNG streams, same
+//!   arithmetic, so its metrics reproduce `run_queued` bit for bit. This
+//!   is the regression baseline that anchors the new subsystem to the
+//!   old one.
+//! * **Concurrent** (everything else): the event-driven shared-queue run
+//!   described above, on a clone of the simulator's mount state (the
+//!   simulator itself is left untouched).
+//!
+//! Physical modelling (rewind, exchange, robot contention, seek plans)
+//! reuses the per-request engine's formulas so both worlds agree on the
+//! hardware.
+
+use crate::metrics::{RequestRecord, SchedMetrics};
+use crate::policy::{SchedPolicy, TapeCandidate};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use tapesim_des::audit::{AuditReport, TraceAuditor};
+use tapesim_des::{Resource, Scheduler, SimTime, TraceEvent, Tracer, World};
+use tapesim_model::{Bytes, DriveId, SystemConfig, TapeId};
+use tapesim_placement::Placement;
+use tapesim_sim::catalog::{tape_jobs, TapeJob};
+use tapesim_sim::engine::MountState;
+use tapesim_sim::seek_order;
+use tapesim_sim::{Simulator, SwitchPolicy};
+use tapesim_workload::{ArrivalProcess, ArrivalSpec, Workload};
+
+/// Configuration of one scheduled run.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedConfig {
+    /// The Poisson arrival stream.
+    pub arrivals: ArrivalSpec,
+    /// Number of requests to serve.
+    pub samples: usize,
+    /// Largest number of jobs one mount may serve (0 = unlimited).
+    pub max_batch: usize,
+    /// Whether to record and audit the event trace.
+    pub audit: bool,
+}
+
+impl SchedConfig {
+    /// A run of `samples` requests with unlimited batches and no audit.
+    pub fn new(arrivals: ArrivalSpec, samples: usize) -> SchedConfig {
+        SchedConfig {
+            arrivals,
+            samples,
+            max_batch: 0,
+            audit: false,
+        }
+    }
+
+    /// Caps batch size (0 = unlimited).
+    pub fn with_max_batch(mut self, max_batch: usize) -> SchedConfig {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Enables trace recording and auditing.
+    pub fn with_audit(mut self, audit: bool) -> SchedConfig {
+        self.audit = audit;
+        self
+    }
+}
+
+/// Result of one scheduled run.
+#[derive(Debug, Clone, Default)]
+pub struct SchedOutcome {
+    /// Per-request metrics with percentiles.
+    pub metrics: SchedMetrics,
+    /// Audit reports (one per request in the sequential gear, one for the
+    /// whole run in the concurrent gear; empty when auditing is off).
+    pub reports: Vec<AuditReport>,
+}
+
+impl SchedOutcome {
+    /// Whether every recorded trace passed the auditor.
+    pub fn is_clean(&self) -> bool {
+        self.reports.iter().all(AuditReport::is_clean)
+    }
+}
+
+/// Runs `cfg.samples` popularity-drawn requests through the scheduler
+/// under `policy`.
+///
+/// The request-pick RNG (`seed ^ 0x9A3E`) and arrival stream match the
+/// legacy `sim::queue::run_queued` exactly, so every policy sees the same
+/// demand. Sequential policies mutate `sim`'s mount state like the legacy
+/// loop; concurrent policies run on a clone and leave `sim` untouched.
+pub fn run_scheduled(
+    sim: &mut Simulator,
+    workload: &Workload,
+    policy: &dyn SchedPolicy,
+    cfg: &SchedConfig,
+) -> SchedOutcome {
+    if policy.sequential() {
+        run_sequential(sim, workload, cfg)
+    } else {
+        run_concurrent(sim, workload, policy, cfg)
+    }
+}
+
+/// The legacy single-server FCFS loop, re-expressed. Arithmetic, RNG
+/// draws and accumulator push order are copied verbatim from
+/// `sim::queue::run_queued` — the bit-for-bit regression baseline.
+fn run_sequential(sim: &mut Simulator, workload: &Workload, cfg: &SchedConfig) -> SchedOutcome {
+    let mut stream = ArrivalProcess::new(cfg.arrivals);
+    let sampler = workload.request_sampler();
+    let mut pick_rng = ChaCha12Rng::seed_from_u64(cfg.arrivals.seed ^ 0x9A3E);
+
+    let mut metrics = SchedMetrics::new(1);
+    let mut reports = Vec::new();
+    let mut server_free = 0.0;
+    let mut first_arrival = None;
+    for _ in 0..cfg.samples {
+        let clock = stream.next_arrival();
+        first_arrival.get_or_insert(clock);
+        let idx = sampler.sample(&mut pick_rng);
+        let request = &workload.requests()[idx];
+
+        let start = clock.max(server_free);
+        let r = if cfg.audit {
+            let (r, tracer) = sim.serve_traced(&request.objects);
+            reports.push(TraceAuditor::new().audit(tracer.entries()));
+            r
+        } else {
+            sim.serve(&request.objects)
+        };
+        server_free = start + r.response;
+
+        metrics.record_seconds(start - clock, r.response, server_free - clock);
+        metrics.add_mounts(r.n_switches as u64);
+        metrics.add_busy(r.response);
+    }
+    metrics.set_horizon(server_free - first_arrival.unwrap_or(0.0));
+    SchedOutcome { metrics, reports }
+}
+
+/// One job in the shared admission queue.
+#[derive(Debug)]
+struct JobState {
+    /// Index of the arrival (request instance) this job belongs to.
+    request: usize,
+    /// The tape job: target tape plus extents in ascending offset order.
+    work: TapeJob,
+}
+
+/// One outstanding request instance.
+#[derive(Debug)]
+struct ReqState {
+    arrival: SimTime,
+    /// Jobs not yet completed.
+    outstanding: usize,
+    /// When its first byte started streaming.
+    first_start: Option<SimTime>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// The `i`-th precomputed arrival enters the admission queue.
+    Arrive(usize),
+    /// A tape exchange completed; the drive now holds `tape`.
+    SwitchDone { drive: usize, tape: TapeId },
+    /// One job of a batch finished streaming.
+    JobDone { drive: usize, job: usize },
+    /// A drive finished its whole batch and is idle again.
+    BatchDone { drive: usize },
+}
+
+struct SchedSim<'a> {
+    cfg: &'a SystemConfig,
+    placement: &'a Placement,
+    policy: &'a dyn SchedPolicy,
+    switch_policy: SwitchPolicy,
+    batch_cap: usize,
+    /// Precomputed arrival times and workload-request indices, in order.
+    arrivals: &'a [(SimTime, usize)],
+    requests_catalog: &'a Workload,
+    state: MountState,
+    busy: Vec<bool>,
+    robots: Vec<Resource>,
+    jobs: Vec<JobState>,
+    requests: Vec<ReqState>,
+    /// Shared admission queue: per-tape FIFO of job indices.
+    pending: BTreeMap<TapeId, VecDeque<usize>>,
+    /// Tapes currently being fetched by an exchange.
+    claimed: BTreeSet<TapeId>,
+    outstanding_jobs: usize,
+    mounts: u64,
+    busy_time: SimTime,
+    records: Vec<RequestRecord>,
+    tracer: Tracer,
+}
+
+impl SchedSim<'_> {
+    fn drive_id(&self, idx: usize) -> DriveId {
+        let d = self.cfg.library.drives as usize;
+        DriveId::new(tapesim_model::LibraryId((idx / d) as u16), (idx % d) as u8)
+    }
+
+    /// Rewind + exchange seconds to bring a new tape onto `drive`, given
+    /// its current occupancy (the per-request engine's switch timeline).
+    fn switch_cost(&self, drive: usize) -> (f64, f64) {
+        let spec = &self.cfg.library.drive;
+        let robot = &self.cfg.library.robot;
+        let capacity = self.cfg.library.tape.capacity;
+        match self.state.mounted[drive] {
+            Some(_) => (
+                spec.rewind_time(self.state.head[drive], capacity),
+                spec.unload_time + robot.exchange_handling_time() + spec.load_time,
+            ),
+            None => (0.0, robot.inject_handling_time() + spec.load_time),
+        }
+    }
+
+    /// Streams up to `batch_cap` queued jobs of `tape` back to back on
+    /// `drive` (already holding the tape), scheduling per-job completions
+    /// and the batch end.
+    fn start_batch(&mut self, drive: usize, tape: TapeId, now: SimTime, sched: &mut Scheduler<Ev>) {
+        let spec = &self.cfg.library.drive;
+        let capacity = self.cfg.library.tape.capacity;
+        let batch: Vec<usize> = {
+            let Some(queue) = self.pending.get_mut(&tape) else {
+                return;
+            };
+            let take = if self.batch_cap == 0 {
+                queue.len()
+            } else {
+                queue.len().min(self.batch_cap)
+            };
+            queue.drain(..take).collect()
+        };
+        if batch.is_empty() {
+            return;
+        }
+        if self.pending.get(&tape).is_some_and(VecDeque::is_empty) {
+            self.pending.remove(&tape);
+        }
+        self.busy[drive] = true;
+        let mut t = now;
+        for job in batch {
+            let plan = seek_order::plan(self.state.head[drive], &self.jobs[job].work.extents);
+            let mut pos = self.state.head[drive];
+            let mut seek_s = 0.0;
+            let mut xfer_s = 0.0;
+            for e in &plan {
+                seek_s += spec.position_time(pos, e.offset, capacity);
+                xfer_s += spec.transfer_time(e.size);
+                pos = e.end();
+            }
+            self.state.head[drive] = pos;
+            let finish = t + SimTime::from_secs(seek_s + xfer_s);
+            // All of the batch's windows are emitted at `now` (when the
+            // batch was planned) so entry timestamps stay monotone; the
+            // start/finish fields carry the actual windows.
+            self.tracer.emit(
+                now,
+                TraceEvent::Transfer {
+                    drive: self.drive_id(drive).into(),
+                    tape: tape.into(),
+                    job: job as u32,
+                    extents: plan.len() as u32,
+                    seek: SimTime::from_secs(seek_s),
+                    transfer: SimTime::from_secs(xfer_s),
+                    start: t,
+                    finish,
+                },
+            );
+            let req = self.jobs[job].request;
+            self.requests[req].first_start.get_or_insert(t);
+            sched.schedule_at(finish, Ev::JobDone { drive, job });
+            t = finish;
+        }
+        self.busy_time += t - now;
+        // Scheduled after the last JobDone at the same instant, so
+        // completions are recorded before the drive re-dispatches.
+        sched.schedule_at(t, Ev::BatchDone { drive });
+    }
+
+    /// Begins the exchange bringing `tape` onto `drive`.
+    fn begin_switch(
+        &mut self,
+        drive: usize,
+        tape: TapeId,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let (rewind_s, exchange_s) = self.switch_cost(drive);
+        let lib = self.drive_id(drive).library.idx();
+        if let Some(old) = self.state.mounted[drive].take() {
+            self.tracer.emit(
+                now,
+                TraceEvent::Unmounted {
+                    drive: self.drive_id(drive).into(),
+                    tape: old.into(),
+                },
+            );
+        }
+        self.state.head[drive] = Bytes::ZERO;
+        self.busy[drive] = true;
+
+        let rewind_done = now + SimTime::from_secs(rewind_s);
+        let grant = self.robots[lib].acquire(rewind_done, SimTime::from_secs(exchange_s));
+        self.mounts += 1;
+        self.tracer.emit(
+            now,
+            TraceEvent::ExchangeBegun {
+                drive: self.drive_id(drive).into(),
+                tape: tape.into(),
+                arm: grant.server as u32,
+                start: grant.start,
+                finish: grant.finish,
+            },
+        );
+        sched.schedule_at(grant.finish, Ev::SwitchDone { drive, tape });
+    }
+
+    /// Builds the policy's candidate list for `lib`, estimating locate
+    /// cost against the drive the scheduler would use.
+    fn candidates_for(&self, lib: usize, drive: usize) -> Vec<TapeCandidate> {
+        let spec = &self.cfg.library.drive;
+        let (rewind_s, exchange_s) = self.switch_cost(drive);
+        let est_locate = SimTime::from_secs(rewind_s + exchange_s);
+        let mut out = Vec::new();
+        for (&tape, queue) in &self.pending {
+            if tape.library.idx() != lib || queue.is_empty() {
+                continue;
+            }
+            if self.claimed.contains(&tape) || self.state.drive_of(tape).is_some() {
+                continue;
+            }
+            let take = if self.batch_cap == 0 {
+                queue.len()
+            } else {
+                queue.len().min(self.batch_cap)
+            };
+            let mut bytes = Bytes::ZERO;
+            let mut oldest = SimTime::MAX;
+            for &job in queue.iter().take(take) {
+                bytes += self.jobs[job].work.bytes();
+                oldest = oldest.min(self.requests[self.jobs[job].request].arrival);
+            }
+            out.push(TapeCandidate {
+                tape,
+                queued_jobs: take,
+                queued_bytes: bytes,
+                oldest_arrival: oldest,
+                est_locate,
+                est_service: SimTime::from_secs(spec.transfer_time(bytes)),
+            });
+        }
+        out
+    }
+
+    /// Puts every idle drive of `lib` to work: serve already-mounted
+    /// tapes first (free batches), then let the policy pick tapes to
+    /// fetch onto idle switch drives.
+    fn try_dispatch(&mut self, lib: usize, now: SimTime, sched: &mut Scheduler<Ev>) {
+        let d = self.cfg.library.drives as usize;
+        // Free batches: an idle drive already holding a tape with queued
+        // jobs serves them without any exchange.
+        for bay in 0..d {
+            let idx = lib * d + bay;
+            if self.busy[idx] {
+                continue;
+            }
+            if let Some(tape) = self.state.mounted[idx] {
+                if self.pending.contains_key(&tape) {
+                    self.start_batch(idx, tape, now, sched);
+                }
+            }
+        }
+        // Exchanges: repeatedly pick the cheapest idle switch drive (the
+        // per-request engine's victim order) and ask the policy which
+        // tape to fetch onto it.
+        loop {
+            let mut best: Option<(u8, f64, usize)> = None;
+            for bay in 0..d {
+                let idx = lib * d + bay;
+                if self.busy[idx] {
+                    continue;
+                }
+                let id = self.drive_id(idx);
+                if !self.switch_policy.is_switch_drive(id, self.cfg) {
+                    continue;
+                }
+                let (kind, p) = self
+                    .switch_policy
+                    .victim_key(self.state.mounted[idx], self.placement);
+                let key = (kind, p, idx);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+            let Some((_, _, drive)) = best else {
+                return;
+            };
+            let cands = self.candidates_for(lib, drive);
+            if cands.is_empty() {
+                return;
+            }
+            let Some(pick) = self.policy.choose(&cands) else {
+                return;
+            };
+            let Some(cand) = cands.get(pick) else {
+                return;
+            };
+            let tape = cand.tape;
+            self.claimed.insert(tape);
+            self.begin_switch(drive, tape, now, sched);
+        }
+    }
+}
+
+impl World for SchedSim<'_> {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::Arrive(i) => {
+                let (arrival, ridx) = self.arrivals[i];
+                let objects = &self.requests_catalog.requests()[ridx].objects;
+                let work = tape_jobs(self.placement, objects);
+                if work.is_empty() {
+                    // Nothing to stream: served instantaneously.
+                    self.records.push(RequestRecord {
+                        arrival,
+                        first_start: arrival,
+                        finish: arrival,
+                    });
+                    return;
+                }
+                let req = self.requests.len();
+                self.requests.push(ReqState {
+                    arrival,
+                    outstanding: work.len(),
+                    first_start: None,
+                });
+                let mut libs = BTreeSet::new();
+                for tj in work {
+                    let job = self.jobs.len();
+                    let tape = tj.tape;
+                    self.tracer.emit(
+                        now,
+                        TraceEvent::JobSubmitted {
+                            job: job as u32,
+                            tape: tape.into(),
+                        },
+                    );
+                    self.jobs.push(JobState {
+                        request: req,
+                        work: tj,
+                    });
+                    self.pending.entry(tape).or_default().push_back(job);
+                    self.outstanding_jobs += 1;
+                    libs.insert(tape.library.idx());
+                }
+                for lib in libs {
+                    self.try_dispatch(lib, now, sched);
+                }
+            }
+            Ev::SwitchDone { drive, tape } => {
+                self.state.mounted[drive] = Some(tape);
+                self.state.head[drive] = Bytes::ZERO;
+                self.claimed.remove(&tape);
+                self.tracer.emit(
+                    now,
+                    TraceEvent::Mounted {
+                        drive: self.drive_id(drive).into(),
+                        tape: tape.into(),
+                    },
+                );
+                self.busy[drive] = false;
+                if self.pending.contains_key(&tape) {
+                    self.start_batch(drive, tape, now, sched);
+                } else {
+                    // The queue drained while the exchange ran (possible
+                    // only with a batch cap); re-dispatch the drive.
+                    let lib = self.drive_id(drive).library.idx();
+                    self.try_dispatch(lib, now, sched);
+                }
+            }
+            Ev::JobDone { drive, job } => {
+                self.tracer.emit(
+                    now,
+                    TraceEvent::JobCompleted {
+                        job: job as u32,
+                        drive: self.drive_id(drive).into(),
+                    },
+                );
+                self.outstanding_jobs -= 1;
+                let req = self.jobs[job].request;
+                self.requests[req].outstanding -= 1;
+                if self.requests[req].outstanding == 0 {
+                    let r = &self.requests[req];
+                    self.records.push(RequestRecord {
+                        arrival: r.arrival,
+                        first_start: r.first_start.unwrap_or(r.arrival),
+                        finish: now,
+                    });
+                }
+            }
+            Ev::BatchDone { drive } => {
+                self.busy[drive] = false;
+                let lib = self.drive_id(drive).library.idx();
+                self.try_dispatch(lib, now, sched);
+            }
+        }
+    }
+}
+
+/// The concurrent shared-queue gear. Runs on a clone of `sim`'s mount
+/// state; the simulator itself is not mutated.
+fn run_concurrent(
+    sim: &Simulator,
+    workload: &Workload,
+    policy: &dyn SchedPolicy,
+    cfg: &SchedConfig,
+) -> SchedOutcome {
+    let placement = sim.placement();
+    let system = placement.config();
+    let n_drives = system.total_drives();
+    let n_libs = system.libraries as usize;
+
+    // Draw the demand stream exactly as the legacy loop does: arrival
+    // time, then request pick, per sample.
+    let mut stream = ArrivalProcess::new(cfg.arrivals);
+    let sampler = workload.request_sampler();
+    let mut pick_rng = ChaCha12Rng::seed_from_u64(cfg.arrivals.seed ^ 0x9A3E);
+    let arrivals: Vec<(SimTime, usize)> = (0..cfg.samples)
+        .map(|_| {
+            let at = SimTime::from_secs(stream.next_arrival());
+            (at, sampler.sample(&mut pick_rng))
+        })
+        .collect();
+
+    let mut world = SchedSim {
+        cfg: system,
+        placement,
+        policy,
+        switch_policy: sim.policy(),
+        batch_cap: cfg.max_batch,
+        arrivals: &arrivals,
+        requests_catalog: workload,
+        state: sim.state().clone(),
+        busy: vec![false; n_drives],
+        robots: vec![Resource::new(system.library.robot.arms.max(1) as usize); n_libs],
+        jobs: Vec::new(),
+        requests: Vec::new(),
+        pending: BTreeMap::new(),
+        claimed: BTreeSet::new(),
+        outstanding_jobs: 0,
+        mounts: 0,
+        busy_time: SimTime::ZERO,
+        records: Vec::new(),
+        tracer: if cfg.audit {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        },
+    };
+
+    // Trace prologue: carried-over mounts, so the transcript is
+    // self-contained for the auditor.
+    for drive in 0..n_drives {
+        if let Some(tape) = world.state.mounted[drive] {
+            world.tracer.emit(
+                SimTime::ZERO,
+                TraceEvent::AssumeMounted {
+                    drive: world.drive_id(drive).into(),
+                    tape: tape.into(),
+                },
+            );
+        }
+    }
+
+    let mut sched: Scheduler<Ev> = Scheduler::new();
+    for (i, &(at, _)) in arrivals.iter().enumerate() {
+        sched.schedule_at(at, Ev::Arrive(i));
+    }
+    let end = sched.run(&mut world);
+    assert_eq!(
+        world.outstanding_jobs, 0,
+        "scheduler drained with unserved jobs — no eligible switch drive \
+         exists; check the policy/config (m >= 1 guarantees progress)"
+    );
+    debug_assert_eq!(world.records.len(), cfg.samples);
+
+    let mut metrics = SchedMetrics::new(n_drives as u32);
+    for r in &world.records {
+        metrics.record(r);
+    }
+    metrics.add_mounts(world.mounts);
+    metrics.add_busy_time(world.busy_time);
+    let first = arrivals.first().map_or(SimTime::ZERO, |&(at, _)| at);
+    metrics.set_horizon_time(end.saturating_sub(first));
+    metrics.set_events(sched.events_processed());
+
+    let reports = if cfg.audit {
+        vec![TraceAuditor::new().audit(world.tracer.entries())]
+    } else {
+        Vec::new()
+    };
+    SchedOutcome { metrics, reports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{BatchByTape, Fcfs, SltfTape};
+    use tapesim_model::specs::paper_table1;
+    use tapesim_model::Bytes;
+    use tapesim_placement::{ParallelBatchPlacement, PlacementPolicy};
+    use tapesim_sim::queue::run_queued;
+    use tapesim_workload::{ObjectSizeSpec, RequestSpec, WorkloadSpec};
+
+    fn setup() -> (Simulator, Workload) {
+        let w = WorkloadSpec {
+            objects: 2_000,
+            sizes: ObjectSizeSpec::default().calibrated(Bytes::gb(4)),
+            requests: RequestSpec {
+                count: 50,
+                min_objects: 15,
+                max_objects: 25,
+                count_shape: 1.0,
+                alpha: 0.3,
+            },
+            seed: 31,
+        }
+        .generate();
+        let cfg = paper_table1();
+        let p = ParallelBatchPlacement::with_m(4).place(&w, &cfg).unwrap();
+        (Simulator::with_natural_policy(p, 4), w)
+    }
+
+    /// A workload whose requested working set overflows the initially
+    /// mounted capacity, so runs actually exchange tapes. The light
+    /// [`setup`] fixture stays all-mounted (zero switches) by design —
+    /// popular objects land on the always-mounted batch — which would
+    /// make coalescing and exchange-audit tests vacuous.
+    fn heavy_setup() -> (Simulator, Workload) {
+        let w = WorkloadSpec {
+            objects: 4_000,
+            sizes: ObjectSizeSpec::default().calibrated(Bytes::gb(8)),
+            requests: RequestSpec {
+                count: 60,
+                min_objects: 30,
+                max_objects: 50,
+                count_shape: 1.0,
+                alpha: 0.3,
+            },
+            seed: 17,
+        }
+        .generate();
+        let cfg = paper_table1();
+        let p = ParallelBatchPlacement::with_m(4).place(&w, &cfg).unwrap();
+        (Simulator::with_natural_policy(p, 4), w)
+    }
+
+    #[test]
+    fn fcfs_reproduces_legacy_queue_bit_for_bit() {
+        let spec = ArrivalSpec {
+            per_hour: 6.0,
+            seed: 9,
+        };
+        let (mut legacy_sim, w) = setup();
+        let legacy = run_queued(&mut legacy_sim, &w, 25, spec);
+
+        let (mut sim, _) = setup();
+        let out = run_scheduled(&mut sim, &w, &Fcfs, &SchedConfig::new(spec, 25));
+        assert_eq!(out.metrics.served(), legacy.served());
+        assert_eq!(out.metrics.avg_wait(), legacy.avg_wait());
+        assert_eq!(out.metrics.avg_service(), legacy.avg_service());
+        assert_eq!(out.metrics.avg_sojourn(), legacy.avg_sojourn());
+        assert_eq!(out.metrics.utilisation(), legacy.utilisation());
+    }
+
+    #[test]
+    fn fcfs_audits_clean() {
+        let spec = ArrivalSpec {
+            per_hour: 6.0,
+            seed: 2,
+        };
+        let (mut sim, w) = setup();
+        let out = run_scheduled(
+            &mut sim,
+            &w,
+            &Fcfs,
+            &SchedConfig::new(spec, 10).with_audit(true),
+        );
+        assert_eq!(out.reports.len(), 10, "one audit per request");
+        assert!(out.is_clean(), "{:?}", out.reports);
+    }
+
+    #[test]
+    fn concurrent_serves_everything_and_audits_clean() {
+        let spec = ArrivalSpec {
+            per_hour: 20.0,
+            seed: 7,
+        };
+        let (mut sim, w) = setup();
+        let out = run_scheduled(
+            &mut sim,
+            &w,
+            &BatchByTape,
+            &SchedConfig::new(spec, 40).with_audit(true),
+        );
+        assert_eq!(out.metrics.served(), 40);
+        assert_eq!(out.reports.len(), 1, "one audit for the whole run");
+        assert!(out.is_clean(), "{}", out.reports[0]);
+        assert!(out.metrics.events() > 0);
+        assert!(out.metrics.avg_sojourn() >= out.metrics.avg_wait());
+    }
+
+    #[test]
+    fn batching_cuts_mounts_in_the_switching_regime() {
+        let spec = ArrivalSpec {
+            per_hour: 30.0,
+            seed: 3,
+        };
+        let (mut fcfs_sim, w) = heavy_setup();
+        let fcfs = run_scheduled(&mut fcfs_sim, &w, &Fcfs, &SchedConfig::new(spec, 25));
+        let (mut batch_sim, _) = heavy_setup();
+        let batch = run_scheduled(
+            &mut batch_sim,
+            &w,
+            &BatchByTape,
+            &SchedConfig::new(spec, 25),
+        );
+        assert!(
+            fcfs.metrics.mounts() > 0,
+            "fixture must force tape switches"
+        );
+        assert!(
+            batch.metrics.mounts() < fcfs.metrics.mounts(),
+            "batching should cut mounts: {} vs {}",
+            batch.metrics.mounts(),
+            fcfs.metrics.mounts()
+        );
+    }
+
+    #[test]
+    fn switching_regime_audits_clean_for_every_policy() {
+        let spec = ArrivalSpec {
+            per_hour: 30.0,
+            seed: 3,
+        };
+        for kind in crate::policy::PolicyKind::ALL {
+            let (mut sim, w) = heavy_setup();
+            let out = run_scheduled(
+                &mut sim,
+                &w,
+                kind.build().as_ref(),
+                &SchedConfig::new(spec, 25).with_audit(true),
+            );
+            assert_eq!(out.metrics.served(), 25, "{}", kind.label());
+            assert!(out.metrics.mounts() > 0, "{}", kind.label());
+            assert!(
+                out.is_clean(),
+                "{}: {:?}",
+                kind.label(),
+                out.reports.iter().find(|r| !r.is_clean())
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_leaves_simulator_untouched() {
+        let spec = ArrivalSpec {
+            per_hour: 20.0,
+            seed: 3,
+        };
+        let (mut sim, w) = setup();
+        let before = sim.state().clone();
+        let _ = run_scheduled(&mut sim, &w, &SltfTape, &SchedConfig::new(spec, 10));
+        assert_eq!(*sim.state(), before);
+    }
+
+    #[test]
+    fn batch_cap_one_still_serves_everything() {
+        let spec = ArrivalSpec {
+            per_hour: 25.0,
+            seed: 13,
+        };
+        let (mut sim, w) = setup();
+        let out = run_scheduled(
+            &mut sim,
+            &w,
+            &BatchByTape,
+            &SchedConfig::new(spec, 20)
+                .with_max_batch(1)
+                .with_audit(true),
+        );
+        assert_eq!(out.metrics.served(), 20);
+        assert!(out.is_clean(), "{}", out.reports[0]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let spec = ArrivalSpec {
+            per_hour: 15.0,
+            seed: 21,
+        };
+        let (mut a, w) = setup();
+        let (mut b, _) = setup();
+        let ra = run_scheduled(&mut a, &w, &SltfTape, &SchedConfig::new(spec, 30));
+        let rb = run_scheduled(&mut b, &w, &SltfTape, &SchedConfig::new(spec, 30));
+        assert_eq!(ra.metrics.avg_sojourn(), rb.metrics.avg_sojourn());
+        assert_eq!(ra.metrics.mounts(), rb.metrics.mounts());
+        assert_eq!(ra.metrics.events(), rb.metrics.events());
+    }
+}

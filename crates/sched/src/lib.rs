@@ -1,0 +1,35 @@
+//! # tapesim-sched
+//!
+//! A concurrent request-scheduling subsystem for the parallel tape
+//! storage simulator: the layer between the workload's arrival stream and
+//! the drive-level service engine.
+//!
+//! The source paper assumes restore requests arrive one by one with long
+//! gaps between them (§6), so its simulator serves a single request at a
+//! time. Under sustained load that assumption collapses: requests queue,
+//! and *which* queued request a freed drive serves next — and whether
+//! requests for the same tape share one mount — dominates latency. This
+//! crate models that regime:
+//!
+//! * an **admission queue** holding every outstanding restore request,
+//!   decomposed into per-tape jobs by the simulator's catalog;
+//! * **per-tape batching** — all queued jobs for a tape ride one mount,
+//!   ordered within the tape by the `seek_order` planner;
+//! * a **pluggable [`SchedPolicy`]** deciding which tape a freed drive
+//!   fetches next: [`Fcfs`] (the legacy one-at-a-time loop, kept as a
+//!   bit-for-bit regression baseline), [`BatchByTape`] (coalescing,
+//!   longest-waiting tape first) and [`SltfTape`]
+//!   (shortest-locate/service-time-first);
+//! * **per-request metrics with percentiles** ([`SchedMetrics`]) and
+//!   optional trace auditing through `tapesim-des`'s [`TraceAuditor`]
+//!   extended invariants for batched service.
+//!
+//! [`TraceAuditor`]: tapesim_des::audit::TraceAuditor
+
+pub mod engine;
+pub mod metrics;
+pub mod policy;
+
+pub use engine::{run_scheduled, SchedConfig, SchedOutcome};
+pub use metrics::SchedMetrics;
+pub use policy::{BatchByTape, Fcfs, PolicyKind, SchedPolicy, SltfTape, TapeCandidate};

@@ -1,0 +1,186 @@
+//! Per-request scheduling metrics with percentiles.
+//!
+//! [`SchedMetrics`] extends the legacy `sim::queue::QueueMetrics` shape
+//! (mean wait/service/sojourn, utilisation, served count) with retained
+//! samples for percentile queries and scheduler-level counters (mounts,
+//! events processed). The FCFS regression baseline requires the Welford
+//! accumulators to be fed in exactly the legacy push order — see
+//! [`SchedMetrics::record_seconds`].
+
+use serde::{Deserialize, Serialize};
+use tapesim_des::stats::{Samples, Welford};
+use tapesim_des::SimTime;
+
+/// One served request: its arrival, first service instant and completion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestRecord {
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// When the first byte of the request started streaming.
+    pub first_start: SimTime,
+    /// When the last job of the request completed.
+    pub finish: SimTime,
+}
+
+/// Aggregated per-request metrics of one scheduled run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SchedMetrics {
+    wait: Welford,
+    service: Welford,
+    sojourn: Welford,
+    wait_samples: Samples,
+    sojourn_samples: Samples,
+    mounts: u64,
+    busy: f64,
+    horizon: f64,
+    servers: u32,
+    events: u64,
+}
+
+impl SchedMetrics {
+    /// Empty metrics for a run on `servers` concurrently-serving drives.
+    pub fn new(servers: u32) -> SchedMetrics {
+        SchedMetrics {
+            servers,
+            ..SchedMetrics::default()
+        }
+    }
+
+    /// Records one served request from its timeline.
+    pub(crate) fn record(&mut self, r: &RequestRecord) {
+        let wait = (r.first_start - r.arrival).as_secs();
+        let sojourn = (r.finish - r.arrival).as_secs();
+        self.record_seconds(wait, sojourn - wait, sojourn);
+    }
+
+    /// Records one served request from pre-computed seconds. The push
+    /// order (wait, service, sojourn) matches the legacy queue loop so
+    /// FCFS reproduces its Welford state bit for bit.
+    pub(crate) fn record_seconds(&mut self, wait: f64, service: f64, sojourn: f64) {
+        self.wait.push(wait);
+        self.service.push(service);
+        self.sojourn.push(sojourn);
+        self.wait_samples.push(wait);
+        self.sojourn_samples.push(sojourn);
+    }
+
+    pub(crate) fn add_mounts(&mut self, n: u64) {
+        self.mounts += n;
+    }
+
+    pub(crate) fn add_busy(&mut self, seconds: f64) {
+        self.busy += seconds;
+    }
+
+    pub(crate) fn add_busy_time(&mut self, time: SimTime) {
+        self.busy += time.as_secs();
+    }
+
+    pub(crate) fn set_horizon(&mut self, seconds: f64) {
+        self.horizon = seconds;
+    }
+
+    pub(crate) fn set_horizon_time(&mut self, time: SimTime) {
+        self.horizon = time.as_secs();
+    }
+
+    pub(crate) fn set_events(&mut self, events: u64) {
+        self.events = events;
+    }
+
+    /// Number of requests served.
+    pub fn served(&self) -> u64 {
+        self.sojourn.count()
+    }
+
+    /// Mean time from arrival to first service, seconds.
+    pub fn avg_wait(&self) -> f64 {
+        self.wait.mean()
+    }
+
+    /// Mean service time (sojourn minus wait), seconds.
+    pub fn avg_service(&self) -> f64 {
+        self.service.mean()
+    }
+
+    /// Mean time from arrival to completion, seconds.
+    pub fn avg_sojourn(&self) -> f64 {
+        self.sojourn.mean()
+    }
+
+    /// The `p`-th percentile of per-request wait, seconds.
+    pub fn wait_percentile(&self, p: f64) -> f64 {
+        self.wait_samples.percentile(p)
+    }
+
+    /// The `p`-th percentile of per-request sojourn, seconds.
+    pub fn sojourn_percentile(&self, p: f64) -> f64 {
+        self.sojourn_samples.percentile(p)
+    }
+
+    /// Tape mounts (exchanges) performed over the run.
+    pub fn mounts(&self) -> u64 {
+        self.mounts
+    }
+
+    /// DES events processed (0 for the sequential FCFS gear, which runs
+    /// no event loop of its own).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Aggregate drive busy time over the run span, normalised by server
+    /// count: `busy / (horizon × servers)`. With one server this is the
+    /// legacy queue's utilisation expression exactly.
+    pub fn utilisation(&self) -> f64 {
+        if self.horizon <= 0.0 {
+            0.0
+        } else {
+            self.busy / (self.horizon * self.servers.max(1) as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn record_decomposes_timeline() {
+        let mut m = SchedMetrics::new(1);
+        m.record(&RequestRecord {
+            arrival: t(10.0),
+            first_start: t(15.0),
+            finish: t(40.0),
+        });
+        assert_eq!(m.served(), 1);
+        assert!((m.avg_wait() - 5.0).abs() < 1e-12);
+        assert!((m.avg_service() - 25.0).abs() < 1e-12);
+        assert!((m.avg_sojourn() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_come_from_samples() {
+        let mut m = SchedMetrics::new(2);
+        for (w, s) in [(1.0, 10.0), (2.0, 20.0), (3.0, 30.0)] {
+            m.record_seconds(w, s - w, s);
+        }
+        assert_eq!(m.wait_percentile(50.0), 2.0);
+        assert_eq!(m.sojourn_percentile(100.0), 30.0);
+    }
+
+    #[test]
+    fn utilisation_normalises_by_servers() {
+        let mut m = SchedMetrics::new(4);
+        m.add_busy(100.0);
+        m.set_horizon(50.0);
+        assert!((m.utilisation() - 0.5).abs() < 1e-12);
+
+        let empty = SchedMetrics::new(4);
+        assert_eq!(empty.utilisation(), 0.0);
+    }
+}

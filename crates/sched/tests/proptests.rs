@@ -1,0 +1,148 @@
+//! Property tests for the scheduling subsystem.
+//!
+//! Three families, per the subsystem's contract:
+//!
+//! 1. **Conservation** — no policy loses or double-serves a request, and
+//!    every audited trace is clean, across random seeds/rates.
+//! 2. **Regression** — `Fcfs` reproduces the legacy single-request queue
+//!    (`sim::queue::run_queued`) metrics exactly (`==` on floats).
+//! 3. **Coalescing** — `BatchByTape` never mounts more tapes than `Fcfs`
+//!    on the same demand stream.
+
+use proptest::prelude::*;
+use tapesim_model::specs::paper_table1;
+use tapesim_model::Bytes;
+use tapesim_placement::{ParallelBatchPlacement, PlacementPolicy};
+use tapesim_sched::{run_scheduled, BatchByTape, Fcfs, PolicyKind, SchedConfig};
+use tapesim_sim::queue::run_queued;
+use tapesim_sim::Simulator;
+use tapesim_workload::{ArrivalSpec, ObjectSizeSpec, RequestSpec, Workload, WorkloadSpec};
+
+fn setup(workload_seed: u64) -> (Simulator, Workload) {
+    let w = WorkloadSpec {
+        objects: 400,
+        sizes: ObjectSizeSpec::default().calibrated(Bytes::gb(2)),
+        requests: RequestSpec {
+            count: 20,
+            min_objects: 5,
+            max_objects: 12,
+            count_shape: 1.0,
+            alpha: 0.3,
+        },
+        seed: workload_seed,
+    }
+    .generate();
+    let cfg = paper_table1();
+    let p = ParallelBatchPlacement::with_m(4)
+        .place(&w, &cfg)
+        .expect("placement");
+    (Simulator::with_natural_policy(p, 4), w)
+}
+
+/// A fixture whose requested working set overflows the initially mounted
+/// capacity, so runs exchange tapes — without this the conservation and
+/// coalescing properties would hold vacuously (zero mounts everywhere).
+fn heavy_setup(workload_seed: u64) -> (Simulator, Workload) {
+    let w = WorkloadSpec {
+        objects: 4_000,
+        sizes: ObjectSizeSpec::default().calibrated(Bytes::gb(8)),
+        requests: RequestSpec {
+            count: 60,
+            min_objects: 30,
+            max_objects: 50,
+            count_shape: 1.0,
+            alpha: 0.3,
+        },
+        seed: workload_seed,
+    }
+    .generate();
+    let cfg = paper_table1();
+    let p = ParallelBatchPlacement::with_m(4)
+        .place(&w, &cfg)
+        .expect("placement");
+    (Simulator::with_natural_policy(p, 4), w)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn no_policy_loses_or_double_serves(
+        seed in 0u64..1_000,
+        rate_tenths in 5u32..400,
+        samples in 5usize..25,
+    ) {
+        let spec = ArrivalSpec {
+            per_hour: rate_tenths as f64 / 10.0,
+            seed,
+        };
+        for kind in PolicyKind::ALL {
+            let (mut sim, w) = heavy_setup(17);
+            let out = run_scheduled(
+                &mut sim,
+                &w,
+                kind.build().as_ref(),
+                &SchedConfig::new(spec, samples).with_audit(true),
+            );
+            prop_assert_eq!(
+                out.metrics.served(),
+                samples as u64,
+                "{} lost or duplicated requests",
+                kind.label()
+            );
+            prop_assert!(
+                out.is_clean(),
+                "{} produced a dirty trace",
+                kind.label()
+            );
+        }
+    }
+
+    #[test]
+    fn fcfs_matches_legacy_queue_exactly(
+        seed in 0u64..1_000,
+        rate_tenths in 5u32..400,
+        samples in 5usize..30,
+    ) {
+        let spec = ArrivalSpec {
+            per_hour: rate_tenths as f64 / 10.0,
+            seed,
+        };
+        let (mut legacy_sim, w) = setup(23);
+        let legacy = run_queued(&mut legacy_sim, &w, samples, spec);
+        let (mut sim, _) = setup(23);
+        let out = run_scheduled(&mut sim, &w, &Fcfs, &SchedConfig::new(spec, samples));
+        prop_assert_eq!(out.metrics.served(), legacy.served());
+        prop_assert_eq!(out.metrics.avg_wait(), legacy.avg_wait());
+        prop_assert_eq!(out.metrics.avg_service(), legacy.avg_service());
+        prop_assert_eq!(out.metrics.avg_sojourn(), legacy.avg_sojourn());
+        prop_assert_eq!(out.metrics.utilisation(), legacy.utilisation());
+    }
+
+    #[test]
+    fn batching_never_mounts_more_than_fcfs(
+        seed in 0u64..1_000,
+        rate in 10u32..60,
+        samples in 10usize..30,
+    ) {
+        let spec = ArrivalSpec {
+            per_hour: rate as f64,
+            seed,
+        };
+        let (mut fcfs_sim, w) = heavy_setup(29);
+        let fcfs = run_scheduled(&mut fcfs_sim, &w, &Fcfs, &SchedConfig::new(spec, samples));
+        let (mut batch_sim, _) = heavy_setup(29);
+        let batch = run_scheduled(
+            &mut batch_sim,
+            &w,
+            &BatchByTape,
+            &SchedConfig::new(spec, samples),
+        );
+        prop_assert!(
+            batch.metrics.mounts() <= fcfs.metrics.mounts(),
+            "batching mounted more: {} vs {}",
+            batch.metrics.mounts(),
+            fcfs.metrics.mounts()
+        );
+    }
+}

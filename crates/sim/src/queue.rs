@@ -9,31 +9,20 @@
 //! the queue faster, so the waiting-time gap between schemes grows without
 //! bound as the arrival rate approaches the slower scheme's saturation
 //! point.
+//!
+//! The arrival stream itself lives in [`tapesim_workload::arrivals`]
+//! (re-exported here) so that the concurrent scheduler (`tapesim-sched`)
+//! sees *the same arrival instants* for the same [`ArrivalSpec`] — its
+//! FCFS policy reproduces this module's metrics bit for bit.
 
 use crate::simulator::Simulator;
-use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 use tapesim_des::stats::Welford;
 use tapesim_workload::Workload;
 
-/// A Poisson arrival process.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct ArrivalSpec {
-    /// Mean arrivals per hour.
-    pub per_hour: f64,
-    /// Seed of the inter-arrival stream.
-    pub seed: u64,
-}
-
-impl ArrivalSpec {
-    /// Draws the next exponential inter-arrival gap, seconds.
-    fn gap<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-        -u.ln() * 3600.0 / self.per_hour
-    }
-}
+pub use tapesim_workload::{ArrivalProcess, ArrivalSpec};
 
 /// Aggregated queueing metrics.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
@@ -78,6 +67,35 @@ impl QueueMetrics {
     }
 }
 
+/// One served request of a queued run: its arrival, service start and
+/// service duration, in seconds from the run's t = 0.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueRecord {
+    /// Arrival instant.
+    pub arrival: f64,
+    /// Service start (`max(arrival, previous completion)`).
+    pub start: f64,
+    /// Service (response) duration.
+    pub service: f64,
+}
+
+impl QueueRecord {
+    /// Time spent waiting in the queue.
+    pub fn wait(&self) -> f64 {
+        self.start - self.arrival
+    }
+
+    /// Completion instant.
+    pub fn finish(&self) -> f64 {
+        self.start + self.service
+    }
+
+    /// Arrival-to-completion time.
+    pub fn sojourn(&self) -> f64 {
+        self.finish() - self.arrival
+    }
+}
+
 /// Serves `samples` popularity-drawn requests arriving as a Poisson stream
 /// through `sim`, FCFS. The simulator's mount state persists across
 /// services exactly as in the paper's operating model.
@@ -87,17 +105,27 @@ pub fn run_queued(
     samples: usize,
     arrivals: ArrivalSpec,
 ) -> QueueMetrics {
-    assert!(arrivals.per_hour > 0.0, "arrival rate must be positive");
+    run_queued_detailed(sim, workload, samples, arrivals).0
+}
+
+/// Like [`run_queued`], but also returns one [`QueueRecord`] per served
+/// request (in service order) for percentile/tail analysis.
+pub fn run_queued_detailed(
+    sim: &mut Simulator,
+    workload: &Workload,
+    samples: usize,
+    arrivals: ArrivalSpec,
+) -> (QueueMetrics, Vec<QueueRecord>) {
+    let mut stream = ArrivalProcess::new(arrivals);
     let sampler = workload.request_sampler();
     let mut pick_rng = ChaCha12Rng::seed_from_u64(arrivals.seed ^ 0x9A3E);
-    let mut gap_rng = ChaCha12Rng::seed_from_u64(arrivals.seed ^ 0x6A1);
 
     let mut metrics = QueueMetrics::default();
-    let mut clock = 0.0; // arrival clock
+    let mut records = Vec::with_capacity(samples);
     let mut server_free = 0.0;
     let mut first_arrival = None;
     for _ in 0..samples {
-        clock += arrivals.gap(&mut gap_rng);
+        let clock = stream.next_arrival();
         first_arrival.get_or_insert(clock);
         let idx = sampler.sample(&mut pick_rng);
         let request = &workload.requests()[idx];
@@ -110,9 +138,14 @@ pub fn run_queued(
         metrics.service.push(response);
         metrics.sojourn.push(server_free - clock);
         metrics.busy += response;
+        records.push(QueueRecord {
+            arrival: clock,
+            start,
+            service: response,
+        });
     }
     metrics.horizon = server_free - first_arrival.unwrap_or(0.0);
-    metrics
+    (metrics, records)
 }
 
 #[cfg(test)]
@@ -218,6 +251,27 @@ mod tests {
         let a = run_queued(&mut sim1, &w, 25, spec);
         let b = run_queued(&mut sim2, &w, 25, spec);
         assert_eq!(a.avg_sojourn(), b.avg_sojourn());
+    }
+
+    #[test]
+    fn detailed_records_match_aggregates() {
+        let (mut sim, w) = setup();
+        let spec = ArrivalSpec {
+            per_hour: 10.0,
+            seed: 4,
+        };
+        let (m, records) = run_queued_detailed(&mut sim, &w, 25, spec);
+        assert_eq!(records.len(), 25);
+        let mean =
+            |f: fn(&QueueRecord) -> f64| records.iter().map(f).sum::<f64>() / records.len() as f64;
+        assert!((mean(QueueRecord::wait) - m.avg_wait()).abs() < 1e-9);
+        assert!((mean(|r| r.service) - m.avg_service()).abs() < 1e-9);
+        assert!((mean(QueueRecord::sojourn) - m.avg_sojourn()).abs() < 1e-9);
+        // FCFS on one server: services never overlap, arrivals in order.
+        for pair in records.windows(2) {
+            assert!(pair[1].start >= pair[0].finish() - 1e-9);
+            assert!(pair[1].arrival > pair[0].arrival);
+        }
     }
 
     #[test]

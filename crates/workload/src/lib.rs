@@ -17,6 +17,7 @@
 //! Everything is seeded [`rand_chacha::ChaCha12Rng`]; identical specs produce
 //! identical workloads on every platform.
 
+pub mod arrivals;
 pub mod dist;
 pub mod evolve;
 pub mod object;
@@ -26,6 +27,7 @@ pub mod sampler;
 pub mod stripe;
 pub mod workload;
 
+pub use arrivals::{ArrivalProcess, ArrivalSpec};
 pub use dist::{BoundedPareto, Zipf};
 pub use evolve::EvolutionSpec;
 pub use object::{ObjectRecord, ObjectSizeSpec};

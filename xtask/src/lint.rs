@@ -7,15 +7,16 @@
 //!   f64-seconds arithmetic is how unit bugs and catastrophic cancellation
 //!   sneak into a DES; all clock math must stay behind the newtype.
 //! * **L2 — determinism**: no `std::time::Instant`, `SystemTime` or
-//!   `thread_rng` in the deterministic crates (`des`, `sim`, `core`). The
+//!   `thread_rng` in the deterministic crates (`des`, `sim`, `core`,
+//!   `sched`). The
 //!   simulator must be a pure function of (config, placement, workload,
 //!   seed); wall-clock reads or OS entropy silently break replayability.
 //! * **L3 — iteration order**: no iteration over `HashMap`/`HashSet` in
-//!   simulation-order-sensitive code (`des`, `sim`, `core`). Unordered
+//!   simulation-order-sensitive code (`des`, `sim`, `core`, `sched`). Unordered
 //!   iteration reorders tie-broken events between runs and platforms; use
 //!   `Vec`, `BTreeMap` or sort before iterating.
 //! * **L4 — no panic shortcuts**: no `.unwrap()`/`.expect(` in non-test
-//!   code of the `des`/`sim` hot paths. Invariants there must either be
+//!   code of the `des`/`sim`/`sched` hot paths. Invariants there must either be
 //!   encoded structurally or surfaced as `Result`s the caller can audit.
 //!
 //! Findings can be suppressed via `xtask/lint.allow`: one
@@ -175,8 +176,8 @@ pub fn scan_file(rel: &str, content: &str, allow: &Allowlist) -> Vec<Finding> {
     let code_lines: Vec<String> = content.lines().map(code_portion).collect();
     let mut findings = Vec::new();
 
-    let deterministic = matches!(krate, "des" | "sim" | "core");
-    let hot_path = matches!(krate, "des" | "sim");
+    let deterministic = matches!(krate, "des" | "sim" | "core" | "sched");
+    let hot_path = matches!(krate, "des" | "sim" | "sched");
     let mut push = |rule: &'static str, idx: usize, line: &str| {
         if !allow.allows(rule, rel) {
             findings.push(Finding {
