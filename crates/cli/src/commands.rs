@@ -6,16 +6,21 @@
 
 use crate::args::{ArgError, Args};
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::path::Path;
+use tapesim_faults::{FaultPlan, FaultSpec};
 use tapesim_model::specs::{lto3_drive, lto3_tape, stk_l80_library};
 use tapesim_model::{Bytes, SystemConfig};
 use tapesim_placement::{
     ClusterProbabilityPlacement, ObjectProbabilityPlacement, ParallelBatchPlacement, Placement,
     PlacementPolicy, TapeRole,
 };
-use tapesim_sched::{run_scheduled, PolicyKind, SchedConfig};
+use tapesim_sched::{run_scheduled, run_scheduled_faulty, PolicyKind, SchedConfig};
 use tapesim_sim::Simulator;
-use tapesim_workload::{ArrivalSpec, ObjectSizeSpec, RequestSpec, Workload, WorkloadSpec};
+use tapesim_workload::{
+    replicate_workload, ArrivalSpec, ObjectSizeSpec, ReplicationSpec, RequestSpec, Workload,
+    WorkloadSpec,
+};
 
 /// A command failure with a user-facing message.
 #[derive(Debug)]
@@ -281,6 +286,40 @@ fn smoke_workload() -> Workload {
     .generate()
 }
 
+/// Resolves the `--scheme` sweep list shared by `sched` and `faults`.
+fn parse_schemes(args: &Args) -> Result<Vec<&'static str>, CommandError> {
+    match args.get("scheme").unwrap_or("all") {
+        "all" => Ok(vec!["parallel-batch", "object-prob", "cluster-prob"]),
+        "parallel-batch" | "pbp" => Ok(vec!["parallel-batch"]),
+        "object-prob" | "opp" => Ok(vec!["object-prob"]),
+        "cluster-prob" | "cpp" => Ok(vec!["cluster-prob"]),
+        other => Err(CommandError(format!(
+            "unknown scheme '{other}' (all | parallel-batch | object-prob | cluster-prob)"
+        ))),
+    }
+}
+
+/// Resolves the `--policy` sweep list shared by `sched` and `faults`.
+fn parse_policies(args: &Args) -> Result<Vec<PolicyKind>, CommandError> {
+    match args.get("policy").unwrap_or("all") {
+        "all" => Ok(PolicyKind::ALL.to_vec()),
+        other => Ok(vec![PolicyKind::parse(other).ok_or_else(|| {
+            CommandError(format!(
+                "unknown policy '{other}' (all | fcfs | batch | sltf)"
+            ))
+        })?]),
+    }
+}
+
+/// Builds the placement policy for a canonical scheme name.
+fn placement_for(scheme: &str, m: u8) -> Box<dyn PlacementPolicy> {
+    match scheme {
+        "parallel-batch" => Box::new(ParallelBatchPlacement::with_m(m)),
+        "object-prob" => Box::new(ObjectProbabilityPlacement::default()),
+        _ => Box::new(ClusterProbabilityPlacement::default()),
+    }
+}
+
 /// `tapesim sched` — run the concurrent scheduler over an arrival stream,
 /// sweeping placement schemes × scheduling policies, with trace auditing
 /// on by default (non-zero exit on any invariant breach).
@@ -303,36 +342,13 @@ pub fn sched(args: &Args) -> Result<String, CommandError> {
         seed,
     };
 
-    let scheme_arg = args.get("scheme").unwrap_or("all");
-    let schemes: Vec<&'static str> = match scheme_arg {
-        "all" => vec!["parallel-batch", "object-prob", "cluster-prob"],
-        "parallel-batch" | "pbp" => vec!["parallel-batch"],
-        "object-prob" | "opp" => vec!["object-prob"],
-        "cluster-prob" | "cpp" => vec!["cluster-prob"],
-        other => {
-            return Err(CommandError(format!(
-                "unknown scheme '{other}' (all | parallel-batch | object-prob | cluster-prob)"
-            )))
-        }
-    };
-    let policy_arg = args.get("policy").unwrap_or("all");
-    let policies: Vec<PolicyKind> = match policy_arg {
-        "all" => PolicyKind::ALL.to_vec(),
-        other => vec![PolicyKind::parse(other).ok_or_else(|| {
-            CommandError(format!(
-                "unknown policy '{other}' (all | fcfs | batch | sltf)"
-            ))
-        })?],
-    };
+    let schemes = parse_schemes(args)?;
+    let policies = parse_policies(args)?;
 
     let mut rows = Vec::new();
     let mut dirty = Vec::new();
     for scheme in schemes {
-        let policy: Box<dyn PlacementPolicy> = match scheme {
-            "parallel-batch" => Box::new(ParallelBatchPlacement::with_m(m)),
-            "object-prob" => Box::new(ObjectProbabilityPlacement::default()),
-            _ => Box::new(ClusterProbabilityPlacement::default()),
-        };
+        let policy = placement_for(scheme, m);
         let placement = policy
             .place(&workload, &system)
             .map_err(|e| CommandError(format!("{} failed: {e}", policy.display_name())))?;
@@ -393,6 +409,164 @@ pub fn sched(args: &Args) -> Result<String, CommandError> {
             r.p99_sojourn_s,
             r.mounts,
             r.utilisation,
+        ));
+    }
+    Ok(out)
+}
+
+/// One row of `tapesim faults` output.
+#[derive(Debug, Serialize)]
+struct FaultRow {
+    scheme: &'static str,
+    policy: &'static str,
+    served: u64,
+    lost: u64,
+    retries: u64,
+    failovers: u64,
+    availability: f64,
+    avg_sojourn_s: f64,
+    p99_sojourn_s: f64,
+    degraded_served: u64,
+    mounts: u64,
+}
+
+/// `tapesim faults` — rerun the scheduler sweep under a seeded fault plan
+/// (permanent drive failures, robot-arm jams, media bad spots) and report
+/// degraded-mode metrics: retry and failover counts, losses, and drive
+/// availability.
+///
+/// Auditing is always on — the fault machinery is exactly the code most
+/// likely to violate the DES invariants, so any breach is a non-zero
+/// exit. With a replication budget (`--replicate-gb`, on by default for
+/// `--smoke`), reads that exhaust their retry budget fail over to a
+/// replica copy on another tape; without one they are counted as losses,
+/// never served twice and never dropped silently.
+pub fn faults(args: &Args) -> Result<String, CommandError> {
+    let smoke = args.has("smoke");
+    let base = if smoke {
+        smoke_workload()
+    } else {
+        read_workload(args.require("workload")?)?
+    };
+    let system = system_from(args)?;
+    let m: u8 = args.get_or("m", 4)?;
+    let samples: usize = args.get_or("samples", if smoke { 25 } else { 100 })?;
+    let rate: f64 = args.get_or("rate", 12.0)?;
+    let seed: u64 = args.get_or("seed", 0xD15Cu64)?;
+    let max_batch: usize = args.get_or("max-batch", 0)?;
+    let fault_seed: u64 = args.get_or("fault-seed", 41u64)?;
+    let intensity: f64 = args.get_or("intensity", 1.0)?;
+    let replicate_gb: u64 = args.get_or("replicate-gb", if smoke { 4096 } else { 0 })?;
+    let spec = ArrivalSpec {
+        per_hour: rate,
+        seed,
+    };
+
+    // Start from the calibrated moderate profile, scale it, then let
+    // individual rates be pinned explicitly.
+    let mut fspec = FaultSpec::moderate(fault_seed).scaled(intensity);
+    fspec.drive_mtbf_hours = args.get_or("mtbf-hours", fspec.drive_mtbf_hours)?;
+    fspec.jams_per_hour = args.get_or("jams-per-hour", fspec.jams_per_hour)?;
+    fspec.bad_spots_per_tape = args.get_or("spots-per-tape", fspec.bad_spots_per_tape)?;
+
+    let (workload, alternates, n_copies) = if replicate_gb > 0 {
+        let (w, map) = replicate_workload(
+            &base,
+            ReplicationSpec {
+                budget: Bytes::gb(replicate_gb),
+            },
+        );
+        let n = map.n_copies();
+        (w, map.alternates(), n)
+    } else {
+        (base, BTreeMap::new(), 0)
+    };
+    let plan = FaultPlan::generate(&fspec, &system);
+
+    let schemes = parse_schemes(args)?;
+    let policies = parse_policies(args)?;
+
+    let mut rows = Vec::new();
+    let mut dirty = Vec::new();
+    for scheme in schemes {
+        let policy = placement_for(scheme, m);
+        let placement = policy
+            .place(&workload, &system)
+            .map_err(|e| CommandError(format!("{} failed: {e}", policy.display_name())))?;
+        for &kind in &policies {
+            let mut sim = Simulator::with_natural_policy(placement.clone(), m);
+            let cfg = SchedConfig::new(spec, samples)
+                .with_max_batch(max_batch)
+                .with_audit(true);
+            let out = run_scheduled_faulty(
+                &mut sim,
+                &workload,
+                kind.build().as_ref(),
+                &cfg,
+                &plan,
+                &alternates,
+            );
+            for report in out.reports.iter().filter(|r| !r.is_clean()) {
+                dirty.push(format!("{scheme}/{}: {report}", kind.label()));
+            }
+            rows.push(FaultRow {
+                scheme,
+                policy: kind.label(),
+                served: out.metrics.served(),
+                lost: out.metrics.lost(),
+                retries: out.metrics.retries(),
+                failovers: out.metrics.failovers(),
+                availability: out.metrics.availability(),
+                avg_sojourn_s: out.metrics.avg_sojourn(),
+                p99_sojourn_s: out.metrics.sojourn_percentile(99.0),
+                degraded_served: out.metrics.degraded_served(),
+                mounts: out.metrics.mounts(),
+            });
+        }
+    }
+    if !dirty.is_empty() {
+        return Err(CommandError(format!(
+            "faults audit FAILED:\n{}",
+            dirty.join("\n")
+        )));
+    }
+    if args.has("json") {
+        return Ok(serde_json::to_string_pretty(&rows)?);
+    }
+    let mut out = format!(
+        "faulty run: {samples} requests at {rate}/h, intensity {intensity} \
+         (fault seed {fault_seed}, {} drive failures, {} jams, {} bad spots, \
+         {n_copies} replica copies)\n\
+         {:<15} {:<6} {:>6} {:>4} {:>7} {:>9} {:>6} {:>11} {:>12} {:>8} {:>6}\n",
+        plan.n_drive_failures(),
+        plan.n_jams(),
+        plan.n_spots(),
+        "scheme",
+        "policy",
+        "served",
+        "lost",
+        "retries",
+        "failovers",
+        "avail",
+        "avg sojourn",
+        "p99 sojourn",
+        "degraded",
+        "mounts"
+    );
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<15} {:<6} {:>6} {:>4} {:>7} {:>9} {:>6.3} {:>10.1}s {:>11.1}s {:>8} {:>6}\n",
+            r.scheme,
+            r.policy,
+            r.served,
+            r.lost,
+            r.retries,
+            r.failovers,
+            r.availability,
+            r.avg_sojourn_s,
+            r.p99_sojourn_s,
+            r.degraded_served,
+            r.mounts,
         ));
     }
     Ok(out)
@@ -604,6 +778,115 @@ mod tests {
     fn sched_rejects_unknown_policy() {
         let err = sched(&args("--smoke --policy bogus", SCHED_VALUES, SCHED_BOOLS)).unwrap_err();
         assert!(err.0.contains("unknown policy"), "{err}");
+    }
+
+    const FAULTS_VALUES: &[&str] = &[
+        "workload",
+        "scheme",
+        "policy",
+        "rate",
+        "samples",
+        "seed",
+        "m",
+        "max-batch",
+        "libraries",
+        "tapes",
+        "fault-seed",
+        "intensity",
+        "mtbf-hours",
+        "jams-per-hour",
+        "spots-per-tape",
+        "replicate-gb",
+    ];
+    const FAULTS_BOOLS: &[&str] = &["json", "smoke"];
+
+    #[test]
+    fn faults_smoke_runs_audited_and_reports_counters() {
+        let msg = faults(&args(
+            "--smoke --samples 10 --rate 20",
+            FAULTS_VALUES,
+            FAULTS_BOOLS,
+        ))
+        .unwrap();
+        for label in ["parallel-batch", "object-prob", "cluster-prob"] {
+            assert!(msg.contains(label), "missing scheme {label}: {msg}");
+        }
+        assert!(msg.contains("avail"), "{msg}");
+        assert!(msg.contains("replica copies"), "{msg}");
+    }
+
+    #[test]
+    fn faults_smoke_is_deterministic() {
+        let run = || {
+            faults(&args(
+                "--smoke --samples 8 --rate 15 --policy batch",
+                FAULTS_VALUES,
+                FAULTS_BOOLS,
+            ))
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn faults_json_output() {
+        let msg = faults(&args(
+            "--smoke --samples 5 --policy batch --scheme pbp --json",
+            FAULTS_VALUES,
+            FAULTS_BOOLS,
+        ))
+        .unwrap();
+        assert!(msg.trim_start().starts_with('['), "{msg}");
+        for field in [
+            "\"availability\"",
+            "\"failovers\"",
+            "\"retries\"",
+            "\"lost\"",
+        ] {
+            assert!(msg.contains(field), "missing {field}: {msg}");
+        }
+    }
+
+    /// Extracts the raw value token of `"field": <token>` from pretty
+    /// JSON. Float tokens are shortest-round-trip, so string equality is
+    /// bit equality.
+    fn json_field<'a>(json: &'a str, field: &str) -> &'a str {
+        let pat = format!("\"{field}\": ");
+        let start = json.find(&pat).map(|i| i + pat.len()).unwrap();
+        let rest = &json[start..];
+        let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+        rest[..end].trim()
+    }
+
+    /// With intensity zero and no replication the `faults` command must
+    /// reproduce `sched`'s sojourn figures exactly — the fault gear is a
+    /// strict superset of the fault-free engine.
+    #[test]
+    fn faults_zero_intensity_matches_sched() {
+        let common = "--smoke --samples 8 --rate 15 --policy batch --scheme pbp --json";
+        let plain = sched(&args(common, SCHED_VALUES, SCHED_BOOLS)).unwrap();
+        let faulty = faults(&args(
+            &format!("{common} --intensity 0 --replicate-gb 0"),
+            FAULTS_VALUES,
+            FAULTS_BOOLS,
+        ))
+        .unwrap();
+        for field in ["served", "mounts", "avg_sojourn_s", "p99_sojourn_s"] {
+            assert_eq!(
+                json_field(&plain, field),
+                json_field(&faulty, field),
+                "field {field} diverged"
+            );
+        }
+        assert_eq!(json_field(&faulty, "lost"), "0");
+        assert_eq!(json_field(&faulty, "retries"), "0");
+        assert_eq!(json_field(&faulty, "availability"), "1.0");
+    }
+
+    #[test]
+    fn faults_rejects_unknown_scheme() {
+        let err = faults(&args("--smoke --scheme bogus", FAULTS_VALUES, FAULTS_BOOLS)).unwrap_err();
+        assert!(err.0.contains("unknown scheme"), "{err}");
     }
 
     #[test]

@@ -37,6 +37,13 @@ COMMANDS:
                -w WORKLOAD --scheme all|pbp|opp|cpp --policy all|fcfs|batch|sltf
                --rate PER_HOUR --samples N --seed S --m M --max-batch N
                [--smoke] [--json] [--no-audit]
+  faults     rerun the scheduler sweep under a seeded fault plan (drive
+             failures, robot jams, media bad spots) with retry, replica
+             failover and availability metrics; always audited
+               -w WORKLOAD --scheme all|pbp|opp|cpp --policy all|fcfs|batch|sltf
+               --rate PER_HOUR --samples N --seed S --fault-seed S
+               --intensity X --mtbf-hours H --jams-per-hour R
+               --spots-per-tape R --replicate-gb GB [--smoke] [--json]
   inspect    summarise a placement (batches, per-tape fill map)
                -p PLACEMENT
   help       show this message
@@ -108,6 +115,30 @@ fn main() {
         )
         .map_err(Into::into)
         .and_then(|a| commands::sched(&a)),
+        "faults" => Args::parse(
+            rest,
+            &[
+                "workload",
+                "scheme",
+                "policy",
+                "rate",
+                "samples",
+                "seed",
+                "m",
+                "max-batch",
+                "libraries",
+                "tapes",
+                "fault-seed",
+                "intensity",
+                "mtbf-hours",
+                "jams-per-hour",
+                "spots-per-tape",
+                "replicate-gb",
+            ],
+            &["json", "smoke"],
+        )
+        .map_err(Into::into)
+        .and_then(|a| commands::faults(&a)),
         "inspect" => Args::parse(rest, &["placement"], &[])
             .map_err(Into::into)
             .and_then(|a| commands::inspect(&a)),

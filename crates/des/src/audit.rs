@@ -18,6 +18,18 @@
 //!    after completing.
 //! 7. **Causality** — no job's transfer window starts, and no completion
 //!    fires, before the job was submitted.
+//! 8. **No service on a failed drive** — once a `DriveFailed` records a
+//!    failure instant, no transfer or exchange window on that drive may
+//!    extend past it (the failure is *noticed* later, so the check runs
+//!    over all windows at the end).
+//! 9. **No exchange during a jam** — exchange windows avoid every
+//!    `RobotJammed` window of their library.
+//! 10. **Fault resolution** — every fatal `ReadFaulted` ends in exactly
+//!     one `JobLost` or `FailedOver` (whose replacement job is really
+//!     submitted); losses and failovers happen only with a fault to blame;
+//!     retries stay within the configured cap
+//!     ([`TraceAuditor::with_retry_cap`]). Lost or failed-over jobs count
+//!     as terminally dispatched, not as never-completed.
 //!
 //! Batched service is legal: one `Mounted` may be followed by many
 //! `Transfer` windows for *different* jobs on the same tape (a single
@@ -115,6 +127,28 @@ pub enum ViolationKind {
     TransferAfterCompletion { job: u32 },
     /// Submitted jobs never completed by the end of the trace.
     NeverCompleted { jobs: Vec<u32> },
+    /// A transfer or exchange window on a drive extends past the drive's
+    /// recorded failure instant.
+    ServiceOnFailedDrive {
+        drive: DriveKey,
+        failed_at: SimTime,
+        finish: SimTime,
+    },
+    /// An exchange window overlaps a robot jam window of its library.
+    ExchangeDuringJam {
+        library: u16,
+        arm: u32,
+        start: SimTime,
+    },
+    /// A read burned more retries than the configured budget allows.
+    RetriesExceeded { job: u32, retries: u32, cap: u32 },
+    /// A job was declared lost or failed over without any fault (a fatal
+    /// read on that job, or a drive failure) to justify it.
+    ResolvedWithoutFault { job: u32 },
+    /// A fatal read fault was never resolved by a loss or a failover.
+    UnresolvedFault { job: u32 },
+    /// A failover named a replacement job that was never submitted.
+    FailoverWithoutSubmit { job: u32, replacement: u32 },
 }
 
 impl fmt::Display for Violation {
@@ -206,6 +240,35 @@ impl fmt::Display for Violation {
             ViolationKind::NeverCompleted { jobs } => {
                 write!(f, "submitted jobs never completed: {jobs:?}")
             }
+            ViolationKind::ServiceOnFailedDrive {
+                drive,
+                failed_at,
+                finish,
+            } => write!(
+                f,
+                "{drive} failed at {failed_at} but a window on it runs until {finish}"
+            ),
+            ViolationKind::ExchangeDuringJam {
+                library,
+                arm,
+                start,
+            } => write!(
+                f,
+                "exchange on L{library} arm {arm} starting {start} overlaps a robot jam"
+            ),
+            ViolationKind::RetriesExceeded { job, retries, cap } => {
+                write!(f, "job {job} burned {retries} retries (budget {cap})")
+            }
+            ViolationKind::ResolvedWithoutFault { job } => {
+                write!(f, "job {job} lost or failed over with no fault to blame")
+            }
+            ViolationKind::UnresolvedFault { job } => {
+                write!(f, "job {job} hit a fatal read fault but was never resolved")
+            }
+            ViolationKind::FailoverWithoutSubmit { job, replacement } => write!(
+                f,
+                "job {job} failed over to job {replacement}, which was never submitted"
+            ),
         }
     }
 }
@@ -221,6 +284,12 @@ pub struct AuditReport {
     pub transfers: usize,
     /// Number of exchanges checked for robot exclusivity.
     pub exchanges: usize,
+    /// Number of read-fault events seen.
+    pub faults: usize,
+    /// Number of jobs declared terminally lost.
+    pub losses: usize,
+    /// Number of failovers to replica jobs.
+    pub failovers: usize,
     /// Every breach found, in trace order.
     pub violations: Vec<Violation>,
 }
@@ -263,12 +332,24 @@ impl fmt::Display for AuditReport {
 /// concatenated into one audit) or one whole scheduled run in which jobs
 /// are submitted on arrival and served in batches.
 #[derive(Debug, Default, Clone)]
-pub struct TraceAuditor;
+pub struct TraceAuditor {
+    /// When set, `ReadFaulted` events burning more retries than this are
+    /// flagged ([`ViolationKind::RetriesExceeded`]). The auditor cannot
+    /// know the fault model's budget from the trace alone, so the runner
+    /// passes it in.
+    retry_cap: Option<u32>,
+}
 
 impl TraceAuditor {
     /// A fresh auditor.
     pub fn new() -> Self {
-        TraceAuditor
+        TraceAuditor::default()
+    }
+
+    /// Enforces the per-job retry budget on `ReadFaulted` events.
+    pub fn with_retry_cap(mut self, cap: u32) -> Self {
+        self.retry_cap = Some(cap);
+        self
     }
 
     /// Checks `entries` against every invariant and reports all breaches.
@@ -286,6 +367,17 @@ impl TraceAuditor {
         // Busy intervals, keyed by drive / (library, arm).
         let mut drive_windows: BTreeMap<DriveKey, Vec<Window>> = BTreeMap::new();
         let mut arm_windows: BTreeMap<(u16, u32), Vec<Window>> = BTreeMap::new();
+        // Exchange windows per drive (for the failed-drive check; the
+        // arm-keyed map above loses the drive).
+        let mut drive_exchanges: BTreeMap<DriveKey, Vec<Window>> = BTreeMap::new();
+        // Fault bookkeeping.
+        let mut failed_drives: BTreeMap<DriveKey, SimTime> = BTreeMap::new();
+        let mut jam_windows: BTreeMap<u16, Vec<(SimTime, SimTime)>> = BTreeMap::new();
+        let mut fatal_faults: BTreeMap<u32, SimTime> = BTreeMap::new();
+        // Per job: the instant it was terminally resolved (lost or
+        // failed over).
+        let mut resolved: BTreeMap<u32, SimTime> = BTreeMap::new();
+        let mut failover_edges: Vec<(usize, SimTime, u32, u32)> = Vec::new();
         let mut prev_time = SimTime::ZERO;
 
         for (index, entry) in entries.iter().enumerate() {
@@ -363,6 +455,10 @@ impl TraceAuditor {
                         .entry((drive.library(), arm))
                         .or_default()
                         .push((index, start, finish));
+                    drive_exchanges
+                        .entry(drive)
+                        .or_default()
+                        .push((index, start, finish));
                 }
                 TraceEvent::Mounted { drive, tape } => {
                     let expected = pending_exchange.remove(&drive);
@@ -421,7 +517,7 @@ impl TraceAuditor {
                         ),
                         Some(_) => {}
                     }
-                    if completed.contains_key(&job) {
+                    if completed.contains_key(&job) || resolved.contains_key(&job) {
                         flag(
                             &mut report.violations,
                             ViolationKind::TransferAfterCompletion { job },
@@ -446,11 +542,80 @@ impl TraceAuditor {
                         ),
                         Some(_) => {}
                     }
-                    if completed.insert(job, entry.time).is_some() {
+                    if completed.insert(job, entry.time).is_some() || resolved.contains_key(&job) {
                         flag(
                             &mut report.violations,
                             ViolationKind::CompletedTwice { job },
                         );
+                    }
+                }
+                TraceEvent::DriveFailed { drive, at } => {
+                    failed_drives.entry(drive).or_insert(at);
+                }
+                TraceEvent::RobotJammed {
+                    library,
+                    start,
+                    finish,
+                } => {
+                    if finish < start {
+                        flag(
+                            &mut report.violations,
+                            ViolationKind::NegativeInterval { start, finish },
+                        );
+                    }
+                    jam_windows
+                        .entry(library as u16)
+                        .or_default()
+                        .push((start, finish));
+                }
+                TraceEvent::ReadFaulted {
+                    job,
+                    retries,
+                    fatal,
+                    ..
+                } => {
+                    report.faults += 1;
+                    if !submitted.contains_key(&job) {
+                        flag(&mut report.violations, ViolationKind::UnknownJob { job });
+                    }
+                    if let Some(cap) = self.retry_cap {
+                        if retries > cap {
+                            flag(
+                                &mut report.violations,
+                                ViolationKind::RetriesExceeded { job, retries, cap },
+                            );
+                        }
+                    }
+                    if fatal {
+                        fatal_faults.entry(job).or_insert(entry.time);
+                    }
+                }
+                TraceEvent::JobLost { job } | TraceEvent::FailedOver { job, .. } => {
+                    if let TraceEvent::JobLost { .. } = entry.event {
+                        report.losses += 1;
+                    } else {
+                        report.failovers += 1;
+                    }
+                    if !submitted.contains_key(&job) {
+                        flag(&mut report.violations, ViolationKind::UnknownJob { job });
+                    }
+                    // A terminal resolution needs a fault to blame: a
+                    // fatal read on this job, or a drive failure (jobs
+                    // stranded by dead drives carry no read fault).
+                    if !fatal_faults.contains_key(&job) && failed_drives.is_empty() {
+                        flag(
+                            &mut report.violations,
+                            ViolationKind::ResolvedWithoutFault { job },
+                        );
+                    }
+                    if completed.contains_key(&job) || resolved.insert(job, entry.time).is_some() {
+                        flag(
+                            &mut report.violations,
+                            ViolationKind::CompletedTwice { job },
+                        );
+                    }
+                    if let TraceEvent::FailedOver { job, replacement } = entry.event {
+                        failover_edges.push((index, entry.time, job, replacement));
                     }
                 }
             }
@@ -488,10 +653,76 @@ impl TraceAuditor {
             }
         }
 
-        // Exactly-once service: whatever was submitted must have completed.
+        // No service on a failed drive: the failure is noticed after the
+        // fact, so every window of a failed drive is checked here.
+        let eps = SimTime::from_secs(EPSILON);
+        for (&drive, &failed_at) in &failed_drives {
+            let windows = [drive_windows.get(&drive), drive_exchanges.get(&drive)];
+            for &(index, _, finish) in windows.into_iter().flatten().flatten() {
+                if finish > failed_at + eps {
+                    report.violations.push(Violation {
+                        index,
+                        time: finish,
+                        kind: ViolationKind::ServiceOnFailedDrive {
+                            drive,
+                            failed_at,
+                            finish,
+                        },
+                    });
+                }
+            }
+        }
+
+        // No exchange during a robot jam of its library.
+        for (&(library, arm), windows) in &arm_windows {
+            let Some(jams) = jam_windows.get(&library) else {
+                continue;
+            };
+            for &(index, start, finish) in windows.iter() {
+                let overlaps_jam = jams
+                    .iter()
+                    .any(|&(js, jf)| start + eps < jf && js + eps < finish);
+                if overlaps_jam {
+                    report.violations.push(Violation {
+                        index,
+                        time: start,
+                        kind: ViolationKind::ExchangeDuringJam {
+                            library,
+                            arm,
+                            start,
+                        },
+                    });
+                }
+            }
+        }
+
+        // Every fatal fault ends in a loss or a failover.
+        for (&job, &at) in &fatal_faults {
+            if !resolved.contains_key(&job) && !completed.contains_key(&job) {
+                report.violations.push(Violation {
+                    index: entries.len().saturating_sub(1),
+                    time: at,
+                    kind: ViolationKind::UnresolvedFault { job },
+                });
+            }
+        }
+
+        // Every failover's replacement job really exists.
+        for &(index, time, job, replacement) in &failover_edges {
+            if !submitted.contains_key(&replacement) {
+                report.violations.push(Violation {
+                    index,
+                    time,
+                    kind: ViolationKind::FailoverWithoutSubmit { job, replacement },
+                });
+            }
+        }
+
+        // Exactly-once service: whatever was submitted must have completed
+        // or been terminally resolved (lost / failed over).
         let unserved: Vec<u32> = submitted
             .keys()
-            .filter(|j| !completed.contains_key(j))
+            .filter(|j| !completed.contains_key(j) && !resolved.contains_key(j))
             .copied()
             .collect();
         if !unserved.is_empty() {
@@ -1169,5 +1400,349 @@ mod tests {
             .violations
             .iter()
             .any(|v| matches!(v.kind, ViolationKind::WrongTapeForJob { .. })));
+    }
+
+    #[test]
+    fn flags_service_past_drive_failure() {
+        // The transfer window runs until 10.0 but the drive failed at 4.0
+        // (the failure is noticed — emitted — later, which is legal; the
+        // window overrunning it is not).
+        let trace = vec![
+            entry(
+                0.0,
+                TraceEvent::AssumeMounted {
+                    drive: D0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 0,
+                    tape: TAPE_A,
+                },
+            ),
+            transfer(0.0, D0, TAPE_A, 0, 10.0),
+            entry(10.0, TraceEvent::JobCompleted { job: 0, drive: D0 }),
+            entry(
+                12.0,
+                TraceEvent::DriveFailed {
+                    drive: D0,
+                    at: t(4.0),
+                },
+            ),
+        ];
+        let report = TraceAuditor::new().audit(&trace);
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v.kind,
+                ViolationKind::ServiceOnFailedDrive { drive, .. } if drive == D0
+            )),
+            "{report}"
+        );
+
+        // Same trace with the failure after the window: clean.
+        let mut ok = trace.clone();
+        ok[4] = entry(
+            12.0,
+            TraceEvent::DriveFailed {
+                drive: D0,
+                at: t(10.0),
+            },
+        );
+        assert!(TraceAuditor::new().audit(&ok).is_clean());
+    }
+
+    #[test]
+    fn flags_exchange_during_jam() {
+        let jammed = |s: f64, f: f64| {
+            entry(
+                0.0,
+                TraceEvent::RobotJammed {
+                    library: 0,
+                    start: t(s),
+                    finish: t(f),
+                },
+            )
+        };
+        let mut trace = vec![jammed(5.0, 20.0)];
+        trace.extend(valid_trace()); // its exchange runs 12.0 .. 40.0
+        let report = TraceAuditor::new().audit(&trace);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v.kind, ViolationKind::ExchangeDuringJam { library: 0, .. })),
+            "{report}"
+        );
+
+        // A jam that ends before the exchange starts is fine, as is a jam
+        // in another library.
+        let mut ok = vec![jammed(5.0, 12.0)];
+        ok.extend(valid_trace());
+        assert!(TraceAuditor::new().audit(&ok).is_clean());
+        let mut other = vec![entry(
+            0.0,
+            TraceEvent::RobotJammed {
+                library: 3,
+                start: t(5.0),
+                finish: t(200.0),
+            },
+        )];
+        other.extend(valid_trace());
+        assert!(TraceAuditor::new().audit(&other).is_clean());
+    }
+
+    #[test]
+    fn retry_cap_is_enforced_when_configured() {
+        let mut trace = valid_trace();
+        trace.push(entry(
+            45.0,
+            TraceEvent::ReadFaulted {
+                job: 1,
+                drive: D0,
+                retries: 5,
+                penalty: t(9.0),
+                fatal: false,
+            },
+        ));
+        // Without a cap: no retry violation (the fault is informational).
+        let report = TraceAuditor::new().audit(&trace);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.faults, 1);
+        // With a cap of 3: flagged.
+        let report = TraceAuditor::new().with_retry_cap(3).audit(&trace);
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v.kind,
+                ViolationKind::RetriesExceeded {
+                    job: 1,
+                    retries: 5,
+                    cap: 3
+                }
+            )),
+            "{report}"
+        );
+        // A within-budget fault passes the cap.
+        let report = TraceAuditor::new().with_retry_cap(5).audit(&trace);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn fatal_fault_must_be_resolved() {
+        // Job 0 fatally faults mid-stream and is never lost or failed
+        // over: UnresolvedFault (its JobCompleted is absent too, but the
+        // resolution rule is the specific signal).
+        let trace = vec![
+            entry(
+                0.0,
+                TraceEvent::AssumeMounted {
+                    drive: D0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 0,
+                    tape: TAPE_A,
+                },
+            ),
+            transfer(0.0, D0, TAPE_A, 0, 10.0),
+            entry(
+                0.0,
+                TraceEvent::ReadFaulted {
+                    job: 0,
+                    drive: D0,
+                    retries: 3,
+                    penalty: t(30.0),
+                    fatal: true,
+                },
+            ),
+        ];
+        let report = TraceAuditor::new().audit(&trace);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v.kind, ViolationKind::UnresolvedFault { job: 0 })),
+            "{report}"
+        );
+
+        // Resolving it with a loss makes the trace clean (and the job no
+        // longer counts as never-completed).
+        let mut resolved_trace = trace.clone();
+        resolved_trace.push(entry(10.0, TraceEvent::JobLost { job: 0 }));
+        let report = TraceAuditor::new().audit(&resolved_trace);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.losses, 1);
+    }
+
+    #[test]
+    fn failover_needs_a_submitted_replacement() {
+        let base = |tail: Vec<TraceEntry>| {
+            let mut trace = vec![
+                entry(
+                    0.0,
+                    TraceEvent::AssumeMounted {
+                        drive: D0,
+                        tape: TAPE_A,
+                    },
+                ),
+                entry(
+                    0.0,
+                    TraceEvent::JobSubmitted {
+                        job: 0,
+                        tape: TAPE_A,
+                    },
+                ),
+                transfer(0.0, D0, TAPE_A, 0, 10.0),
+                entry(
+                    0.0,
+                    TraceEvent::ReadFaulted {
+                        job: 0,
+                        drive: D0,
+                        retries: 3,
+                        penalty: t(30.0),
+                        fatal: true,
+                    },
+                ),
+            ];
+            trace.extend(tail);
+            trace
+        };
+
+        // Failover to a phantom job: flagged.
+        let report = TraceAuditor::new().audit(&base(vec![entry(
+            10.0,
+            TraceEvent::FailedOver {
+                job: 0,
+                replacement: 1,
+            },
+        )]));
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v.kind,
+                ViolationKind::FailoverWithoutSubmit {
+                    job: 0,
+                    replacement: 1
+                }
+            )),
+            "{report}"
+        );
+
+        // Failover whose replacement is submitted and served: clean.
+        let report = TraceAuditor::new().audit(&base(vec![
+            entry(
+                10.0,
+                TraceEvent::FailedOver {
+                    job: 0,
+                    replacement: 1,
+                },
+            ),
+            entry(
+                10.0,
+                TraceEvent::JobSubmitted {
+                    job: 1,
+                    tape: TAPE_A,
+                },
+            ),
+            transfer(10.0, D0, TAPE_A, 1, 5.0),
+            entry(15.0, TraceEvent::JobCompleted { job: 1, drive: D0 }),
+        ]));
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.failovers, 1);
+    }
+
+    #[test]
+    fn loss_without_any_fault_is_flagged() {
+        let trace = vec![
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(1.0, TraceEvent::JobLost { job: 0 }),
+        ];
+        let report = TraceAuditor::new().audit(&trace);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v.kind, ViolationKind::ResolvedWithoutFault { job: 0 })),
+            "{report}"
+        );
+
+        // The same loss with a drive failure on record is legitimate
+        // (the job was stranded by the failure).
+        let trace = vec![
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                1.0,
+                TraceEvent::DriveFailed {
+                    drive: D0,
+                    at: t(0.5),
+                },
+            ),
+            entry(1.0, TraceEvent::JobLost { job: 0 }),
+        ];
+        assert!(TraceAuditor::new().audit(&trace).is_clean());
+    }
+
+    #[test]
+    fn resolved_jobs_cannot_stream_or_complete_again() {
+        let trace = vec![
+            entry(
+                0.0,
+                TraceEvent::AssumeMounted {
+                    drive: D0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 0,
+                    tape: TAPE_A,
+                },
+            ),
+            transfer(0.0, D0, TAPE_A, 0, 1.0),
+            entry(
+                0.0,
+                TraceEvent::ReadFaulted {
+                    job: 0,
+                    drive: D0,
+                    retries: 0,
+                    penalty: SimTime::ZERO,
+                    fatal: true,
+                },
+            ),
+            entry(1.0, TraceEvent::JobLost { job: 0 }),
+            transfer(1.0, D0, TAPE_A, 0, 1.0), // streams after loss
+            entry(2.0, TraceEvent::JobCompleted { job: 0, drive: D0 }), // completes after loss
+            entry(2.0, TraceEvent::JobLost { job: 0 }), // resolved twice
+        ];
+        let report = TraceAuditor::new().audit(&trace);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::TransferAfterCompletion { job: 0 })));
+        assert!(
+            report
+                .violations
+                .iter()
+                .filter(|v| matches!(v.kind, ViolationKind::CompletedTwice { job: 0 }))
+                .count()
+                >= 2,
+            "{report}"
+        );
     }
 }

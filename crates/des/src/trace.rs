@@ -112,6 +112,35 @@ pub enum TraceEvent {
     },
     /// `job` finished streaming on `drive`.
     JobCompleted { job: u32, drive: DriveKey },
+    /// `drive` permanently failed at `at`. The event is emitted when the
+    /// scheduler *notices* (at or after `at`); no service window on the
+    /// drive may extend past `at`.
+    DriveFailed { drive: DriveKey, at: SimTime },
+    /// The robot of `library` is jammed (no exchanges) over
+    /// `[start, finish]`. Jam windows are known up front and emitted in
+    /// the trace prologue.
+    RobotJammed {
+        library: u32,
+        start: SimTime,
+        finish: SimTime,
+    },
+    /// `job`'s read on `drive` hit media bad-spots: it burned `retries`
+    /// retries costing `penalty` of extra window time. If `fatal`, the
+    /// retry budget was exhausted and the job must be failed over or
+    /// declared lost.
+    ReadFaulted {
+        job: u32,
+        drive: DriveKey,
+        retries: u32,
+        penalty: SimTime,
+        fatal: bool,
+    },
+    /// `job` terminally failed: retries exhausted and no replica to fail
+    /// over to (or no surviving drive can serve it).
+    JobLost { job: u32 },
+    /// `job`'s data was re-requested from a replica copy as the new job
+    /// `replacement` (which gets its own `JobSubmitted`).
+    FailedOver { job: u32, replacement: u32 },
 }
 
 impl fmt::Display for TraceEvent {
@@ -150,6 +179,29 @@ impl fmt::Display for TraceEvent {
             ),
             TraceEvent::JobCompleted { job, drive } => {
                 write!(f, "{drive} done (job {job})")
+            }
+            TraceEvent::DriveFailed { drive, at } => {
+                write!(f, "{drive} permanently failed at {at}")
+            }
+            TraceEvent::RobotJammed {
+                library,
+                start,
+                finish,
+            } => write!(f, "L{library} robot jammed ({start} .. {finish})"),
+            TraceEvent::ReadFaulted {
+                job,
+                drive,
+                retries,
+                penalty,
+                fatal,
+            } => write!(
+                f,
+                "{drive} read fault on job {job}: {retries} retrie(s), +{penalty}{}",
+                if fatal { ", FATAL" } else { "" }
+            ),
+            TraceEvent::JobLost { job } => write!(f, "job {job} lost"),
+            TraceEvent::FailedOver { job, replacement } => {
+                write!(f, "job {job} failed over to replica job {replacement}")
             }
         }
     }
@@ -234,6 +286,44 @@ mod tests {
         let d = DriveKey::pack(1, 3);
         assert_eq!((d.library(), d.bay()), (1, 3));
         assert_eq!(format!("{d}"), "L1:D3");
+    }
+
+    #[test]
+    fn fault_events_display() {
+        let drive = DriveKey::pack(1, 2);
+        let shown = |e: TraceEvent| format!("{e}");
+        assert_eq!(
+            shown(TraceEvent::DriveFailed {
+                drive,
+                at: SimTime::from_secs(30.0),
+            }),
+            "L1:D2 permanently failed at 30.000s"
+        );
+        assert!(shown(TraceEvent::RobotJammed {
+            library: 0,
+            start: SimTime::from_secs(1.0),
+            finish: SimTime::from_secs(2.0),
+        })
+        .contains("robot jammed"));
+        let faulted = shown(TraceEvent::ReadFaulted {
+            job: 4,
+            drive,
+            retries: 2,
+            penalty: SimTime::from_secs(9.0),
+            fatal: true,
+        });
+        assert!(
+            faulted.contains("2 retrie(s)") && faulted.contains("FATAL"),
+            "{faulted}"
+        );
+        assert_eq!(shown(TraceEvent::JobLost { job: 7 }), "job 7 lost");
+        assert_eq!(
+            shown(TraceEvent::FailedOver {
+                job: 7,
+                replacement: 9,
+            }),
+            "job 7 failed over to replica job 9"
+        );
     }
 
     #[test]

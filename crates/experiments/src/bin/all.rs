@@ -37,6 +37,7 @@ fn main() {
         ("ext_robots", figures::ext_robots::run),
         ("ext_tail", figures::ext_tail::run),
         ("ext_replication", figures::ext_replication::run),
+        ("ext_faults", figures::ext_faults::run),
     ];
     for (name, run) in drivers {
         let t = Instant::now();

@@ -5,6 +5,7 @@
 //! returns an [`tapesim_analysis::ExperimentResult`].
 
 pub mod ext_ablation;
+pub mod ext_faults;
 pub mod ext_online;
 pub mod ext_queue;
 pub mod ext_replication;

@@ -47,6 +47,11 @@ impl LibrarySpec {
                 drives: self.drives,
             });
         }
+        if self.robot.arms == 0 {
+            // `RobotSpec { arms: 0 }` deserializes fine but would wedge
+            // the first exchange forever; reject it up front.
+            return Err(ConfigError::NoRobotArms);
+        }
         Ok(())
     }
 }
@@ -130,6 +135,8 @@ pub enum ConfigError {
         /// Configured drive count.
         drives: u8,
     },
+    /// A robot with zero arms can never perform an exchange.
+    NoRobotArms,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -140,6 +147,9 @@ impl std::fmt::Display for ConfigError {
             ConfigError::NoTapes => write!(f, "at least one tape per library is required"),
             ConfigError::FewerTapesThanDrives { tapes, drives } => {
                 write!(f, "{tapes} tapes cannot feed {drives} drives (need t >= d)")
+            }
+            ConfigError::NoRobotArms => {
+                write!(f, "the robot needs at least one arm to exchange tapes")
             }
         }
     }
@@ -220,5 +230,20 @@ mod tests {
         let mut bad = lib_spec();
         bad.tapes = 0;
         assert_eq!(SystemConfig::new(1, bad).unwrap_err(), ConfigError::NoTapes);
+    }
+
+    #[test]
+    fn zero_arm_robot_is_rejected() {
+        let mut bad = lib_spec();
+        bad.robot.arms = 0;
+        assert_eq!(
+            SystemConfig::new(1, bad).unwrap_err(),
+            ConfigError::NoRobotArms
+        );
+        assert_eq!(bad.validate().unwrap_err(), ConfigError::NoRobotArms);
+        assert!(
+            ConfigError::NoRobotArms.to_string().contains("arm"),
+            "error message should name the arm"
+        );
     }
 }

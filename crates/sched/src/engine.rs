@@ -23,6 +23,30 @@
 //! Physical modelling (rewind, exchange, robot contention, seek plans)
 //! reuses the per-request engine's formulas so both worlds agree on the
 //! hardware.
+//!
+//! # Fault injection
+//!
+//! [`run_scheduled_faulty`] threads a pre-generated
+//! [`tapesim_faults::FaultPlan`] through the concurrent gear. All fault
+//! handling is *guarded*: under a zero plan every fault query returns its
+//! identity value and the run is bit-identical to [`run_scheduled`]
+//! (pinned by regression test). Degraded-mode behaviour:
+//!
+//! * **Drive failures** are noticed lazily at dispatch time (no far-future
+//!   DES events that would distort the horizon): batches are truncated so
+//!   no window outlives the drive, exchanges are only begun if they finish
+//!   before the failure, and a dead drive's mounted tape is recovered via
+//!   the robot and remounted on a surviving drive by normal dispatch.
+//! * **Robot jams** push exchange windows past the repair interval.
+//! * **Media bad-spots** charge retries (capped exponential backoff plus
+//!   reposition-and-reread per retry) against a per-job budget; a job
+//!   whose demand exceeds the budget is *fatal* and is failed over to a
+//!   replica copy (when the placement has one on an untried tape) or
+//!   counted as a terminal loss — never a panic.
+//! * **Batch shrinking**: when a library drops below `d − m` healthy
+//!   drives, its batches are capped at the healthy-drive count.
+//! * Jobs stranded when no feasible drive remains are swept into counted
+//!   losses after the event queue drains.
 
 use crate::metrics::{RequestRecord, SchedMetrics};
 use crate::policy::{SchedPolicy, TapeCandidate};
@@ -31,7 +55,8 @@ use rand_chacha::ChaCha12Rng;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use tapesim_des::audit::{AuditReport, TraceAuditor};
 use tapesim_des::{Resource, Scheduler, SimTime, TraceEvent, Tracer, World};
-use tapesim_model::{Bytes, DriveId, SystemConfig, TapeId};
+use tapesim_faults::{FaultClock, FaultPlan};
+use tapesim_model::{Bytes, DriveId, ObjectId, SystemConfig, TapeId};
 use tapesim_placement::Placement;
 use tapesim_sim::catalog::{tape_jobs, TapeJob};
 use tapesim_sim::engine::MountState;
@@ -109,7 +134,35 @@ pub fn run_scheduled(
     if policy.sequential() {
         run_sequential(sim, workload, cfg)
     } else {
-        run_concurrent(sim, workload, policy, cfg)
+        let plan = FaultPlan::zero(sim.placement().config());
+        run_concurrent(sim, workload, policy, cfg, &plan, &BTreeMap::new())
+    }
+}
+
+/// [`run_scheduled`] with fault injection: drives fail per `plan`, robot
+/// jams delay exchanges, and media bad-spots burn retries. `alternates`
+/// maps each object to its replica copies (from
+/// `tapesim_workload::ReplicaMap::alternates`); jobs whose retries are
+/// exhausted fail over to an untried replica tape or become counted
+/// losses.
+///
+/// With a zero plan the metrics are bit-identical to [`run_scheduled`].
+/// Sequential policies route through the concurrent event gear whenever
+/// the plan is non-zero — the legacy single-server loop has no drive
+/// identities for faults to act on. FCFS order is preserved there by
+/// `Fcfs::choose` (oldest arrival first).
+pub fn run_scheduled_faulty(
+    sim: &mut Simulator,
+    workload: &Workload,
+    policy: &dyn SchedPolicy,
+    cfg: &SchedConfig,
+    plan: &FaultPlan,
+    alternates: &BTreeMap<ObjectId, Vec<ObjectId>>,
+) -> SchedOutcome {
+    if policy.sequential() && plan.is_zero() {
+        run_sequential(sim, workload, cfg)
+    } else {
+        run_concurrent(sim, workload, policy, cfg, plan, alternates)
     }
 }
 
@@ -156,6 +209,12 @@ struct JobState {
     request: usize,
     /// The tape job: target tape plus extents in ascending offset order.
     work: TapeJob,
+    /// The job's read exhausted its retry budget; on completion it must
+    /// fail over or be declared lost instead of counting as served.
+    fatal: bool,
+    /// Tapes already attempted for this data (failover lineage) — a
+    /// replica is only eligible if its tape is not in here.
+    tried: Vec<TapeId>,
 }
 
 /// One outstanding request instance.
@@ -166,6 +225,8 @@ struct ReqState {
     outstanding: usize,
     /// When its first byte started streaming.
     first_start: Option<SimTime>,
+    /// At least one of its jobs was terminally lost.
+    lost: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -203,6 +264,17 @@ struct SchedSim<'a> {
     busy_time: SimTime,
     records: Vec<RequestRecord>,
     tracer: Tracer,
+    /// Fault-plan view; identity answers under a zero plan.
+    clock: FaultClock<'a>,
+    /// Replica fallbacks per object (empty when replication is off).
+    alternates: &'a BTreeMap<ObjectId, Vec<ObjectId>>,
+    /// Drives whose permanent failure has been noticed.
+    dead: Vec<bool>,
+    /// Switch-drive count per library (the `m` of the d−m batch rule).
+    switch_m: Vec<usize>,
+    retries: u64,
+    failovers_n: u64,
+    lost_requests: u64,
 }
 
 impl SchedSim<'_> {
@@ -226,43 +298,89 @@ impl SchedSim<'_> {
         }
     }
 
-    /// Streams up to `batch_cap` queued jobs of `tape` back to back on
-    /// `drive` (already holding the tape), scheduling per-job completions
-    /// and the batch end.
+    /// The batch cap for `drive`, shrunk when its library is degraded:
+    /// once fewer than `d − m` drives survive, batches are capped at the
+    /// healthy-drive count so no single mount monopolises what is left.
+    fn effective_cap(&self, drive: usize) -> usize {
+        let d = self.cfg.library.drives as usize;
+        let lib = drive / d;
+        let healthy = (0..d).filter(|&bay| !self.dead[lib * d + bay]).count();
+        if healthy + self.switch_m[lib] < d {
+            let shrunk = healthy.max(1);
+            if self.batch_cap == 0 {
+                shrunk
+            } else {
+                shrunk.min(self.batch_cap)
+            }
+        } else {
+            self.batch_cap
+        }
+    }
+
+    /// Streams up to [`Self::effective_cap`] queued jobs of `tape` back to
+    /// back on `drive` (already holding the tape), scheduling per-job
+    /// completions and the batch end. Media bad-spots under the read
+    /// extents burn retries — backoff plus one reposition-and-reread per
+    /// retry — against the per-job budget; exhausting it marks the job
+    /// fatal. The batch is truncated so no window outlives the drive's
+    /// failure instant; truncated jobs stay pending.
     fn start_batch(&mut self, drive: usize, tape: TapeId, now: SimTime, sched: &mut Scheduler<Ev>) {
         let spec = &self.cfg.library.drive;
         let capacity = self.cfg.library.tape.capacity;
-        let batch: Vec<usize> = {
-            let Some(queue) = self.pending.get_mut(&tape) else {
-                return;
-            };
-            let take = if self.batch_cap == 0 {
-                queue.len()
-            } else {
-                queue.len().min(self.batch_cap)
-            };
-            queue.drain(..take).collect()
-        };
-        if batch.is_empty() {
-            return;
-        }
-        if self.pending.get(&tape).is_some_and(VecDeque::is_empty) {
-            self.pending.remove(&tape);
-        }
-        self.busy[drive] = true;
+        let fail_at = self.clock.drive_fail_at(drive);
+        let cap = self.effective_cap(drive);
+        let tape_idx = self.cfg.tape_index(tape);
+        let budget = self.clock.max_retries();
         let mut t = now;
-        for job in batch {
+        let mut taken = 0usize;
+        loop {
+            if cap != 0 && taken >= cap {
+                break;
+            }
+            let Some(&job) = self.pending.get(&tape).and_then(VecDeque::front) else {
+                break;
+            };
             let plan = seek_order::plan(self.state.head[drive], &self.jobs[job].work.extents);
             let mut pos = self.state.head[drive];
             let mut seek_s = 0.0;
             let mut xfer_s = 0.0;
+            let mut granted_total = 0u32;
+            let mut extent_retry_s = 0.0;
+            let mut fatal = false;
             for e in &plan {
                 seek_s += spec.position_time(pos, e.offset, capacity);
                 xfer_s += spec.transfer_time(e.size);
                 pos = e.end();
+                let demand = self.clock.spot_demand(tape_idx, e.offset, e.end());
+                if demand > 0 {
+                    let granted = demand.min(budget - granted_total);
+                    granted_total += granted;
+                    extent_retry_s += granted as f64
+                        * (spec.position_time(e.end(), e.offset, capacity)
+                            + spec.transfer_time(e.size));
+                    if demand > granted {
+                        fatal = true;
+                    }
+                }
             }
+            let penalty_s = if granted_total > 0 || fatal {
+                self.clock.backoff_secs(granted_total) + extent_retry_s
+            } else {
+                0.0
+            };
+            // `x + 0.0` preserves the bits of `x`, so the zero-fault
+            // window is identical to the fault-free formula.
+            let finish = t + SimTime::from_secs(seek_s + xfer_s + penalty_s);
+            if finish > fail_at {
+                // The drive dies mid-window: leave this job (and the rest
+                // of the queue) pending for a surviving drive.
+                break;
+            }
+            if let Some(queue) = self.pending.get_mut(&tape) {
+                queue.pop_front();
+            }
+            taken += 1;
             self.state.head[drive] = pos;
-            let finish = t + SimTime::from_secs(seek_s + xfer_s);
             // All of the batch's windows are emitted at `now` (when the
             // batch was planned) so entry timestamps stay monotone; the
             // start/finish fields carry the actual windows.
@@ -279,15 +397,84 @@ impl SchedSim<'_> {
                     finish,
                 },
             );
+            if granted_total > 0 || fatal {
+                self.tracer.emit(
+                    now,
+                    TraceEvent::ReadFaulted {
+                        job: job as u32,
+                        drive: self.drive_id(drive).into(),
+                        retries: granted_total,
+                        penalty: SimTime::from_secs(penalty_s),
+                        fatal,
+                    },
+                );
+                self.jobs[job].fatal = fatal;
+                self.retries += granted_total as u64;
+            }
             let req = self.jobs[job].request;
             self.requests[req].first_start.get_or_insert(t);
             sched.schedule_at(finish, Ev::JobDone { drive, job });
             t = finish;
         }
+        if self.pending.get(&tape).is_some_and(VecDeque::is_empty) {
+            self.pending.remove(&tape);
+        }
+        if taken == 0 {
+            return;
+        }
+        self.busy[drive] = true;
         self.busy_time += t - now;
         // Scheduled after the last JobDone at the same instant, so
         // completions are recorded before the drive re-dispatches.
         sched.schedule_at(t, Ev::BatchDone { drive });
+    }
+
+    /// The earliest request time `>= at` at which an exchange of
+    /// `duration` neither starts inside nor overlaps a jam window of
+    /// `lib`'s robot, accounting for arm availability. Identity when the
+    /// plan has no jams.
+    fn exchange_start(&self, lib: usize, mut at: SimTime, duration: SimTime) -> SimTime {
+        loop {
+            let start = self.robots[lib].earliest_start(at);
+            let pushed = self.clock.robot_ready(lib, start, duration);
+            if pushed == start {
+                return at;
+            }
+            at = pushed;
+        }
+    }
+
+    /// Notices drive failures up to `now` in `lib`: marks the drive dead,
+    /// emits the failure, and recovers its mounted tape (unmount) so a
+    /// surviving drive can fetch it.
+    fn reap_failures(&mut self, lib: usize, now: SimTime) {
+        let d = self.cfg.library.drives as usize;
+        for bay in 0..d {
+            let idx = lib * d + bay;
+            if self.dead[idx] {
+                continue;
+            }
+            let fail_at = self.clock.drive_fail_at(idx);
+            if fail_at <= now {
+                self.dead[idx] = true;
+                self.tracer.emit(
+                    now,
+                    TraceEvent::DriveFailed {
+                        drive: self.drive_id(idx).into(),
+                        at: fail_at,
+                    },
+                );
+                if let Some(tape) = self.state.mounted[idx].take() {
+                    self.tracer.emit(
+                        now,
+                        TraceEvent::Unmounted {
+                            drive: self.drive_id(idx).into(),
+                            tape: tape.into(),
+                        },
+                    );
+                }
+            }
+        }
     }
 
     /// Begins the exchange bringing `tape` onto `drive`.
@@ -313,7 +500,9 @@ impl SchedSim<'_> {
         self.busy[drive] = true;
 
         let rewind_done = now + SimTime::from_secs(rewind_s);
-        let grant = self.robots[lib].acquire(rewind_done, SimTime::from_secs(exchange_s));
+        let exchange = SimTime::from_secs(exchange_s);
+        let at = self.exchange_start(lib, rewind_done, exchange);
+        let grant = self.robots[lib].acquire(at, exchange);
         self.mounts += 1;
         self.tracer.emit(
             now,
@@ -334,6 +523,7 @@ impl SchedSim<'_> {
         let spec = &self.cfg.library.drive;
         let (rewind_s, exchange_s) = self.switch_cost(drive);
         let est_locate = SimTime::from_secs(rewind_s + exchange_s);
+        let cap = self.effective_cap(drive);
         let mut out = Vec::new();
         for (&tape, queue) in &self.pending {
             if tape.library.idx() != lib || queue.is_empty() {
@@ -342,10 +532,10 @@ impl SchedSim<'_> {
             if self.claimed.contains(&tape) || self.state.drive_of(tape).is_some() {
                 continue;
             }
-            let take = if self.batch_cap == 0 {
+            let take = if cap == 0 {
                 queue.len()
             } else {
-                queue.len().min(self.batch_cap)
+                queue.len().min(cap)
             };
             let mut bytes = Bytes::ZERO;
             let mut oldest = SimTime::MAX;
@@ -369,12 +559,13 @@ impl SchedSim<'_> {
     /// tapes first (free batches), then let the policy pick tapes to
     /// fetch onto idle switch drives.
     fn try_dispatch(&mut self, lib: usize, now: SimTime, sched: &mut Scheduler<Ev>) {
+        self.reap_failures(lib, now);
         let d = self.cfg.library.drives as usize;
         // Free batches: an idle drive already holding a tape with queued
         // jobs serves them without any exchange.
         for bay in 0..d {
             let idx = lib * d + bay;
-            if self.busy[idx] {
+            if self.busy[idx] || self.dead[idx] {
                 continue;
             }
             if let Some(tape) = self.state.mounted[idx] {
@@ -385,12 +576,14 @@ impl SchedSim<'_> {
         }
         // Exchanges: repeatedly pick the cheapest idle switch drive (the
         // per-request engine's victim order) and ask the policy which
-        // tape to fetch onto it.
+        // tape to fetch onto it. Drives whose imminent failure would cut
+        // an exchange short are blocked for this dispatch round.
+        let mut blocked: BTreeSet<usize> = BTreeSet::new();
         loop {
             let mut best: Option<(u8, f64, usize)> = None;
             for bay in 0..d {
                 let idx = lib * d + bay;
-                if self.busy[idx] {
+                if self.busy[idx] || self.dead[idx] || blocked.contains(&idx) {
                     continue;
                 }
                 let id = self.drive_id(idx);
@@ -408,6 +601,20 @@ impl SchedSim<'_> {
             let Some((_, _, drive)) = best else {
                 return;
             };
+            let fail_at = self.clock.drive_fail_at(drive);
+            if fail_at < SimTime::MAX {
+                // The exchange (and the mount it produces) must complete
+                // strictly before the drive dies to be worth starting.
+                let (rewind_s, exchange_s) = self.switch_cost(drive);
+                let exchange = SimTime::from_secs(exchange_s);
+                let rewind_done = now + SimTime::from_secs(rewind_s);
+                let at = self.exchange_start(lib, rewind_done, exchange);
+                let start = self.robots[lib].earliest_start(at);
+                if start + exchange > fail_at {
+                    blocked.insert(drive);
+                    continue;
+                }
+            }
             let cands = self.candidates_for(lib, drive);
             if cands.is_empty() {
                 return;
@@ -421,6 +628,94 @@ impl SchedSim<'_> {
             let tape = cand.tape;
             self.claimed.insert(tape);
             self.begin_switch(drive, tape, now, sched);
+        }
+    }
+
+    /// Terminally resolves a job whose read exhausted its retry budget:
+    /// fail over to replica copies on untried tapes when `alternates`
+    /// provides one for every extent, otherwise declare the job lost.
+    fn resolve_fatal(&mut self, job: usize, now: SimTime, sched: &mut Scheduler<Ev>) {
+        let req = self.jobs[job].request;
+        let mut tried = self.jobs[job].tried.clone();
+        tried.push(self.jobs[job].work.tape);
+
+        let mut alt_objects = Vec::with_capacity(self.jobs[job].work.extents.len());
+        let mut resolvable = true;
+        for e in &self.jobs[job].work.extents {
+            let replica = self.alternates.get(&e.object).and_then(|alts| {
+                alts.iter()
+                    .copied()
+                    .find(|&o| !tried.contains(&self.placement.locate(o).tape))
+            });
+            match replica {
+                Some(o) => alt_objects.push(o),
+                None => {
+                    resolvable = false;
+                    break;
+                }
+            }
+        }
+
+        self.outstanding_jobs -= 1;
+        self.requests[req].outstanding -= 1;
+        if resolvable {
+            let replacement_work = tape_jobs(self.placement, &alt_objects);
+            let mut libs = BTreeSet::new();
+            let mut first_replacement = None;
+            for tj in replacement_work {
+                let new_job = self.jobs.len();
+                first_replacement.get_or_insert(new_job);
+                let tape = tj.tape;
+                self.tracer.emit(
+                    now,
+                    TraceEvent::JobSubmitted {
+                        job: new_job as u32,
+                        tape: tape.into(),
+                    },
+                );
+                self.jobs.push(JobState {
+                    request: req,
+                    work: tj,
+                    fatal: false,
+                    tried: tried.clone(),
+                });
+                self.pending.entry(tape).or_default().push_back(new_job);
+                self.outstanding_jobs += 1;
+                self.requests[req].outstanding += 1;
+                self.failovers_n += 1;
+                libs.insert(tape.library.idx());
+            }
+            // One FailedOver per fatal job (the auditor counts a second
+            // resolution as a double completion); extra replacement jobs
+            // are covered by their JobSubmitted events.
+            if let Some(replacement) = first_replacement {
+                self.tracer.emit(
+                    now,
+                    TraceEvent::FailedOver {
+                        job: job as u32,
+                        replacement: replacement as u32,
+                    },
+                );
+            }
+            for lib in libs {
+                self.try_dispatch(lib, now, sched);
+            }
+        } else {
+            self.tracer
+                .emit(now, TraceEvent::JobLost { job: job as u32 });
+            self.requests[req].lost = true;
+        }
+        if self.requests[req].outstanding == 0 {
+            if self.requests[req].lost {
+                self.lost_requests += 1;
+            } else {
+                let r = &self.requests[req];
+                self.records.push(RequestRecord {
+                    arrival: r.arrival,
+                    first_start: r.first_start.unwrap_or(r.arrival),
+                    finish: now,
+                });
+            }
         }
     }
 }
@@ -448,6 +743,7 @@ impl World for SchedSim<'_> {
                     arrival,
                     outstanding: work.len(),
                     first_start: None,
+                    lost: false,
                 });
                 let mut libs = BTreeSet::new();
                 for tj in work {
@@ -463,6 +759,8 @@ impl World for SchedSim<'_> {
                     self.jobs.push(JobState {
                         request: req,
                         work: tj,
+                        fatal: false,
+                        tried: Vec::new(),
                     });
                     self.pending.entry(tape).or_default().push_back(job);
                     self.outstanding_jobs += 1;
@@ -484,6 +782,14 @@ impl World for SchedSim<'_> {
                     },
                 );
                 self.busy[drive] = false;
+                if !self.dead[drive] && self.clock.drive_fail_at(drive) <= now {
+                    // The drive died exactly as the exchange completed
+                    // (the dispatch pre-check rules out anything later):
+                    // recover the tape for a surviving drive.
+                    let lib = self.drive_id(drive).library.idx();
+                    self.try_dispatch(lib, now, sched);
+                    return;
+                }
                 if self.pending.contains_key(&tape) {
                     self.start_batch(drive, tape, now, sched);
                 } else {
@@ -494,6 +800,10 @@ impl World for SchedSim<'_> {
                 }
             }
             Ev::JobDone { drive, job } => {
+                if self.jobs[job].fatal {
+                    self.resolve_fatal(job, now, sched);
+                    return;
+                }
                 self.tracer.emit(
                     now,
                     TraceEvent::JobCompleted {
@@ -505,12 +815,16 @@ impl World for SchedSim<'_> {
                 let req = self.jobs[job].request;
                 self.requests[req].outstanding -= 1;
                 if self.requests[req].outstanding == 0 {
-                    let r = &self.requests[req];
-                    self.records.push(RequestRecord {
-                        arrival: r.arrival,
-                        first_start: r.first_start.unwrap_or(r.arrival),
-                        finish: now,
-                    });
+                    if self.requests[req].lost {
+                        self.lost_requests += 1;
+                    } else {
+                        let r = &self.requests[req];
+                        self.records.push(RequestRecord {
+                            arrival: r.arrival,
+                            first_start: r.first_start.unwrap_or(r.arrival),
+                            finish: now,
+                        });
+                    }
                 }
             }
             Ev::BatchDone { drive } => {
@@ -529,11 +843,25 @@ fn run_concurrent(
     workload: &Workload,
     policy: &dyn SchedPolicy,
     cfg: &SchedConfig,
+    plan: &FaultPlan,
+    alternates: &BTreeMap<ObjectId, Vec<ObjectId>>,
 ) -> SchedOutcome {
     let placement = sim.placement();
     let system = placement.config();
     let n_drives = system.total_drives();
     let n_libs = system.libraries as usize;
+    let d = system.library.drives as usize;
+    let switch_policy = sim.policy();
+    let switch_m: Vec<usize> = (0..n_libs)
+        .map(|lib| {
+            (0..d)
+                .filter(|&bay| {
+                    let id = DriveId::new(tapesim_model::LibraryId(lib as u16), bay as u8);
+                    switch_policy.is_switch_drive(id, system)
+                })
+                .count()
+        })
+        .collect();
 
     // Draw the demand stream exactly as the legacy loop does: arrival
     // time, then request pick, per sample.
@@ -551,7 +879,7 @@ fn run_concurrent(
         cfg: system,
         placement,
         policy,
-        switch_policy: sim.policy(),
+        switch_policy,
         batch_cap: cfg.max_batch,
         arrivals: &arrivals,
         requests_catalog: workload,
@@ -571,6 +899,13 @@ fn run_concurrent(
         } else {
             Tracer::disabled()
         },
+        clock: plan.clock(),
+        alternates,
+        dead: vec![false; n_drives],
+        switch_m,
+        retries: 0,
+        failovers_n: 0,
+        lost_requests: 0,
     };
 
     // Trace prologue: carried-over mounts, so the transcript is
@@ -586,31 +921,97 @@ fn run_concurrent(
             );
         }
     }
+    // ... and the plan's jam windows, known up front, so the auditor can
+    // check exchanges against them.
+    for lib in 0..n_libs {
+        for &(start, finish) in world.clock.jams(lib) {
+            world.tracer.emit(
+                SimTime::ZERO,
+                TraceEvent::RobotJammed {
+                    library: lib as u32,
+                    start,
+                    finish,
+                },
+            );
+        }
+    }
 
     let mut sched: Scheduler<Ev> = Scheduler::new();
     for (i, &(at, _)) in arrivals.iter().enumerate() {
         sched.schedule_at(at, Ev::Arrive(i));
     }
     let end = sched.run(&mut world);
+
+    // Failures nobody dispatched past go unnoticed by the event loop;
+    // surface them now so the trace blames stranded jobs on something.
+    for drive in 0..n_drives {
+        let fail_at = world.clock.drive_fail_at(drive);
+        if !world.dead[drive] && fail_at < SimTime::MAX {
+            world.dead[drive] = true;
+            world.tracer.emit(
+                end,
+                TraceEvent::DriveFailed {
+                    drive: world.drive_id(drive).into(),
+                    at: fail_at,
+                },
+            );
+        }
+    }
+    // Jobs still queued when the system ran out of feasible drives are
+    // terminal losses, never a hang.
+    let stranded: Vec<usize> = world.pending.values().flatten().copied().collect();
+    for job in stranded {
+        world
+            .tracer
+            .emit(end, TraceEvent::JobLost { job: job as u32 });
+        world.outstanding_jobs -= 1;
+        let req = world.jobs[job].request;
+        world.requests[req].outstanding -= 1;
+        world.requests[req].lost = true;
+        if world.requests[req].outstanding == 0 {
+            world.lost_requests += 1;
+        }
+    }
+    world.pending.clear();
     assert_eq!(
         world.outstanding_jobs, 0,
         "scheduler drained with unserved jobs — no eligible switch drive \
          exists; check the policy/config (m >= 1 guarantees progress)"
     );
-    debug_assert_eq!(world.records.len(), cfg.samples);
+    debug_assert_eq!(
+        world.records.len() + world.lost_requests as usize,
+        cfg.samples
+    );
 
     let mut metrics = SchedMetrics::new(n_drives as u32);
     for r in &world.records {
         metrics.record(r);
+        if world.clock.degraded_at(r.arrival) {
+            metrics.record_degraded_sojourn(r);
+        }
     }
     metrics.add_mounts(world.mounts);
     metrics.add_busy_time(world.busy_time);
     let first = arrivals.first().map_or(SimTime::ZERO, |&(at, _)| at);
     metrics.set_horizon_time(end.saturating_sub(first));
     metrics.set_events(sched.events_processed());
+    metrics.add_retries(world.retries);
+    metrics.add_failovers(world.failovers_n);
+    metrics.add_lost(world.lost_requests);
+    if !plan.is_zero() {
+        let span = end.saturating_sub(first);
+        let mut healthy = SimTime::ZERO;
+        for drive in 0..n_drives {
+            let alive_until = world.clock.drive_fail_at(drive).min(end).max(first);
+            healthy += alive_until.saturating_sub(first);
+        }
+        metrics.set_availability(healthy, span);
+    }
 
     let reports = if cfg.audit {
-        vec![TraceAuditor::new().audit(world.tracer.entries())]
+        vec![TraceAuditor::new()
+            .with_retry_cap(plan.spec().max_retries)
+            .audit(world.tracer.entries())]
     } else {
         Vec::new()
     };
@@ -806,6 +1207,187 @@ mod tests {
         );
         assert_eq!(out.metrics.served(), 20);
         assert!(out.is_clean(), "{}", out.reports[0]);
+    }
+
+    /// Exact pre-fault metric bits, captured on the engine before the
+    /// fault subsystem existed (same fixture, `cargo run --example` on
+    /// the parent commit). The fault-aware engine must reproduce every
+    /// one of them — both through the unchanged [`run_scheduled`] entry
+    /// and through [`run_scheduled_faulty`] with a zero plan.
+    #[test]
+    fn zero_fault_metrics_are_bit_identical_to_pre_fault_engine() {
+        let spec = ArrivalSpec {
+            per_hour: 30.0,
+            seed: 3,
+        };
+        let pinned: [(&str, u64, u64, u64, u64, u64); 3] = [
+            (
+                "fcfs",
+                98,
+                0x40c46b755394e20d,
+                0x40c65d08bacc077f,
+                0x3ff0000000000000,
+                0x40d46038dd49a50f,
+            ),
+            (
+                "batch",
+                48,
+                0x40529d576cca9eda,
+                0x40a2447af328a1cc,
+                0x3fe5f4e303f928c2,
+                0x40a7a7bdf96af35f,
+            ),
+            (
+                "sltf",
+                47,
+                0x4060241a1ce6234b,
+                0x40a35a4a0453991d,
+                0x3fe58d3c485b1783,
+                0x40ac06b97120ee25,
+            ),
+        ];
+        for (kind, &(label, mounts, wait, sojourn, util, p99)) in
+            crate::policy::PolicyKind::ALL.iter().zip(&pinned)
+        {
+            assert!(kind.label().starts_with(label), "pin order drifted");
+            let policy = kind.build();
+            let (mut sim, w) = heavy_setup();
+            let out = run_scheduled(&mut sim, &w, policy.as_ref(), &SchedConfig::new(spec, 25));
+
+            let (mut fsim, _) = heavy_setup();
+            let plan = FaultPlan::zero(fsim.placement().config());
+            let fout = run_scheduled_faulty(
+                &mut fsim,
+                &w,
+                policy.as_ref(),
+                &SchedConfig::new(spec, 25),
+                &plan,
+                &BTreeMap::new(),
+            );
+
+            for m in [&out.metrics, &fout.metrics] {
+                assert_eq!(m.served(), 25, "{label}");
+                assert_eq!(m.mounts(), mounts, "{label}");
+                assert_eq!(m.avg_wait().to_bits(), wait, "{label} wait");
+                assert_eq!(m.avg_sojourn().to_bits(), sojourn, "{label} sojourn");
+                assert_eq!(m.utilisation().to_bits(), util, "{label} util");
+                assert_eq!(
+                    m.sojourn_percentile(99.0).to_bits(),
+                    p99,
+                    "{label} p99 sojourn"
+                );
+                assert_eq!((m.retries(), m.failovers(), m.lost()), (0, 0, 0), "{label}");
+                assert_eq!(m.availability(), 1.0, "{label}");
+            }
+        }
+    }
+
+    /// Moderate faults on the switching-regime fixture: every request is
+    /// served or counted lost, fault work is visible in the metrics, and
+    /// the trace still satisfies every auditor invariant (including the
+    /// fault ones).
+    #[test]
+    fn faulty_run_conserves_requests_and_audits_clean() {
+        use tapesim_faults::FaultSpec;
+        let spec = ArrivalSpec {
+            per_hour: 30.0,
+            seed: 3,
+        };
+        for kind in crate::policy::PolicyKind::ALL {
+            let (mut sim, w) = heavy_setup();
+            let plan = FaultPlan::generate(&FaultSpec::moderate(41), sim.placement().config());
+            assert!(!plan.is_zero(), "moderate plan must inject something");
+            let out = run_scheduled_faulty(
+                &mut sim,
+                &w,
+                kind.build().as_ref(),
+                &SchedConfig::new(spec, 25).with_audit(true),
+                &plan,
+                &BTreeMap::new(),
+            );
+            assert_eq!(
+                out.metrics.served() + out.metrics.lost(),
+                25,
+                "{}: conservation",
+                kind.label()
+            );
+            assert!(
+                out.is_clean(),
+                "{}: {:?}",
+                kind.label(),
+                out.reports.iter().find(|r| !r.is_clean())
+            );
+            assert!(
+                out.metrics.availability() <= 1.0 && out.metrics.availability() > 0.0,
+                "{}",
+                kind.label()
+            );
+        }
+    }
+
+    /// With replication-provided alternates, exhausted reads fail over to
+    /// the replica instead of becoming losses.
+    #[test]
+    fn exhausted_reads_fail_over_to_replicas() {
+        use tapesim_faults::FaultSpec;
+        use tapesim_workload::{replicate_workload, ReplicationSpec};
+        let spec = ArrivalSpec {
+            per_hour: 30.0,
+            seed: 3,
+        };
+        let w = WorkloadSpec {
+            objects: 4_000,
+            sizes: ObjectSizeSpec::default().calibrated(Bytes::gb(8)),
+            requests: RequestSpec {
+                count: 60,
+                min_objects: 30,
+                max_objects: 50,
+                count_shape: 1.0,
+                alpha: 0.3,
+            },
+            seed: 17,
+        }
+        .generate();
+        let (replicated, map) = replicate_workload(
+            &w,
+            ReplicationSpec {
+                budget: Bytes::tb(4),
+            },
+        );
+        let alternates = map.alternates();
+        assert!(!alternates.is_empty(), "budget must buy copies");
+        let cfg = paper_table1();
+        let p = ParallelBatchPlacement::with_m(4)
+            .place(&replicated, &cfg)
+            .unwrap();
+        let mut sim = Simulator::with_natural_policy(p, 4);
+        // Heavy media faults so retry budgets actually run dry.
+        let fspec = FaultSpec {
+            bad_spots_per_tape: 40.0,
+            drive_mtbf_hours: 0.0,
+            jams_per_hour: 0.0,
+            ..FaultSpec::moderate(7)
+        };
+        let plan = FaultPlan::generate(&fspec, sim.placement().config());
+        assert!(plan.n_spots() > 0);
+        let out = run_scheduled_faulty(
+            &mut sim,
+            &replicated,
+            &BatchByTape,
+            &SchedConfig::new(spec, 25).with_audit(true),
+            &plan,
+            &alternates,
+        );
+        assert!(out.is_clean(), "{:?}", out.reports.first());
+        assert!(out.metrics.retries() > 0, "spots must cost retries");
+        assert_eq!(out.metrics.served() + out.metrics.lost(), 25);
+        assert!(
+            out.metrics.failovers() > 0,
+            "dense bad-spots with replicas available must fail over \
+             (retries={}, lost={})",
+            out.metrics.retries(),
+            out.metrics.lost()
+        );
     }
 
     #[test]

