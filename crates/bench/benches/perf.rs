@@ -1,0 +1,314 @@
+//! Hot-path throughput bench: runs the same deterministic scheduling
+//! scenario as `BENCH_sched.json` through every DES engine — the legacy
+//! sequential queue gear, the optimized concurrent scheduler, the frozen
+//! pre-optimization baseline (`tapesim_sched::baseline`) and the faulty
+//! concurrent gear — and records events/sec, allocation counts and wall
+//! time into `BENCH_perf.json` at the workspace root.
+//!
+//! Because the optimized and baseline engines are bit-identical on
+//! metrics (pinned by `tapesim-sched`'s regression tests), they process
+//! the *same number of events*, so `speedup_vs_baseline` is a pure
+//! wall-clock ratio measured in one run on one machine — no stale
+//! cross-machine comparison.
+//!
+//! Flags (after `--`):
+//!
+//! * `--smoke` — fewer samples and iterations; skips rewriting
+//!   `BENCH_perf.json` so CI runs never overwrite the committed baseline.
+//! * `--check` — read the committed `BENCH_perf.json` and fail (non-zero
+//!   exit) if any engine's events/sec dropped more than 30% below it.
+//!
+//! Not a Criterion bench: the point is a machine-readable artifact the CI
+//! and later sessions can diff. Run with
+//! `cargo bench -p tapesim-bench --bench perf`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Instant;
+use tapesim_faults::{FaultPlan, FaultSpec};
+use tapesim_model::specs::paper_table1;
+use tapesim_model::Bytes;
+use tapesim_placement::{ParallelBatchPlacement, PlacementPolicy};
+use tapesim_sched::baseline::run_scheduled_baseline;
+use tapesim_sched::{run_scheduled, run_scheduled_faulty, BatchByTape, Fcfs, SchedConfig};
+use tapesim_sim::queue::ArrivalSpec;
+use tapesim_sim::Simulator;
+use tapesim_workload::{ObjectSizeSpec, RequestSpec, Workload, WorkloadSpec};
+
+/// A counting wrapper around the system allocator, active in this bench
+/// binary only. Counts allocation events and requested bytes; frees are
+/// not tracked (throughput benches care about allocator pressure, not
+/// live size).
+#[allow(unsafe_code)]
+mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    struct Counting;
+
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static COUNTER: Counting = Counting;
+
+    /// Current (allocation count, requested bytes) totals.
+    pub fn snapshot() -> (u64, u64) {
+        (
+            ALLOCS.load(Ordering::Relaxed),
+            BYTES.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct EngineRow {
+    engine: String,
+    served: u64,
+    events: u64,
+    events_per_sec: f64,
+    allocs: u64,
+    alloc_bytes: u64,
+    wall_ms: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Report {
+    bench: String,
+    samples: usize,
+    rate_per_hour: f64,
+    iterations: u32,
+    engines: Vec<EngineRow>,
+    /// Optimized concurrent gear over the frozen pre-optimization copy,
+    /// events/sec ratio measured in this same run.
+    speedup_vs_baseline: f64,
+}
+
+const RATE_PER_HOUR: f64 = 24.0;
+
+/// Same workload as the sched bench, so the two artifacts line up.
+fn workload() -> Workload {
+    WorkloadSpec {
+        objects: 4_000,
+        sizes: ObjectSizeSpec::default().calibrated(Bytes::mb(1704)),
+        requests: RequestSpec {
+            count: 80,
+            min_objects: 20,
+            max_objects: 30,
+            count_shape: 1.0,
+            alpha: 0.3,
+        },
+        seed: 5,
+    }
+    .generate()
+}
+
+/// Best-of-N wall time and the best iteration's allocation deltas for one
+/// engine run. Each iteration rebuilds its simulator via `setup` *outside*
+/// the timed window, so the measurement covers the engine alone, not
+/// placement cloning or simulator construction. The scenario is
+/// deterministic, so the fastest iteration is the least-noisy estimate and
+/// every iteration allocates identically.
+fn measure(
+    engine: &str,
+    iterations: u32,
+    mut setup: impl FnMut() -> Simulator,
+    mut run: impl FnMut(Simulator) -> (u64, u64),
+) -> EngineRow {
+    let mut best = f64::INFINITY;
+    let mut best_allocs = 0u64;
+    let mut best_bytes = 0u64;
+    let mut served = 0u64;
+    let mut events = 0u64;
+    for _ in 0..iterations {
+        let sim = setup();
+        let (a0, b0) = alloc_counter::snapshot();
+        let t = Instant::now();
+        let (s, e) = run(sim);
+        let secs = t.elapsed().as_secs_f64();
+        let (a1, b1) = alloc_counter::snapshot();
+        served = s;
+        events = e;
+        if secs < best {
+            best = secs;
+            best_allocs = a1 - a0;
+            best_bytes = b1 - b0;
+        }
+    }
+    let events_per_sec = if best > 0.0 {
+        events as f64 / best
+    } else {
+        0.0
+    };
+    println!(
+        "{:<14}  {:>6} served  {:>10} events  {:>12.0} events/s  {:>10} allocs  {:>12} bytes  wall {:.2}ms",
+        engine,
+        served,
+        events,
+        events_per_sec,
+        best_allocs,
+        best_bytes,
+        best * 1e3
+    );
+    EngineRow {
+        engine: engine.to_string(),
+        served,
+        events,
+        events_per_sec,
+        allocs: best_allocs,
+        alloc_bytes: best_bytes,
+        wall_ms: best * 1e3,
+    }
+}
+
+fn baseline_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_perf.json")
+}
+
+/// Fails the process if any engine's events/sec dropped more than 30%
+/// below the committed baseline artifact.
+fn check_regression(current: &Report) {
+    let text = match std::fs::read_to_string(baseline_path()) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf --check: cannot read committed BENCH_perf.json: {e}");
+            std::process::exit(1);
+        }
+    };
+    let committed: Report = match serde_json::from_str(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf --check: cannot parse committed BENCH_perf.json: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut failures = Vec::new();
+    for old in &committed.engines {
+        // The frozen baseline engine is the comparison anchor, not a
+        // regression target of its own.
+        if old.engine == "sched_baseline" {
+            continue;
+        }
+        let Some(new) = current.engines.iter().find(|r| r.engine == old.engine) else {
+            failures.push(format!("engine '{}' missing from this run", old.engine));
+            continue;
+        };
+        let floor = old.events_per_sec * 0.7;
+        if new.events_per_sec < floor {
+            failures.push(format!(
+                "{}: {:.0} events/s is more than 30% below the committed {:.0}",
+                old.engine, new.events_per_sec, old.events_per_sec
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!("perf --check: no engine regressed >30% vs committed baseline");
+    } else {
+        for f in &failures {
+            eprintln!("perf --check FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let check = argv.iter().any(|a| a == "--check");
+    let (samples, iterations) = if smoke { (120, 2) } else { (400, 5) };
+
+    let system = paper_table1();
+    let w = workload();
+    let placement = ParallelBatchPlacement::with_m(4)
+        .place(&w, &system)
+        .expect("placement");
+    let cfg = SchedConfig::new(
+        ArrivalSpec {
+            per_hour: RATE_PER_HOUR,
+            seed: 0xD15C,
+        },
+        samples,
+    );
+    let zero_plan = FaultPlan::zero(&system);
+    let fault_plan = FaultPlan::generate(&FaultSpec::moderate(41), &system);
+    let no_alternates: BTreeMap<_, _> = BTreeMap::new();
+
+    let fresh_sim = || Simulator::with_natural_policy(placement.clone(), 4);
+    let queued = measure("queued_fcfs", iterations, fresh_sim, |mut sim| {
+        let out = run_scheduled(&mut sim, &w, &Fcfs, &cfg);
+        (out.metrics.served(), out.metrics.events())
+    });
+    let sched = measure("sched", iterations, fresh_sim, |mut sim| {
+        let out = run_scheduled(&mut sim, &w, &BatchByTape, &cfg);
+        (out.metrics.served(), out.metrics.events())
+    });
+    let sched_baseline = measure("sched_baseline", iterations, fresh_sim, |sim| {
+        let out = run_scheduled_baseline(&sim, &w, &BatchByTape, &cfg, &zero_plan, &no_alternates);
+        (out.metrics.served(), out.metrics.events())
+    });
+    let faults = measure("faults", iterations, fresh_sim, |mut sim| {
+        let out = run_scheduled_faulty(
+            &mut sim,
+            &w,
+            &BatchByTape,
+            &cfg,
+            &fault_plan,
+            &no_alternates,
+        );
+        (out.metrics.served(), out.metrics.events())
+    });
+
+    assert_eq!(
+        (sched.served, sched.events),
+        (sched_baseline.served, sched_baseline.events),
+        "optimized and baseline engines diverged — the speedup ratio is \
+         only meaningful while they are bit-identical"
+    );
+    let speedup = if sched_baseline.events_per_sec > 0.0 {
+        sched.events_per_sec / sched_baseline.events_per_sec
+    } else {
+        0.0
+    };
+    println!("speedup vs frozen baseline (same run): {speedup:.2}x");
+
+    let report = Report {
+        bench: "perf".to_string(),
+        samples,
+        rate_per_hour: RATE_PER_HOUR,
+        iterations,
+        engines: vec![queued, sched, sched_baseline, faults],
+        speedup_vs_baseline: speedup,
+    };
+
+    if check {
+        check_regression(&report);
+    }
+    if smoke {
+        println!("smoke mode: BENCH_perf.json left untouched");
+    } else {
+        let out = baseline_path();
+        let pretty = serde_json::to_string_pretty(&report).expect("serialise report");
+        std::fs::write(&out, pretty + "\n").expect("write BENCH_perf.json");
+        println!("wrote {}", out.display());
+    }
+}

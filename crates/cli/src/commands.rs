@@ -15,7 +15,7 @@ use tapesim_placement::{
     ClusterProbabilityPlacement, ObjectProbabilityPlacement, ParallelBatchPlacement, Placement,
     PlacementPolicy, TapeRole,
 };
-use tapesim_sched::{run_scheduled, run_scheduled_faulty, PolicyKind, SchedConfig};
+use tapesim_sched::{run_scheduled, run_scheduled_faulty, AuditMode, PolicyKind, SchedConfig};
 use tapesim_sim::Simulator;
 use tapesim_workload::{
     replicate_workload, ArrivalSpec, ObjectSizeSpec, ReplicationSpec, RequestSpec, Workload,
@@ -49,6 +49,17 @@ impl From<std::io::Error> for CommandError {
 impl From<serde_json::Error> for CommandError {
     fn from(e: serde_json::Error) -> Self {
         CommandError(format!("json error: {e}"))
+    }
+}
+
+/// Parses `--audit-mode streaming|batch` (default: streaming).
+fn parse_audit_mode(args: &Args) -> Result<AuditMode, CommandError> {
+    match args.get("audit-mode") {
+        None | Some("streaming") => Ok(AuditMode::Streaming),
+        Some("batch") => Ok(AuditMode::Batch),
+        Some(other) => Err(CommandError(format!(
+            "flag --audit-mode: expected 'streaming' or 'batch', got '{other}'"
+        ))),
     }
 }
 
@@ -337,6 +348,7 @@ pub fn sched(args: &Args) -> Result<String, CommandError> {
     let seed: u64 = args.get_or("seed", 0xD15Cu64)?;
     let max_batch: usize = args.get_or("max-batch", 0)?;
     let audit = !args.has("no-audit");
+    let audit_mode = parse_audit_mode(args)?;
     let spec = ArrivalSpec {
         per_hour: rate,
         seed,
@@ -356,7 +368,8 @@ pub fn sched(args: &Args) -> Result<String, CommandError> {
             let mut sim = Simulator::with_natural_policy(placement.clone(), m);
             let cfg = SchedConfig::new(spec, samples)
                 .with_max_batch(max_batch)
-                .with_audit(audit);
+                .with_audit(audit)
+                .with_audit_mode(audit_mode);
             let out = run_scheduled(&mut sim, &workload, kind.build().as_ref(), &cfg);
             for report in out.reports.iter().filter(|r| !r.is_clean()) {
                 dirty.push(format!("{scheme}/{}: {report}", kind.label()));
@@ -386,7 +399,11 @@ pub fn sched(args: &Args) -> Result<String, CommandError> {
     let mut out = format!(
         "scheduled run: {samples} requests at {rate}/h (seed {seed}), audit {}\n\
          {:<15} {:<6} {:>6} {:>10} {:>12} {:>12} {:>12} {:>7} {:>6}\n",
-        if audit { "on" } else { "off" },
+        match (audit, audit_mode) {
+            (false, _) => "off",
+            (true, AuditMode::Streaming) => "on (streaming)",
+            (true, AuditMode::Batch) => "on (batch)",
+        },
         "scheme",
         "policy",
         "served",
@@ -456,6 +473,7 @@ pub fn faults(args: &Args) -> Result<String, CommandError> {
     let max_batch: usize = args.get_or("max-batch", 0)?;
     let fault_seed: u64 = args.get_or("fault-seed", 41u64)?;
     let intensity: f64 = args.get_or("intensity", 1.0)?;
+    let audit_mode = parse_audit_mode(args)?;
     let replicate_gb: u64 = args.get_or("replicate-gb", if smoke { 4096 } else { 0 })?;
     let spec = ArrivalSpec {
         per_hour: rate,
@@ -497,7 +515,8 @@ pub fn faults(args: &Args) -> Result<String, CommandError> {
             let mut sim = Simulator::with_natural_policy(placement.clone(), m);
             let cfg = SchedConfig::new(spec, samples)
                 .with_max_batch(max_batch)
-                .with_audit(true);
+                .with_audit(true)
+                .with_audit_mode(audit_mode);
             let out = run_scheduled_faulty(
                 &mut sim,
                 &workload,
@@ -729,6 +748,7 @@ mod tests {
         "max-batch",
         "libraries",
         "tapes",
+        "audit-mode",
     ];
     const SCHED_BOOLS: &[&str] = &["json", "smoke", "no-audit"];
 
@@ -780,6 +800,34 @@ mod tests {
         assert!(err.0.contains("unknown policy"), "{err}");
     }
 
+    #[test]
+    fn sched_audit_modes_agree_and_bad_mode_is_rejected() {
+        let streaming = sched(&args(
+            "--smoke --samples 8 --rate 15 --audit-mode streaming --json",
+            SCHED_VALUES,
+            SCHED_BOOLS,
+        ))
+        .unwrap();
+        let batch = sched(&args(
+            "--smoke --samples 8 --rate 15 --audit-mode batch --json",
+            SCHED_VALUES,
+            SCHED_BOOLS,
+        ))
+        .unwrap();
+        assert_eq!(streaming, batch, "audit mode must not change results");
+
+        let default = sched(&args("--smoke --samples 8", SCHED_VALUES, SCHED_BOOLS)).unwrap();
+        assert!(default.contains("audit on (streaming)"), "{default}");
+
+        let err = sched(&args(
+            "--smoke --audit-mode bogus",
+            SCHED_VALUES,
+            SCHED_BOOLS,
+        ))
+        .unwrap_err();
+        assert!(err.0.contains("audit-mode"), "{err}");
+    }
+
     const FAULTS_VALUES: &[&str] = &[
         "workload",
         "scheme",
@@ -797,6 +845,7 @@ mod tests {
         "jams-per-hour",
         "spots-per-tape",
         "replicate-gb",
+        "audit-mode",
     ];
     const FAULTS_BOOLS: &[&str] = &["json", "smoke"];
 

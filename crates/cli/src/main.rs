@@ -36,7 +36,7 @@ COMMANDS:
              sweeping placement schemes x policies, audited by default
                -w WORKLOAD --scheme all|pbp|opp|cpp --policy all|fcfs|batch|sltf
                --rate PER_HOUR --samples N --seed S --m M --max-batch N
-               [--smoke] [--json] [--no-audit]
+               [--smoke] [--json] [--no-audit] [--audit-mode streaming|batch]
   faults     rerun the scheduler sweep under a seeded fault plan (drive
              failures, robot jams, media bad spots) with retry, replica
              failover and availability metrics; always audited
@@ -44,6 +44,7 @@ COMMANDS:
                --rate PER_HOUR --samples N --seed S --fault-seed S
                --intensity X --mtbf-hours H --jams-per-hour R
                --spots-per-tape R --replicate-gb GB [--smoke] [--json]
+               [--audit-mode streaming|batch]
   inspect    summarise a placement (batches, per-tape fill map)
                -p PLACEMENT
   help       show this message
@@ -110,6 +111,7 @@ fn main() {
                 "max-batch",
                 "libraries",
                 "tapes",
+                "audit-mode",
             ],
             &["json", "smoke", "no-audit"],
         )
@@ -134,6 +136,7 @@ fn main() {
                 "jams-per-hour",
                 "spots-per-tape",
                 "replicate-gb",
+                "audit-mode",
             ],
             &["json", "smoke"],
         )

@@ -274,7 +274,7 @@ impl fmt::Display for Violation {
 }
 
 /// Summary of one audit pass.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AuditReport {
     /// Number of entries examined.
     pub entries: usize,
@@ -729,6 +729,444 @@ impl TraceAuditor {
             report.violations.push(Violation {
                 index: entries.len().saturating_sub(1),
                 time: prev_time,
+                kind: ViolationKind::NeverCompleted { jobs: unserved },
+            });
+        }
+
+        report.violations.sort_by_key(|v| v.index);
+        report
+    }
+}
+
+impl TraceAuditor {
+    /// Begins a streaming audit: feed entries one at a time with
+    /// [`AuditStream::push`] as the simulation emits them, then collect
+    /// the verdict with [`AuditStream::finish`]. Produces exactly the
+    /// report [`TraceAuditor::audit`] would on the same entry sequence
+    /// (the equivalence is pinned by proptest), without the caller ever
+    /// materialising a trace `Vec`.
+    pub fn stream(&self) -> AuditStream {
+        AuditStream {
+            retry_cap: self.retry_cap,
+            ..AuditStream::default()
+        }
+    }
+}
+
+/// An in-flight streaming audit (see [`TraceAuditor::stream`]).
+///
+/// The batch path buffers every [`TraceEntry`] — event payload included —
+/// and replays the buffer at the end. This consumes entries online and
+/// keeps only the audit state itself: per-entity maps that grow with
+/// *active* entities (mounted drives, pending exchanges, per-job
+/// lifecycle facts) plus compact per-resource busy-window triples.
+///
+/// The windows are the irreducible part: drive/robot exclusivity is
+/// defined on *start-sorted adjacent pairs* over the whole run, and a
+/// `DriveFailed` may arrive after the fact with a failure instant in the
+/// past, indicting windows streamed long before. Both checks are
+/// inherently end-of-trace, so the `(index, start, finish)` triples are
+/// retained — but never the entries that produced them.
+#[derive(Debug, Default)]
+pub struct AuditStream {
+    retry_cap: Option<u32>,
+    /// Index the next pushed entry will get (= entries seen so far).
+    index: usize,
+    prev_time: SimTime,
+    /// Counters and inline violations accumulate here as entries arrive;
+    /// [`AuditStream::finish`] appends the end-of-trace passes.
+    report: AuditReport,
+    mounted: BTreeMap<DriveKey, TapeKey>,
+    pending_exchange: BTreeMap<DriveKey, TapeKey>,
+    submitted: BTreeMap<u32, (TapeKey, SimTime)>,
+    completed: BTreeMap<u32, SimTime>,
+    resolved: BTreeMap<u32, SimTime>,
+    drive_windows: BTreeMap<DriveKey, Vec<Window>>,
+    arm_windows: BTreeMap<(u16, u32), Vec<Window>>,
+    drive_exchanges: BTreeMap<DriveKey, Vec<Window>>,
+    failed_drives: BTreeMap<DriveKey, SimTime>,
+    jam_windows: BTreeMap<u16, Vec<(SimTime, SimTime)>>,
+    fatal_faults: BTreeMap<u32, SimTime>,
+    failover_edges: Vec<(usize, SimTime, u32, u32)>,
+}
+
+impl AuditStream {
+    /// Consumes one trace entry, checking every inline invariant.
+    pub fn push(&mut self, entry: &TraceEntry) {
+        let index = self.index;
+        self.index += 1;
+        let flag = |sink: &mut Vec<Violation>, kind: ViolationKind| {
+            sink.push(Violation {
+                index,
+                time: entry.time,
+                kind,
+            });
+        };
+
+        if entry.time < self.prev_time {
+            flag(
+                &mut self.report.violations,
+                ViolationKind::TimeWentBackwards {
+                    previous: self.prev_time,
+                },
+            );
+        }
+        self.prev_time = self.prev_time.max(entry.time);
+
+        match entry.event {
+            TraceEvent::AssumeMounted { drive, tape } => {
+                if self.mounted.contains_key(&drive) {
+                    flag(
+                        &mut self.report.violations,
+                        ViolationKind::DuplicateAssume { drive },
+                    );
+                }
+                self.mounted.insert(drive, tape);
+            }
+            TraceEvent::JobSubmitted { job, tape } => {
+                if self.submitted.insert(job, (tape, entry.time)).is_some() {
+                    flag(
+                        &mut self.report.violations,
+                        ViolationKind::DuplicateSubmit { job },
+                    );
+                }
+            }
+            TraceEvent::Unmounted { drive, tape } => {
+                let actual = self.mounted.remove(&drive);
+                if actual != Some(tape) {
+                    flag(
+                        &mut self.report.violations,
+                        ViolationKind::UnmountMismatch {
+                            drive,
+                            claimed: tape,
+                            actual,
+                        },
+                    );
+                }
+            }
+            TraceEvent::ExchangeBegun {
+                drive,
+                tape,
+                arm,
+                start,
+                finish,
+            } => {
+                self.report.exchanges += 1;
+                if let Some(&held) = self.mounted.get(&drive) {
+                    flag(
+                        &mut self.report.violations,
+                        ViolationKind::ExchangeWhileMounted { drive, held },
+                    );
+                }
+                if finish < start {
+                    flag(
+                        &mut self.report.violations,
+                        ViolationKind::NegativeInterval { start, finish },
+                    );
+                }
+                self.pending_exchange.insert(drive, tape);
+                self.arm_windows
+                    .entry((drive.library(), arm))
+                    .or_default()
+                    .push((index, start, finish));
+                self.drive_exchanges
+                    .entry(drive)
+                    .or_default()
+                    .push((index, start, finish));
+            }
+            TraceEvent::Mounted { drive, tape } => {
+                let expected = self.pending_exchange.remove(&drive);
+                if expected != Some(tape) {
+                    flag(
+                        &mut self.report.violations,
+                        ViolationKind::MountWithoutExchange {
+                            drive,
+                            tape,
+                            expected,
+                        },
+                    );
+                }
+                self.mounted.insert(drive, tape);
+            }
+            TraceEvent::Transfer {
+                drive,
+                tape,
+                job,
+                start,
+                finish,
+                ..
+            } => {
+                self.report.transfers += 1;
+                let held = self.mounted.get(&drive).copied();
+                if held != Some(tape) {
+                    flag(
+                        &mut self.report.violations,
+                        ViolationKind::ReadWithoutMount { drive, tape, held },
+                    );
+                }
+                if finish < start {
+                    flag(
+                        &mut self.report.violations,
+                        ViolationKind::NegativeInterval { start, finish },
+                    );
+                }
+                let eps = SimTime::from_secs(EPSILON);
+                match self.submitted.get(&job) {
+                    None => flag(
+                        &mut self.report.violations,
+                        ViolationKind::UnknownJob { job },
+                    ),
+                    Some(&(sub, _)) if sub != tape => flag(
+                        &mut self.report.violations,
+                        ViolationKind::WrongTapeForJob {
+                            job,
+                            submitted: sub,
+                            streamed: tape,
+                        },
+                    ),
+                    Some(&(_, at)) if start + eps < at => flag(
+                        &mut self.report.violations,
+                        ViolationKind::ServedBeforeSubmit {
+                            job,
+                            submitted: at,
+                            start,
+                        },
+                    ),
+                    Some(_) => {}
+                }
+                if self.completed.contains_key(&job) || self.resolved.contains_key(&job) {
+                    flag(
+                        &mut self.report.violations,
+                        ViolationKind::TransferAfterCompletion { job },
+                    );
+                }
+                self.drive_windows
+                    .entry(drive)
+                    .or_default()
+                    .push((index, start, finish));
+            }
+            TraceEvent::JobCompleted { job, .. } => {
+                let eps = SimTime::from_secs(EPSILON);
+                match self.submitted.get(&job) {
+                    None => flag(
+                        &mut self.report.violations,
+                        ViolationKind::UnknownJob { job },
+                    ),
+                    Some(&(_, at)) if entry.time + eps < at => flag(
+                        &mut self.report.violations,
+                        ViolationKind::ServedBeforeSubmit {
+                            job,
+                            submitted: at,
+                            start: entry.time,
+                        },
+                    ),
+                    Some(_) => {}
+                }
+                if self.completed.insert(job, entry.time).is_some()
+                    || self.resolved.contains_key(&job)
+                {
+                    flag(
+                        &mut self.report.violations,
+                        ViolationKind::CompletedTwice { job },
+                    );
+                }
+            }
+            TraceEvent::DriveFailed { drive, at } => {
+                self.failed_drives.entry(drive).or_insert(at);
+            }
+            TraceEvent::RobotJammed {
+                library,
+                start,
+                finish,
+            } => {
+                if finish < start {
+                    flag(
+                        &mut self.report.violations,
+                        ViolationKind::NegativeInterval { start, finish },
+                    );
+                }
+                self.jam_windows
+                    .entry(library as u16)
+                    .or_default()
+                    .push((start, finish));
+            }
+            TraceEvent::ReadFaulted {
+                job,
+                retries,
+                fatal,
+                ..
+            } => {
+                self.report.faults += 1;
+                if !self.submitted.contains_key(&job) {
+                    flag(
+                        &mut self.report.violations,
+                        ViolationKind::UnknownJob { job },
+                    );
+                }
+                if let Some(cap) = self.retry_cap {
+                    if retries > cap {
+                        flag(
+                            &mut self.report.violations,
+                            ViolationKind::RetriesExceeded { job, retries, cap },
+                        );
+                    }
+                }
+                if fatal {
+                    self.fatal_faults.entry(job).or_insert(entry.time);
+                }
+            }
+            TraceEvent::JobLost { job } | TraceEvent::FailedOver { job, .. } => {
+                if let TraceEvent::JobLost { .. } = entry.event {
+                    self.report.losses += 1;
+                } else {
+                    self.report.failovers += 1;
+                }
+                if !self.submitted.contains_key(&job) {
+                    flag(
+                        &mut self.report.violations,
+                        ViolationKind::UnknownJob { job },
+                    );
+                }
+                if !self.fatal_faults.contains_key(&job) && self.failed_drives.is_empty() {
+                    flag(
+                        &mut self.report.violations,
+                        ViolationKind::ResolvedWithoutFault { job },
+                    );
+                }
+                if self.completed.contains_key(&job)
+                    || self.resolved.insert(job, entry.time).is_some()
+                {
+                    flag(
+                        &mut self.report.violations,
+                        ViolationKind::CompletedTwice { job },
+                    );
+                }
+                if let TraceEvent::FailedOver { job, replacement } = entry.event {
+                    self.failover_edges
+                        .push((index, entry.time, job, replacement));
+                }
+            }
+        }
+    }
+
+    /// Consumes every entry of `entries` in order.
+    pub fn push_all(&mut self, entries: &[TraceEntry]) {
+        for entry in entries {
+            self.push(entry);
+        }
+    }
+
+    /// Runs the end-of-trace passes (exclusivity, failed-drive forensics,
+    /// jam overlap, fault-resolution accounting, exactly-once service)
+    /// and returns the complete report — identical to what
+    /// [`TraceAuditor::audit`] produces on the same entries, end-pass
+    /// order and final index sort included.
+    pub fn finish(mut self) -> AuditReport {
+        let mut report = self.report;
+        report.entries = self.index;
+        report.jobs = self.submitted.len();
+
+        for (drive, windows) in &mut self.drive_windows {
+            for (index, finish, start) in overlaps(windows) {
+                report.violations.push(Violation {
+                    index,
+                    time: start,
+                    kind: ViolationKind::DriveOverlap {
+                        drive: *drive,
+                        first_finish: finish,
+                        second_start: start,
+                    },
+                });
+            }
+        }
+        for ((library, arm), windows) in &mut self.arm_windows {
+            for (index, finish, start) in overlaps(windows) {
+                report.violations.push(Violation {
+                    index,
+                    time: start,
+                    kind: ViolationKind::RobotOverlap {
+                        library: *library,
+                        arm: *arm,
+                        first_finish: finish,
+                        second_start: start,
+                    },
+                });
+            }
+        }
+
+        let eps = SimTime::from_secs(EPSILON);
+        for (&drive, &failed_at) in &self.failed_drives {
+            let windows = [
+                self.drive_windows.get(&drive),
+                self.drive_exchanges.get(&drive),
+            ];
+            for &(index, _, finish) in windows.into_iter().flatten().flatten() {
+                if finish > failed_at + eps {
+                    report.violations.push(Violation {
+                        index,
+                        time: finish,
+                        kind: ViolationKind::ServiceOnFailedDrive {
+                            drive,
+                            failed_at,
+                            finish,
+                        },
+                    });
+                }
+            }
+        }
+
+        for (&(library, arm), windows) in &self.arm_windows {
+            let Some(jams) = self.jam_windows.get(&library) else {
+                continue;
+            };
+            for &(index, start, finish) in windows.iter() {
+                let overlaps_jam = jams
+                    .iter()
+                    .any(|&(js, jf)| start + eps < jf && js + eps < finish);
+                if overlaps_jam {
+                    report.violations.push(Violation {
+                        index,
+                        time: start,
+                        kind: ViolationKind::ExchangeDuringJam {
+                            library,
+                            arm,
+                            start,
+                        },
+                    });
+                }
+            }
+        }
+
+        for (&job, &at) in &self.fatal_faults {
+            if !self.resolved.contains_key(&job) && !self.completed.contains_key(&job) {
+                report.violations.push(Violation {
+                    index: self.index.saturating_sub(1),
+                    time: at,
+                    kind: ViolationKind::UnresolvedFault { job },
+                });
+            }
+        }
+
+        for &(index, time, job, replacement) in &self.failover_edges {
+            if !self.submitted.contains_key(&replacement) {
+                report.violations.push(Violation {
+                    index,
+                    time,
+                    kind: ViolationKind::FailoverWithoutSubmit { job, replacement },
+                });
+            }
+        }
+
+        let unserved: Vec<u32> = self
+            .submitted
+            .keys()
+            .filter(|j| !self.completed.contains_key(j) && !self.resolved.contains_key(j))
+            .copied()
+            .collect();
+        if !unserved.is_empty() {
+            report.violations.push(Violation {
+                index: self.index.saturating_sub(1),
+                time: self.prev_time,
                 kind: ViolationKind::NeverCompleted { jobs: unserved },
             });
         }
@@ -1744,5 +2182,264 @@ mod tests {
                 >= 2,
             "{report}"
         );
+    }
+
+    /// Every subtlety the streaming auditor must mirror, checked against
+    /// the batch verdict on crafted traces: duplicate-submit overwrite,
+    /// completed-then-resolved short-circuit, late `DriveFailed`
+    /// indicting old windows, jams, overlap adjacency, retry caps,
+    /// dangling failovers and never-completed jobs.
+    #[test]
+    fn streaming_matches_batch_on_crafted_traces() {
+        let late_failure = vec![
+            entry(
+                0.0,
+                TraceEvent::AssumeMounted {
+                    drive: D0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 0,
+                    tape: TAPE_A,
+                },
+            ),
+            // Duplicate submit overwrites the tape on record.
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 0,
+                    tape: TAPE_B,
+                },
+            ),
+            transfer(1.0, D0, TAPE_A, 0, 5.0),
+            entry(6.0, TraceEvent::JobCompleted { job: 0, drive: D0 }),
+            // Resolution after completion: flagged, but must NOT mark the
+            // job resolved (the batch path short-circuits the insert).
+            entry(6.0, TraceEvent::JobLost { job: 0 }),
+            // The failure instant is in the past — it indicts the window
+            // streamed five entries ago.
+            entry(
+                7.0,
+                TraceEvent::DriveFailed {
+                    drive: D0,
+                    at: t(3.0),
+                },
+            ),
+        ];
+        let overlapping = vec![
+            entry(
+                0.0,
+                TraceEvent::AssumeMounted {
+                    drive: D0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 1,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 2,
+                    tape: TAPE_A,
+                },
+            ),
+            // Three windows where only the sorted-adjacent pairs overlap.
+            transfer(0.0, D0, TAPE_A, 0, 100.0),
+            transfer(1.0, D0, TAPE_A, 1, 1.0),
+            transfer(3.0, D0, TAPE_A, 2, 47.0),
+            entry(100.0, TraceEvent::JobCompleted { job: 0, drive: D0 }),
+            entry(100.0, TraceEvent::JobCompleted { job: 1, drive: D0 }),
+            entry(100.0, TraceEvent::JobCompleted { job: 2, drive: D0 }),
+        ];
+        let faults_and_jams = vec![
+            entry(
+                0.0,
+                TraceEvent::RobotJammed {
+                    library: 0,
+                    start: t(4.0),
+                    finish: t(6.0),
+                },
+            ),
+            entry(
+                0.0,
+                TraceEvent::JobSubmitted {
+                    job: 0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                1.0,
+                TraceEvent::ExchangeBegun {
+                    drive: D0,
+                    tape: TAPE_A,
+                    arm: 0,
+                    start: t(5.0),
+                    finish: t(7.0),
+                },
+            ),
+            entry(
+                7.0,
+                TraceEvent::Mounted {
+                    drive: D0,
+                    tape: TAPE_A,
+                },
+            ),
+            entry(
+                7.0,
+                TraceEvent::ReadFaulted {
+                    job: 0,
+                    drive: D0,
+                    retries: 9,
+                    penalty: t(1.0),
+                    fatal: true,
+                },
+            ),
+            // Failover to a replacement that is never submitted; the
+            // fatal fault on job 1 is never resolved either.
+            entry(
+                8.0,
+                TraceEvent::FailedOver {
+                    job: 0,
+                    replacement: 77,
+                },
+            ),
+            entry(
+                8.0,
+                TraceEvent::ReadFaulted {
+                    job: 1,
+                    drive: D1,
+                    retries: 1,
+                    penalty: t(1.0),
+                    fatal: true,
+                },
+            ),
+            // Time goes backwards, and job 2 is submitted but never done.
+            entry(
+                7.5,
+                TraceEvent::JobSubmitted {
+                    job: 2,
+                    tape: TAPE_B,
+                },
+            ),
+        ];
+        for (label, trace) in [
+            ("valid", valid_trace()),
+            ("late_failure", late_failure),
+            ("overlapping", overlapping),
+            ("faults_and_jams", faults_and_jams),
+            ("empty", Vec::new()),
+        ] {
+            for auditor in [TraceAuditor::new(), TraceAuditor::new().with_retry_cap(3)] {
+                let batch = auditor.audit(&trace);
+                let mut stream = auditor.stream();
+                stream.push_all(&trace);
+                assert_eq!(stream.finish(), batch, "{label}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod streaming_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Decodes one generated 4-tuple into a trace entry. Small id spaces
+    /// force collisions (duplicate submits, wrong tapes, double
+    /// completions); the clock mostly advances but can step back; window
+    /// endpoints can precede submissions or their own starts.
+    fn decode(v: u32, a: u32, b: u32, c: u32, clock: &mut f64) -> TraceEntry {
+        *clock = (*clock + (c % 8) as f64 * 0.25 - 0.25).max(0.0);
+        let drive = DriveKey(a % 3);
+        let tape = TapeKey(u64::from(b) % 4);
+        let job = (a / 3) % 6;
+        let start = SimTime::from_secs((*clock + ((c / 8) % 4) as f64 * 0.5 - 0.5).max(0.0));
+        let finish = SimTime::from_secs((*clock + ((c / 32) % 4) as f64 * 0.75 - 0.25).max(0.0));
+        let event = match v {
+            0 => TraceEvent::AssumeMounted { drive, tape },
+            1 => TraceEvent::JobSubmitted { job, tape },
+            2 => TraceEvent::Unmounted { drive, tape },
+            3 => TraceEvent::ExchangeBegun {
+                drive,
+                tape,
+                arm: b % 2,
+                start,
+                finish,
+            },
+            4 => TraceEvent::Mounted { drive, tape },
+            5 => TraceEvent::Transfer {
+                drive,
+                tape,
+                job,
+                extents: 1,
+                seek: SimTime::ZERO,
+                transfer: SimTime::from_secs(0.5),
+                start,
+                finish,
+            },
+            6 => TraceEvent::JobCompleted { job, drive },
+            7 => TraceEvent::DriveFailed { drive, at: start },
+            8 => TraceEvent::RobotJammed {
+                library: a % 2,
+                start,
+                finish,
+            },
+            9 => TraceEvent::ReadFaulted {
+                job,
+                drive,
+                retries: b % 5,
+                penalty: SimTime::from_secs(1.0),
+                fatal: c % 2 == 1,
+            },
+            10 => TraceEvent::JobLost { job },
+            _ => TraceEvent::FailedOver {
+                job,
+                replacement: (b / 4) % 8,
+            },
+        };
+        TraceEntry {
+            time: SimTime::from_secs(*clock),
+            event,
+        }
+    }
+
+    proptest! {
+        /// The streaming auditor returns the exact report — counters,
+        /// violation kinds, indices, timestamps and order — that the
+        /// batch auditor produces on the same entries, for arbitrary
+        /// (including deeply malformed) traces and any retry cap.
+        #[test]
+        fn streaming_audit_is_verdict_identical_to_batch(
+            raw in proptest::collection::vec((0u32..12, 0u32..64, 0u32..64, 0u32..256), 0..150),
+            cap in 0u32..6,
+        ) {
+            let mut clock = 0.0;
+            let trace: Vec<TraceEntry> = raw
+                .iter()
+                .map(|&(v, a, b, c)| decode(v, a, b, c, &mut clock))
+                .collect();
+            for auditor in [TraceAuditor::new(), TraceAuditor::new().with_retry_cap(cap)] {
+                let batch = auditor.audit(&trace);
+                let mut stream = auditor.stream();
+                stream.push_all(&trace);
+                let streamed = stream.finish();
+                prop_assert_eq!(&streamed, &batch);
+            }
+        }
     }
 }

@@ -59,7 +59,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use audit::{AuditReport, TraceAuditor, Violation, ViolationKind};
+pub use audit::{AuditReport, AuditStream, TraceAuditor, Violation, ViolationKind};
 pub use queue::{EventHandle, EventQueue};
 pub use resource::Resource;
 pub use scheduler::{RunOutcome, Scheduler, World};

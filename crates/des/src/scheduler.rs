@@ -127,6 +127,19 @@ impl<E> Scheduler<E> {
         horizon: SimTime,
         max_events: u64,
     ) -> (RunOutcome, SimTime) {
+        if horizon == SimTime::MAX && max_events == u64::MAX {
+            // Unbounded run (the common case behind [`Scheduler::run`]):
+            // the horizon is inclusive, so even a `SimTime::MAX` event is
+            // dispatched, and the budget cannot be exhausted — pop
+            // directly instead of peeking the heap top twice per event.
+            while let Some((time, event)) = self.queue.pop() {
+                debug_assert!(time >= self.now, "event queue went backwards in time");
+                self.now = time;
+                self.events_processed += 1;
+                world.handle(time, event, self);
+            }
+            return (RunOutcome::Drained, self.now);
+        }
         let mut budget = max_events;
         loop {
             if budget == 0 {

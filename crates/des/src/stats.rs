@@ -114,20 +114,55 @@ impl Welford {
 /// ability to answer order-statistic queries (median, p99 tails) exactly.
 /// Simulation runs are bounded (a few hundred to a few hundred thousand
 /// requests), so retention is cheap; for unbounded streams use [`Welford`].
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Percentile queries sort lazily, once: the first
+/// [`Samples::percentile`] after a mutation sorts a copy and caches it,
+/// and later queries (p50 then p99 on the same metric, say) reuse the
+/// cache. [`Samples::push`]/[`Samples::merge`] invalidate it.
+#[derive(Debug, Clone, Default)]
 pub struct Samples {
     values: Vec<f64>,
+    /// Lazily sorted copy of `values`; reset whenever `values` changes.
+    /// Not part of the serialized form (see the hand-written serde impls
+    /// below, which mirror what `derive` produced before this field).
+    sorted: std::sync::OnceLock<Vec<f64>>,
+}
+
+impl serde::Serialize for Samples {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![(
+            String::from("values"),
+            serde::Serialize::to_value(&self.values),
+        )])
+    }
+}
+
+impl serde::Deserialize for Samples {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| serde::Error::expected("object", "Samples"))?;
+        let values = match serde::value::field(fields, "values") {
+            Some(x) => serde::Deserialize::from_value(x)?,
+            None => return Err(serde::Error::missing("values", "Samples")),
+        };
+        Ok(Samples {
+            values,
+            sorted: std::sync::OnceLock::new(),
+        })
+    }
 }
 
 impl Samples {
     /// An empty accumulator.
     pub fn new() -> Self {
-        Samples { values: Vec::new() }
+        Samples::default()
     }
 
     /// Adds one observation.
     pub fn push(&mut self, x: f64) {
         self.values.push(x);
+        self.sorted.take();
     }
 
     /// Number of observations.
@@ -150,13 +185,17 @@ impl Samples {
     }
 
     /// The `p`-th percentile (`p` in `[0, 100]`) by linear interpolation
-    /// between order statistics; NaN when empty.
+    /// between order statistics; NaN when empty. Sorts lazily on first
+    /// call after a mutation; repeat queries hit the cached order.
     pub fn percentile(&self, p: f64) -> f64 {
         if self.values.is_empty() {
             return f64::NAN;
         }
-        let mut sorted = self.values.clone();
-        sorted.sort_by(f64::total_cmp);
+        let sorted = self.sorted.get_or_init(|| {
+            let mut sorted = self.values.clone();
+            sorted.sort_by(f64::total_cmp);
+            sorted
+        });
         let rank = (p / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
         let lo = rank.floor() as usize;
         let hi = rank.ceil() as usize;
@@ -167,6 +206,7 @@ impl Samples {
     /// Appends all of `other`'s observations.
     pub fn merge(&mut self, other: &Samples) {
         self.values.extend_from_slice(&other.values);
+        self.sorted.take();
     }
 
     /// The raw observations, in insertion order.
@@ -309,6 +349,38 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.values(), &[1.0, 3.0]);
         assert!((a.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_percentile_cache_invalidates_on_mutation() {
+        let mut s = Samples::new();
+        for x in [3.0, 1.0, 2.0] {
+            s.push(x);
+        }
+        assert_eq!(s.percentile(100.0), 3.0);
+        // Push after a cached query must re-sort.
+        s.push(9.0);
+        assert_eq!(s.percentile(100.0), 9.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+        // Merge must invalidate too.
+        let mut other = Samples::new();
+        other.push(-5.0);
+        s.merge(&other);
+        assert_eq!(s.percentile(0.0), -5.0);
+        // The raw insertion order is untouched by percentile queries.
+        assert_eq!(s.values(), &[3.0, 1.0, 2.0, 9.0, -5.0]);
+    }
+
+    #[test]
+    fn samples_serde_round_trip_ignores_cache() {
+        let mut s = Samples::new();
+        s.push(2.0);
+        s.push(1.0);
+        let _ = s.percentile(50.0); // warm the cache pre-serialization
+        let v = serde::Serialize::to_value(&s);
+        let back: Samples = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back.values(), s.values());
+        assert_eq!(back.percentile(100.0), 2.0);
     }
 
     #[test]

@@ -1,0 +1,880 @@
+//! The pre-optimization concurrent engine, frozen as a reference.
+//!
+//! This module is a verbatim copy of the concurrent gear as it stood
+//! before the hot-path overhaul (PR 4): `BTreeMap`/`BTreeSet` engine
+//! state, a whole-`MountState` clone per run, per-dispatch allocations,
+//! and batch-only trace auditing. It exists for two jobs:
+//!
+//! * **Same-run perf comparison** — `benches/perf.rs` runs the optimized
+//!   engine and this one back to back on the same machine in the same
+//!   process and records both into `BENCH_perf.json`, so the claimed
+//!   speedup is measured, not remembered.
+//! * **Bit-identity regression** — tests assert the optimized engine
+//!   reproduces this engine's metrics exactly (same floats, same
+//!   counters) on the same inputs; see
+//!   `optimized_engine_is_bit_identical_to_baseline` in `engine.rs`.
+//!
+//! Nothing else should call into here; the optimized [`crate::engine`]
+//! is the engine. Do not "fix" or optimize this module — its value is
+//! that it does not change.
+
+use crate::engine::{SchedConfig, SchedOutcome};
+use crate::metrics::{RequestRecord, SchedMetrics};
+use crate::policy::{SchedPolicy, TapeCandidate};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use tapesim_des::audit::TraceAuditor;
+use tapesim_des::{Resource, Scheduler, SimTime, TraceEvent, Tracer, World};
+use tapesim_faults::{FaultClock, FaultPlan};
+use tapesim_model::{Bytes, DriveId, ObjectId, SystemConfig, TapeId};
+use tapesim_placement::Placement;
+use tapesim_sim::catalog::{tape_jobs, TapeJob};
+use tapesim_sim::engine::MountState;
+use tapesim_sim::seek_order;
+use tapesim_sim::{Simulator, SwitchPolicy};
+use tapesim_workload::{ArrivalProcess, Workload};
+
+#[derive(Debug)]
+struct JobState {
+    request: usize,
+    work: TapeJob,
+    fatal: bool,
+    tried: Vec<TapeId>,
+}
+
+#[derive(Debug)]
+struct ReqState {
+    arrival: SimTime,
+    outstanding: usize,
+    first_start: Option<SimTime>,
+    lost: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Arrive(usize),
+    SwitchDone { drive: usize, tape: TapeId },
+    JobDone { drive: usize, job: usize },
+    BatchDone { drive: usize },
+}
+
+struct BaselineSim<'a> {
+    cfg: &'a SystemConfig,
+    placement: &'a Placement,
+    policy: &'a dyn SchedPolicy,
+    switch_policy: SwitchPolicy,
+    batch_cap: usize,
+    arrivals: &'a [(SimTime, usize)],
+    requests_catalog: &'a Workload,
+    state: MountState,
+    busy: Vec<bool>,
+    robots: Vec<Resource>,
+    jobs: Vec<JobState>,
+    requests: Vec<ReqState>,
+    pending: BTreeMap<TapeId, VecDeque<usize>>,
+    claimed: BTreeSet<TapeId>,
+    outstanding_jobs: usize,
+    mounts: u64,
+    busy_time: SimTime,
+    records: Vec<RequestRecord>,
+    tracer: Tracer,
+    clock: FaultClock<'a>,
+    alternates: &'a BTreeMap<ObjectId, Vec<ObjectId>>,
+    dead: Vec<bool>,
+    switch_m: Vec<usize>,
+    retries: u64,
+    failovers_n: u64,
+    lost_requests: u64,
+}
+
+impl BaselineSim<'_> {
+    fn drive_id(&self, idx: usize) -> DriveId {
+        let d = self.cfg.library.drives as usize;
+        DriveId::new(tapesim_model::LibraryId((idx / d) as u16), (idx % d) as u8)
+    }
+
+    fn switch_cost(&self, drive: usize) -> (f64, f64) {
+        let spec = &self.cfg.library.drive;
+        let robot = &self.cfg.library.robot;
+        let capacity = self.cfg.library.tape.capacity;
+        match self.state.mounted[drive] {
+            Some(_) => (
+                spec.rewind_time(self.state.head[drive], capacity),
+                spec.unload_time + robot.exchange_handling_time() + spec.load_time,
+            ),
+            None => (0.0, robot.inject_handling_time() + spec.load_time),
+        }
+    }
+
+    fn effective_cap(&self, drive: usize) -> usize {
+        let d = self.cfg.library.drives as usize;
+        let lib = drive / d;
+        let healthy = (0..d).filter(|&bay| !self.dead[lib * d + bay]).count();
+        if healthy + self.switch_m[lib] < d {
+            let shrunk = healthy.max(1);
+            if self.batch_cap == 0 {
+                shrunk
+            } else {
+                shrunk.min(self.batch_cap)
+            }
+        } else {
+            self.batch_cap
+        }
+    }
+
+    fn start_batch(&mut self, drive: usize, tape: TapeId, now: SimTime, sched: &mut Scheduler<Ev>) {
+        let spec = &self.cfg.library.drive;
+        let capacity = self.cfg.library.tape.capacity;
+        let fail_at = self.clock.drive_fail_at(drive);
+        let cap = self.effective_cap(drive);
+        let tape_idx = self.cfg.tape_index(tape);
+        let budget = self.clock.max_retries();
+        let mut t = now;
+        let mut taken = 0usize;
+        loop {
+            if cap != 0 && taken >= cap {
+                break;
+            }
+            let Some(&job) = self.pending.get(&tape).and_then(VecDeque::front) else {
+                break;
+            };
+            let plan = seek_order::plan(self.state.head[drive], &self.jobs[job].work.extents);
+            let mut pos = self.state.head[drive];
+            let mut seek_s = 0.0;
+            let mut xfer_s = 0.0;
+            let mut granted_total = 0u32;
+            let mut extent_retry_s = 0.0;
+            let mut fatal = false;
+            for e in &plan {
+                seek_s += spec.position_time(pos, e.offset, capacity);
+                xfer_s += spec.transfer_time(e.size);
+                pos = e.end();
+                let demand = self.clock.spot_demand(tape_idx, e.offset, e.end());
+                if demand > 0 {
+                    let granted = demand.min(budget - granted_total);
+                    granted_total += granted;
+                    extent_retry_s += granted as f64
+                        * (spec.position_time(e.end(), e.offset, capacity)
+                            + spec.transfer_time(e.size));
+                    if demand > granted {
+                        fatal = true;
+                    }
+                }
+            }
+            let penalty_s = if granted_total > 0 || fatal {
+                self.clock.backoff_secs(granted_total) + extent_retry_s
+            } else {
+                0.0
+            };
+            let finish = t + SimTime::from_secs(seek_s + xfer_s + penalty_s);
+            if finish > fail_at {
+                break;
+            }
+            if let Some(queue) = self.pending.get_mut(&tape) {
+                queue.pop_front();
+            }
+            taken += 1;
+            self.state.head[drive] = pos;
+            self.tracer.emit(
+                now,
+                TraceEvent::Transfer {
+                    drive: self.drive_id(drive).into(),
+                    tape: tape.into(),
+                    job: job as u32,
+                    extents: plan.len() as u32,
+                    seek: SimTime::from_secs(seek_s),
+                    transfer: SimTime::from_secs(xfer_s),
+                    start: t,
+                    finish,
+                },
+            );
+            if granted_total > 0 || fatal {
+                self.tracer.emit(
+                    now,
+                    TraceEvent::ReadFaulted {
+                        job: job as u32,
+                        drive: self.drive_id(drive).into(),
+                        retries: granted_total,
+                        penalty: SimTime::from_secs(penalty_s),
+                        fatal,
+                    },
+                );
+                self.jobs[job].fatal = fatal;
+                self.retries += granted_total as u64;
+            }
+            let req = self.jobs[job].request;
+            self.requests[req].first_start.get_or_insert(t);
+            sched.schedule_at(finish, Ev::JobDone { drive, job });
+            t = finish;
+        }
+        if self.pending.get(&tape).is_some_and(VecDeque::is_empty) {
+            self.pending.remove(&tape);
+        }
+        if taken == 0 {
+            return;
+        }
+        self.busy[drive] = true;
+        self.busy_time += t - now;
+        sched.schedule_at(t, Ev::BatchDone { drive });
+    }
+
+    fn exchange_start(&self, lib: usize, mut at: SimTime, duration: SimTime) -> SimTime {
+        loop {
+            let start = self.robots[lib].earliest_start(at);
+            let pushed = self.clock.robot_ready(lib, start, duration);
+            if pushed == start {
+                return at;
+            }
+            at = pushed;
+        }
+    }
+
+    fn reap_failures(&mut self, lib: usize, now: SimTime) {
+        let d = self.cfg.library.drives as usize;
+        for bay in 0..d {
+            let idx = lib * d + bay;
+            if self.dead[idx] {
+                continue;
+            }
+            let fail_at = self.clock.drive_fail_at(idx);
+            if fail_at <= now {
+                self.dead[idx] = true;
+                self.tracer.emit(
+                    now,
+                    TraceEvent::DriveFailed {
+                        drive: self.drive_id(idx).into(),
+                        at: fail_at,
+                    },
+                );
+                if let Some(tape) = self.state.mounted[idx].take() {
+                    self.tracer.emit(
+                        now,
+                        TraceEvent::Unmounted {
+                            drive: self.drive_id(idx).into(),
+                            tape: tape.into(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn begin_switch(
+        &mut self,
+        drive: usize,
+        tape: TapeId,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let (rewind_s, exchange_s) = self.switch_cost(drive);
+        let lib = self.drive_id(drive).library.idx();
+        if let Some(old) = self.state.mounted[drive].take() {
+            self.tracer.emit(
+                now,
+                TraceEvent::Unmounted {
+                    drive: self.drive_id(drive).into(),
+                    tape: old.into(),
+                },
+            );
+        }
+        self.state.head[drive] = Bytes::ZERO;
+        self.busy[drive] = true;
+
+        let rewind_done = now + SimTime::from_secs(rewind_s);
+        let exchange = SimTime::from_secs(exchange_s);
+        let at = self.exchange_start(lib, rewind_done, exchange);
+        let grant = self.robots[lib].acquire(at, exchange);
+        self.mounts += 1;
+        self.tracer.emit(
+            now,
+            TraceEvent::ExchangeBegun {
+                drive: self.drive_id(drive).into(),
+                tape: tape.into(),
+                arm: grant.server as u32,
+                start: grant.start,
+                finish: grant.finish,
+            },
+        );
+        sched.schedule_at(grant.finish, Ev::SwitchDone { drive, tape });
+    }
+
+    fn candidates_for(&self, lib: usize, drive: usize) -> Vec<TapeCandidate> {
+        let spec = &self.cfg.library.drive;
+        let (rewind_s, exchange_s) = self.switch_cost(drive);
+        let est_locate = SimTime::from_secs(rewind_s + exchange_s);
+        let cap = self.effective_cap(drive);
+        let mut out = Vec::new();
+        for (&tape, queue) in &self.pending {
+            if tape.library.idx() != lib || queue.is_empty() {
+                continue;
+            }
+            if self.claimed.contains(&tape) || self.state.drive_of(tape).is_some() {
+                continue;
+            }
+            let take = if cap == 0 {
+                queue.len()
+            } else {
+                queue.len().min(cap)
+            };
+            let mut bytes = Bytes::ZERO;
+            let mut oldest = SimTime::MAX;
+            for &job in queue.iter().take(take) {
+                bytes += self.jobs[job].work.bytes();
+                oldest = oldest.min(self.requests[self.jobs[job].request].arrival);
+            }
+            out.push(TapeCandidate {
+                tape,
+                queued_jobs: take,
+                queued_bytes: bytes,
+                oldest_arrival: oldest,
+                est_locate,
+                est_service: SimTime::from_secs(spec.transfer_time(bytes)),
+            });
+        }
+        out
+    }
+
+    fn try_dispatch(&mut self, lib: usize, now: SimTime, sched: &mut Scheduler<Ev>) {
+        self.reap_failures(lib, now);
+        let d = self.cfg.library.drives as usize;
+        for bay in 0..d {
+            let idx = lib * d + bay;
+            if self.busy[idx] || self.dead[idx] {
+                continue;
+            }
+            if let Some(tape) = self.state.mounted[idx] {
+                if self.pending.contains_key(&tape) {
+                    self.start_batch(idx, tape, now, sched);
+                }
+            }
+        }
+        let mut blocked: BTreeSet<usize> = BTreeSet::new();
+        loop {
+            let mut best: Option<(u8, f64, usize)> = None;
+            for bay in 0..d {
+                let idx = lib * d + bay;
+                if self.busy[idx] || self.dead[idx] || blocked.contains(&idx) {
+                    continue;
+                }
+                let id = self.drive_id(idx);
+                if !self.switch_policy.is_switch_drive(id, self.cfg) {
+                    continue;
+                }
+                let (kind, p) = self
+                    .switch_policy
+                    .victim_key(self.state.mounted[idx], self.placement);
+                let key = (kind, p, idx);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+            let Some((_, _, drive)) = best else {
+                return;
+            };
+            let fail_at = self.clock.drive_fail_at(drive);
+            if fail_at < SimTime::MAX {
+                let (rewind_s, exchange_s) = self.switch_cost(drive);
+                let exchange = SimTime::from_secs(exchange_s);
+                let rewind_done = now + SimTime::from_secs(rewind_s);
+                let at = self.exchange_start(lib, rewind_done, exchange);
+                let start = self.robots[lib].earliest_start(at);
+                if start + exchange > fail_at {
+                    blocked.insert(drive);
+                    continue;
+                }
+            }
+            let cands = self.candidates_for(lib, drive);
+            if cands.is_empty() {
+                return;
+            }
+            let Some(pick) = self.policy.choose(&cands) else {
+                return;
+            };
+            let Some(cand) = cands.get(pick) else {
+                return;
+            };
+            let tape = cand.tape;
+            self.claimed.insert(tape);
+            self.begin_switch(drive, tape, now, sched);
+        }
+    }
+
+    fn resolve_fatal(&mut self, job: usize, now: SimTime, sched: &mut Scheduler<Ev>) {
+        let req = self.jobs[job].request;
+        let mut tried = self.jobs[job].tried.clone();
+        tried.push(self.jobs[job].work.tape);
+
+        let mut alt_objects = Vec::with_capacity(self.jobs[job].work.extents.len());
+        let mut resolvable = true;
+        for e in &self.jobs[job].work.extents {
+            let replica = self.alternates.get(&e.object).and_then(|alts| {
+                alts.iter()
+                    .copied()
+                    .find(|&o| !tried.contains(&self.placement.locate(o).tape))
+            });
+            match replica {
+                Some(o) => alt_objects.push(o),
+                None => {
+                    resolvable = false;
+                    break;
+                }
+            }
+        }
+
+        self.outstanding_jobs -= 1;
+        self.requests[req].outstanding -= 1;
+        if resolvable {
+            let replacement_work = tape_jobs(self.placement, &alt_objects);
+            let mut libs = BTreeSet::new();
+            let mut first_replacement = None;
+            for tj in replacement_work {
+                let new_job = self.jobs.len();
+                first_replacement.get_or_insert(new_job);
+                let tape = tj.tape;
+                self.tracer.emit(
+                    now,
+                    TraceEvent::JobSubmitted {
+                        job: new_job as u32,
+                        tape: tape.into(),
+                    },
+                );
+                self.jobs.push(JobState {
+                    request: req,
+                    work: tj,
+                    fatal: false,
+                    tried: tried.clone(),
+                });
+                self.pending.entry(tape).or_default().push_back(new_job);
+                self.outstanding_jobs += 1;
+                self.requests[req].outstanding += 1;
+                self.failovers_n += 1;
+                libs.insert(tape.library.idx());
+            }
+            if let Some(replacement) = first_replacement {
+                self.tracer.emit(
+                    now,
+                    TraceEvent::FailedOver {
+                        job: job as u32,
+                        replacement: replacement as u32,
+                    },
+                );
+            }
+            for lib in libs {
+                self.try_dispatch(lib, now, sched);
+            }
+        } else {
+            self.tracer
+                .emit(now, TraceEvent::JobLost { job: job as u32 });
+            self.requests[req].lost = true;
+        }
+        if self.requests[req].outstanding == 0 {
+            if self.requests[req].lost {
+                self.lost_requests += 1;
+            } else {
+                let r = &self.requests[req];
+                self.records.push(RequestRecord {
+                    arrival: r.arrival,
+                    first_start: r.first_start.unwrap_or(r.arrival),
+                    finish: now,
+                });
+            }
+        }
+    }
+}
+
+impl World for BaselineSim<'_> {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::Arrive(i) => {
+                let (arrival, ridx) = self.arrivals[i];
+                let objects = &self.requests_catalog.requests()[ridx].objects;
+                let work = tape_jobs(self.placement, objects);
+                if work.is_empty() {
+                    self.records.push(RequestRecord {
+                        arrival,
+                        first_start: arrival,
+                        finish: arrival,
+                    });
+                    return;
+                }
+                let req = self.requests.len();
+                self.requests.push(ReqState {
+                    arrival,
+                    outstanding: work.len(),
+                    first_start: None,
+                    lost: false,
+                });
+                let mut libs = BTreeSet::new();
+                for tj in work {
+                    let job = self.jobs.len();
+                    let tape = tj.tape;
+                    self.tracer.emit(
+                        now,
+                        TraceEvent::JobSubmitted {
+                            job: job as u32,
+                            tape: tape.into(),
+                        },
+                    );
+                    self.jobs.push(JobState {
+                        request: req,
+                        work: tj,
+                        fatal: false,
+                        tried: Vec::new(),
+                    });
+                    self.pending.entry(tape).or_default().push_back(job);
+                    self.outstanding_jobs += 1;
+                    libs.insert(tape.library.idx());
+                }
+                for lib in libs {
+                    self.try_dispatch(lib, now, sched);
+                }
+            }
+            Ev::SwitchDone { drive, tape } => {
+                self.state.mounted[drive] = Some(tape);
+                self.state.head[drive] = Bytes::ZERO;
+                self.claimed.remove(&tape);
+                self.tracer.emit(
+                    now,
+                    TraceEvent::Mounted {
+                        drive: self.drive_id(drive).into(),
+                        tape: tape.into(),
+                    },
+                );
+                self.busy[drive] = false;
+                if !self.dead[drive] && self.clock.drive_fail_at(drive) <= now {
+                    let lib = self.drive_id(drive).library.idx();
+                    self.try_dispatch(lib, now, sched);
+                    return;
+                }
+                if self.pending.contains_key(&tape) {
+                    self.start_batch(drive, tape, now, sched);
+                } else {
+                    let lib = self.drive_id(drive).library.idx();
+                    self.try_dispatch(lib, now, sched);
+                }
+            }
+            Ev::JobDone { drive, job } => {
+                if self.jobs[job].fatal {
+                    self.resolve_fatal(job, now, sched);
+                    return;
+                }
+                self.tracer.emit(
+                    now,
+                    TraceEvent::JobCompleted {
+                        job: job as u32,
+                        drive: self.drive_id(drive).into(),
+                    },
+                );
+                self.outstanding_jobs -= 1;
+                let req = self.jobs[job].request;
+                self.requests[req].outstanding -= 1;
+                if self.requests[req].outstanding == 0 {
+                    if self.requests[req].lost {
+                        self.lost_requests += 1;
+                    } else {
+                        let r = &self.requests[req];
+                        self.records.push(RequestRecord {
+                            arrival: r.arrival,
+                            first_start: r.first_start.unwrap_or(r.arrival),
+                            finish: now,
+                        });
+                    }
+                }
+            }
+            Ev::BatchDone { drive } => {
+                self.busy[drive] = false;
+                let lib = self.drive_id(drive).library.idx();
+                self.try_dispatch(lib, now, sched);
+            }
+        }
+    }
+}
+
+/// Runs the frozen pre-optimization concurrent gear. Always the
+/// concurrent engine (no sequential FCFS shortcut) and always batch
+/// auditing; see the module docs for why this exists.
+pub fn run_scheduled_baseline(
+    sim: &Simulator,
+    workload: &Workload,
+    policy: &dyn SchedPolicy,
+    cfg: &SchedConfig,
+    plan: &FaultPlan,
+    alternates: &BTreeMap<ObjectId, Vec<ObjectId>>,
+) -> SchedOutcome {
+    let placement = sim.placement();
+    let system = placement.config();
+    let n_drives = system.total_drives();
+    let n_libs = system.libraries as usize;
+    let d = system.library.drives as usize;
+    let switch_policy = sim.policy();
+    let switch_m: Vec<usize> = (0..n_libs)
+        .map(|lib| {
+            (0..d)
+                .filter(|&bay| {
+                    let id = DriveId::new(tapesim_model::LibraryId(lib as u16), bay as u8);
+                    switch_policy.is_switch_drive(id, system)
+                })
+                .count()
+        })
+        .collect();
+
+    let mut stream = ArrivalProcess::new(cfg.arrivals);
+    let sampler = workload.request_sampler();
+    let mut pick_rng = ChaCha12Rng::seed_from_u64(cfg.arrivals.seed ^ 0x9A3E);
+    let arrivals: Vec<(SimTime, usize)> = (0..cfg.samples)
+        .map(|_| {
+            let at = SimTime::from_secs(stream.next_arrival());
+            (at, sampler.sample(&mut pick_rng))
+        })
+        .collect();
+
+    let mut world = BaselineSim {
+        cfg: system,
+        placement,
+        policy,
+        switch_policy,
+        batch_cap: cfg.max_batch,
+        arrivals: &arrivals,
+        requests_catalog: workload,
+        state: sim.state().clone(),
+        busy: vec![false; n_drives],
+        robots: vec![Resource::new(system.library.robot.arms.max(1) as usize); n_libs],
+        jobs: Vec::new(),
+        requests: Vec::new(),
+        pending: BTreeMap::new(),
+        claimed: BTreeSet::new(),
+        outstanding_jobs: 0,
+        mounts: 0,
+        busy_time: SimTime::ZERO,
+        records: Vec::new(),
+        tracer: if cfg.audit {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        },
+        clock: plan.clock(),
+        alternates,
+        dead: vec![false; n_drives],
+        switch_m,
+        retries: 0,
+        failovers_n: 0,
+        lost_requests: 0,
+    };
+
+    for drive in 0..n_drives {
+        if let Some(tape) = world.state.mounted[drive] {
+            world.tracer.emit(
+                SimTime::ZERO,
+                TraceEvent::AssumeMounted {
+                    drive: world.drive_id(drive).into(),
+                    tape: tape.into(),
+                },
+            );
+        }
+    }
+    for lib in 0..n_libs {
+        for &(start, finish) in world.clock.jams(lib) {
+            world.tracer.emit(
+                SimTime::ZERO,
+                TraceEvent::RobotJammed {
+                    library: lib as u32,
+                    start,
+                    finish,
+                },
+            );
+        }
+    }
+
+    let mut sched: Scheduler<Ev> = Scheduler::new();
+    for (i, &(at, _)) in arrivals.iter().enumerate() {
+        sched.schedule_at(at, Ev::Arrive(i));
+    }
+    let end = sched.run(&mut world);
+
+    for drive in 0..n_drives {
+        let fail_at = world.clock.drive_fail_at(drive);
+        if !world.dead[drive] && fail_at < SimTime::MAX {
+            world.dead[drive] = true;
+            world.tracer.emit(
+                end,
+                TraceEvent::DriveFailed {
+                    drive: world.drive_id(drive).into(),
+                    at: fail_at,
+                },
+            );
+        }
+    }
+    let stranded: Vec<usize> = world.pending.values().flatten().copied().collect();
+    for job in stranded {
+        world
+            .tracer
+            .emit(end, TraceEvent::JobLost { job: job as u32 });
+        world.outstanding_jobs -= 1;
+        let req = world.jobs[job].request;
+        world.requests[req].outstanding -= 1;
+        world.requests[req].lost = true;
+        if world.requests[req].outstanding == 0 {
+            world.lost_requests += 1;
+        }
+    }
+    world.pending.clear();
+    assert_eq!(
+        world.outstanding_jobs, 0,
+        "scheduler drained with unserved jobs — no eligible switch drive \
+         exists; check the policy/config (m >= 1 guarantees progress)"
+    );
+    debug_assert_eq!(
+        world.records.len() + world.lost_requests as usize,
+        cfg.samples
+    );
+
+    let mut metrics = SchedMetrics::new(n_drives as u32);
+    for r in &world.records {
+        metrics.record(r);
+        if world.clock.degraded_at(r.arrival) {
+            metrics.record_degraded_sojourn(r);
+        }
+    }
+    metrics.add_mounts(world.mounts);
+    metrics.add_busy_time(world.busy_time);
+    let first = arrivals.first().map_or(SimTime::ZERO, |&(at, _)| at);
+    metrics.set_horizon_time(end.saturating_sub(first));
+    metrics.set_events(sched.events_processed());
+    metrics.add_retries(world.retries);
+    metrics.add_failovers(world.failovers_n);
+    metrics.add_lost(world.lost_requests);
+    if !plan.is_zero() {
+        let span = end.saturating_sub(first);
+        let mut healthy = SimTime::ZERO;
+        for drive in 0..n_drives {
+            let alive_until = world.clock.drive_fail_at(drive).min(end).max(first);
+            healthy += alive_until.saturating_sub(first);
+        }
+        metrics.set_availability(healthy, span);
+    }
+
+    let reports = if cfg.audit {
+        vec![TraceAuditor::new()
+            .with_retry_cap(plan.spec().max_retries)
+            .audit(world.tracer.entries())]
+    } else {
+        Vec::new()
+    };
+    SchedOutcome { metrics, reports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_scheduled_faulty, SchedConfig};
+    use tapesim_faults::FaultSpec;
+    use tapesim_model::specs::paper_table1;
+    use tapesim_placement::{ParallelBatchPlacement, PlacementPolicy};
+    use tapesim_workload::{ArrivalSpec, ObjectSizeSpec, RequestSpec, WorkloadSpec};
+
+    fn heavy_setup() -> (Simulator, Workload) {
+        let w = WorkloadSpec {
+            objects: 4_000,
+            sizes: ObjectSizeSpec::default().calibrated(Bytes::gb(8)),
+            requests: RequestSpec {
+                count: 60,
+                min_objects: 30,
+                max_objects: 50,
+                count_shape: 1.0,
+                alpha: 0.3,
+            },
+            seed: 17,
+        }
+        .generate();
+        let cfg = paper_table1();
+        let p = ParallelBatchPlacement::with_m(4).place(&w, &cfg).unwrap();
+        (Simulator::with_natural_policy(p, 4), w)
+    }
+
+    /// The live concurrent engine must reproduce the frozen baseline bit
+    /// for bit — every metric, every audit verdict — on both fault-free
+    /// and faulty runs. This is the guard that lets the hot path be
+    /// rewritten for speed: any behavioural drift, down to a single
+    /// float bit, fails here.
+    #[test]
+    fn optimized_engine_is_bit_identical_to_baseline() {
+        let spec = ArrivalSpec {
+            per_hour: 30.0,
+            seed: 3,
+        };
+        let plans: [(&str, FaultPlan); 2] = {
+            let (sim, _) = heavy_setup();
+            [
+                ("zero", FaultPlan::zero(sim.placement().config())),
+                (
+                    "moderate",
+                    FaultPlan::generate(&FaultSpec::moderate(41), sim.placement().config()),
+                ),
+            ]
+        };
+        for kind in crate::policy::PolicyKind::ALL {
+            let policy = kind.build();
+            for (plan_label, plan) in &plans {
+                if policy.sequential() && plan.is_zero() {
+                    // Routed to the sequential legacy gear, not the
+                    // concurrent engine this baseline freezes; that gear
+                    // is pinned by `fcfs_reproduces_legacy_queue_bit_for_bit`.
+                    continue;
+                }
+                let label = format!("{} / {plan_label}", kind.label());
+                let cfg = SchedConfig::new(spec, 25).with_audit(true);
+                let alternates = BTreeMap::new();
+                let (sim, w) = heavy_setup();
+                let base =
+                    run_scheduled_baseline(&sim, &w, policy.as_ref(), &cfg, plan, &alternates);
+                let (mut sim, _) = heavy_setup();
+                let live =
+                    run_scheduled_faulty(&mut sim, &w, policy.as_ref(), &cfg, plan, &alternates);
+
+                let (b, l) = (&base.metrics, &live.metrics);
+                assert_eq!(l.served(), b.served(), "{label} served");
+                assert_eq!(l.mounts(), b.mounts(), "{label} mounts");
+                assert_eq!(l.events(), b.events(), "{label} events");
+                assert_eq!(
+                    l.avg_wait().to_bits(),
+                    b.avg_wait().to_bits(),
+                    "{label} wait"
+                );
+                assert_eq!(
+                    l.avg_service().to_bits(),
+                    b.avg_service().to_bits(),
+                    "{label} service"
+                );
+                assert_eq!(
+                    l.avg_sojourn().to_bits(),
+                    b.avg_sojourn().to_bits(),
+                    "{label} sojourn"
+                );
+                assert_eq!(
+                    l.sojourn_percentile(99.0).to_bits(),
+                    b.sojourn_percentile(99.0).to_bits(),
+                    "{label} p99"
+                );
+                assert_eq!(
+                    l.utilisation().to_bits(),
+                    b.utilisation().to_bits(),
+                    "{label} util"
+                );
+                assert_eq!(
+                    (l.retries(), l.failovers(), l.lost()),
+                    (b.retries(), b.failovers(), b.lost()),
+                    "{label} fault counters"
+                );
+                assert_eq!(
+                    l.availability().to_bits(),
+                    b.availability().to_bits(),
+                    "{label} availability"
+                );
+                assert_eq!(live.reports, base.reports, "{label} audit reports");
+            }
+        }
+    }
+}

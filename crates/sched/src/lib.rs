@@ -29,10 +29,11 @@
 //!
 //! [`TraceAuditor`]: tapesim_des::audit::TraceAuditor
 
+pub mod baseline;
 pub mod engine;
 pub mod metrics;
 pub mod policy;
 
-pub use engine::{run_scheduled, run_scheduled_faulty, SchedConfig, SchedOutcome};
+pub use engine::{run_scheduled, run_scheduled_faulty, AuditMode, SchedConfig, SchedOutcome};
 pub use metrics::SchedMetrics;
 pub use policy::{BatchByTape, Fcfs, PolicyKind, SchedPolicy, SltfTape, TapeCandidate};

@@ -160,8 +160,9 @@ impl SchedMetrics {
         self.mounts
     }
 
-    /// DES events processed (0 for the sequential FCFS gear, which runs
-    /// no event loop of its own).
+    /// DES events processed. The concurrent gear counts its own event
+    /// loop; the sequential FCFS gear sums the per-request engine's
+    /// events across all served requests.
     pub fn events(&self) -> u64 {
         self.events
     }

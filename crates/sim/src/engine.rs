@@ -21,6 +21,7 @@ use crate::metrics::RequestMetrics;
 use crate::policy::SwitchPolicy;
 use crate::seek_order;
 use tapesim_des::{Resource, Scheduler, SimTime, TraceEvent, Tracer, World};
+use tapesim_model::tape::Extent;
 use tapesim_model::{Bytes, DriveId, SystemConfig, TapeId};
 use tapesim_placement::Placement;
 
@@ -77,6 +78,9 @@ struct RequestSim<'a> {
     n_switches: u32,
     robot_wait: f64,
     tracer: Tracer,
+    /// Seek-plan scratch reused by [`Self::start_service`] across jobs
+    /// instead of allocating per-job order vectors.
+    plan_scratch: Vec<Extent>,
 }
 
 impl<'a> RequestSim<'a> {
@@ -90,7 +94,10 @@ impl<'a> RequestSim<'a> {
     fn start_service(&mut self, drive: usize, job: usize, now: SimTime, sched: &mut Scheduler<Ev>) {
         let spec = &self.cfg.library.drive;
         let capacity = self.cfg.library.tape.capacity;
-        let plan = seek_order::plan(self.state.head[drive], &self.jobs[job].extents);
+        // Scratch-backed planning: the exact order `seek_order::plan`
+        // yields, without its per-job candidate vectors.
+        let mut plan = std::mem::take(&mut self.plan_scratch);
+        seek_order::plan_into(self.state.head[drive], &self.jobs[job].extents, &mut plan);
         let mut pos = self.state.head[drive];
         let mut seek_s = 0.0;
         let mut xfer_s = 0.0;
@@ -99,6 +106,9 @@ impl<'a> RequestSim<'a> {
             xfer_s += spec.transfer_time(e.size);
             pos = e.end();
         }
+        let plan_len = plan.len();
+        plan.clear();
+        self.plan_scratch = plan;
         self.state.head[drive] = pos;
         self.seek[drive] += seek_s;
         self.transfer[drive] += xfer_s;
@@ -111,7 +121,7 @@ impl<'a> RequestSim<'a> {
                 drive: self.drive_id(drive).into(),
                 tape: self.jobs[job].tape.into(),
                 job: job as u32,
-                extents: plan.len() as u32,
+                extents: plan_len as u32,
                 seek: SimTime::from_secs(seek_s),
                 transfer: SimTime::from_secs(xfer_s),
                 start: now,
@@ -287,6 +297,7 @@ pub fn serve_request_traced(
         } else {
             Tracer::disabled()
         },
+        plan_scratch: Vec::new(),
     };
 
     let mut sched: Scheduler<Ev> = Scheduler::new();
@@ -354,6 +365,7 @@ pub fn serve_request_traced(
         n_tapes,
         n_switches: sim.n_switches,
         robot_wait: sim.robot_wait,
+        n_events: sched.events_processed(),
     };
     (metrics, sim.tracer)
 }

@@ -30,6 +30,15 @@ pub struct RequestMetrics {
     pub n_switches: u32,
     /// Total time switch operations spent queued on robots, seconds.
     pub robot_wait: f64,
+    /// DES events the engine processed while serving this request.
+    /// Defaults to 0 when deserializing records written before event
+    /// accounting existed.
+    #[serde(default = "zero_events")]
+    pub n_events: u64,
+}
+
+fn zero_events() -> u64 {
+    0
 }
 
 impl RequestMetrics {
@@ -148,6 +157,7 @@ mod tests {
             n_tapes: 3,
             n_switches: 2,
             robot_wait: 0.0,
+            n_events: 7,
         }
     }
 
@@ -169,6 +179,7 @@ mod tests {
             n_tapes: 0,
             n_switches: 0,
             robot_wait: 0.0,
+            n_events: 0,
         };
         assert_eq!(r.bandwidth_mbs(), 0.0);
     }

@@ -86,6 +86,76 @@ pub fn plan(head: Bytes, extents: &[Extent]) -> Vec<Extent> {
         .unwrap_or_default()
 }
 
+/// Allocation-free [`plan`]: writes the chosen order into `out` (cleared
+/// first), reusing its capacity across calls. Produces exactly the order
+/// [`plan`] returns — same candidate family, same evaluation order, same
+/// first-minimum tie-break — without materialising any candidate: each
+/// sweep shape is walked as an index sequence over one sorted buffer and
+/// only the winner is laid out, by in-place reverse/rotate.
+///
+/// The hot engines call this with a per-run scratch vector; [`plan`] stays
+/// as the simple allocating form for one-shot callers.
+pub fn plan_into(head: Bytes, extents: &[Extent], out: &mut Vec<Extent>) {
+    out.clear();
+    out.extend_from_slice(extents);
+    if extents.len() <= 1 {
+        return;
+    }
+    out.sort_by_key(|e| e.offset);
+    // `out` is ascending; the first `k` extents lie below the head.
+    let k = out.partition_point(|e| e.offset < head);
+    let n = out.len();
+    if k == 0 {
+        // Nothing below the head: every sweep shape degenerates to the
+        // plain ascending order `out` already holds, and `plan`'s
+        // first-minimum tie-break picks exactly that candidate.
+        return;
+    }
+
+    let dist = |order: &mut dyn Iterator<Item = usize>| -> u64 {
+        let mut pos = head;
+        let mut travel = 0u64;
+        for i in order {
+            let e = &out[i];
+            travel += pos.distance(e.offset).get();
+            pos = e.end();
+        }
+        travel
+    };
+    // The same candidates `plan` builds, in the same evaluation order:
+    // ascending; above-then-below; above-then-below-descending;
+    // nearest-below hop (only when a below part exists); below-descending
+    // first. Strict `<` keeps the first minimum on ties, like `plan`.
+    let mut best_shape = 0usize;
+    let mut best_travel = dist(&mut (0..n));
+    let mut consider = |shape: usize, travel: u64| {
+        if travel < best_travel {
+            best_travel = travel;
+            best_shape = shape;
+        }
+    };
+    consider(1, dist(&mut (k..n).chain(0..k)));
+    consider(2, dist(&mut (k..n).chain((0..k).rev())));
+    if k > 0 {
+        consider(
+            3,
+            dist(&mut std::iter::once(k - 1).chain(0..k - 1).chain(k..n)),
+        );
+    }
+    consider(4, dist(&mut (0..k).rev().chain(k..n)));
+
+    match best_shape {
+        0 => {}
+        1 => out.rotate_left(k),
+        2 => {
+            out[..k].reverse();
+            out.rotate_left(k);
+        }
+        3 => out[..k].rotate_right(1),
+        _ => out[..k].reverse(),
+    }
+}
+
 /// Exhaustive optimum over all permutations — O(n!), for tests and tiny
 /// inputs only.
 pub fn optimal_order(head: Bytes, extents: &[Extent]) -> Vec<Extent> {
@@ -218,6 +288,34 @@ mod tests {
         assert!(plan(Bytes::ZERO, &[]).is_empty());
         let one = [ext(0, 7, 1)];
         assert_eq!(plan(Bytes::gb(50), &one), one.to_vec());
+    }
+
+    /// The scratch-backed planner must return exactly what the allocating
+    /// one returns — order, not just cost — across random heads, extent
+    /// layouts (including ties on offset) and a reused scratch buffer, so
+    /// the hot engines can swap it in without any behavioural drift.
+    #[test]
+    fn plan_into_is_order_identical_to_plan() {
+        let mut rng = ChaCha12Rng::seed_from_u64(77);
+        let mut scratch = Vec::new();
+        for case in 0..500 {
+            let n = rng.gen_range(0..=7);
+            let mut extents = Vec::new();
+            for i in 0..n {
+                // Coarse offsets make equal-offset ties common, exercising
+                // the stable sort and first-minimum tie-breaks.
+                let offset = rng.gen_range(0..12) * 25;
+                let size = rng.gen_range(1..=20);
+                extents.push(ext(i, offset, size));
+            }
+            let head = Bytes::gb(rng.gen_range(0..=400));
+            let expected = plan(head, &extents);
+            plan_into(head, &extents, &mut scratch);
+            assert_eq!(
+                scratch, expected,
+                "case {case}: head {head:?}, extents {extents:?}"
+            );
+        }
     }
 
     #[test]

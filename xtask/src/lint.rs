@@ -1,6 +1,6 @@
 //! Custom static checks over `crates/*/src`.
 //!
-//! Five rules guard the invariants the type system cannot express:
+//! Six rules guard the invariants the type system cannot express:
 //!
 //! * **L1 — typed time**: no `.as_secs()` escape from `SimTime` outside
 //!   `crates/des/src/time.rs` and the allowlisted metrics boundary. Raw
@@ -25,6 +25,11 @@
 //!   is almost always a swallowed `Result` or an audit-relevant value
 //!   (a `Grant`, an evicted job) silently thrown away; name it or handle
 //!   it.
+//! * **L6 — no hot-loop state copies**: no `.state().clone()` and no
+//!   `.entries().to_vec()` inside loop bodies in non-test code of
+//!   `des`/`sim`/`sched`/`faults`. Cloning a whole `MountState` or
+//!   copying a trace buffer per iteration turns an O(events) engine into
+//!   O(events × state) — snapshot once before the loop, or borrow.
 //!
 //! Findings can be suppressed via `xtask/lint.allow`: one
 //! `RULE path-substring` pair per line, `#` comments allowed. Each rule has
@@ -38,7 +43,7 @@ use std::process::ExitCode;
 /// One lint hit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule identifier (`L1`..`L5`).
+    /// Rule identifier (`L1`..`L6`).
     pub rule: &'static str,
     /// Path relative to the workspace root.
     pub file: String,
@@ -108,7 +113,7 @@ pub fn run(args: &[String]) -> ExitCode {
         }
     };
     if findings.is_empty() {
-        eprintln!("xtask lint: clean (rules L1-L5 over crates/*/src)");
+        eprintln!("xtask lint: clean (rules L1-L6 over crates/*/src)");
         ExitCode::SUCCESS
     } else {
         for f in &findings {
@@ -268,6 +273,21 @@ pub fn scan_file(rel: &str, content: &str, allow: &Allowlist) -> Vec<Finding> {
         }
     }
 
+    // L6: per-iteration state copies in hot paths (non-test code only).
+    // A whole-state clone or a trace-buffer copy inside a loop body is a
+    // quadratic blow-up the borrow checker happily accepts.
+    if hot_path {
+        let in_loop = loop_line_mask(content);
+        for (i, code) in code_lines.iter().enumerate() {
+            if in_test[i] || !in_loop[i] {
+                continue;
+            }
+            if code.contains(".state().clone()") || code.contains(".entries().to_vec()") {
+                push("L6", i, content.lines().nth(i).unwrap_or(code));
+            }
+        }
+    }
+
     findings
 }
 
@@ -329,6 +349,51 @@ fn has_iteration(code: &str, name: Option<&str>) -> bool {
                 || code.trim_end().ends_with(&format!("in {n}"))
         }
     }
+}
+
+/// Marks lines inside `for`/`while`/`loop` bodies by brace matching.
+/// The header line itself is marked too (a per-iteration copy can hide in
+/// a `while` condition). Nested loops stack; a line is masked while any
+/// loop body is open.
+fn loop_line_mask(content: &str) -> Vec<bool> {
+    let lines: Vec<&str> = content.lines().collect();
+    let mut mask = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    // Close depths of currently-open loop bodies (innermost last).
+    let mut regions: Vec<i64> = Vec::new();
+    let mut pending_loop = false;
+    for (i, raw) in lines.iter().enumerate() {
+        let code = code_portion(raw);
+        if !regions.is_empty() {
+            mask[i] = true;
+        }
+        let trimmed = code.trim_start();
+        let starts_loop = trimmed.starts_with("for ")
+            || trimmed.starts_with("while ")
+            || trimmed == "loop"
+            || trimmed.starts_with("loop ")
+            || trimmed.starts_with("loop{");
+        if starts_loop {
+            mask[i] = true;
+            pending_loop = true;
+        }
+        let before = depth;
+        depth += brace_delta(&code);
+        if pending_loop {
+            if depth > before {
+                regions.push(before);
+                pending_loop = false;
+            } else if code.contains('{') {
+                // One-liner body (`for x in xs { f() }`): opened and
+                // closed on this line, which is already masked.
+                pending_loop = false;
+            }
+        }
+        while regions.last().is_some_and(|&close| depth <= close) {
+            regions.pop();
+        }
+    }
+    mask
 }
 
 /// Marks lines inside `#[cfg(test)]`-guarded items by brace matching.
@@ -653,6 +718,92 @@ mod tests {
         );
         let allow = Allowlist::parse("L5 crates/sim/src/justified.rs\n");
         assert!(fx.scan(&allow).is_empty());
+    }
+
+    #[test]
+    fn l6_fires_on_state_clone_and_trace_copy_in_loops() {
+        let fx = Fixture::new();
+        fx.write(
+            "crates/sched/src/bad.rs",
+            "pub fn f(sim: &Simulator) {\n\
+             \x20   for _ in 0..10 {\n\
+             \x20       let state = sim.state().clone();\n\
+             \x20       consume(state);\n\
+             \x20   }\n\
+             }\n",
+        );
+        fx.write(
+            "crates/des/src/bad.rs",
+            "pub fn g(tracer: &Tracer) {\n\
+             \x20   while more() {\n\
+             \x20       audit(tracer.entries().to_vec());\n\
+             \x20   }\n\
+             }\n",
+        );
+        let mut rules = rules_of(&fx.scan(&Allowlist::default()));
+        rules.sort_unstable();
+        assert_eq!(rules, vec!["L6", "L6"]);
+    }
+
+    #[test]
+    fn l6_spares_top_level_clones_tests_other_crates_and_allowlisted() {
+        let fx = Fixture::new();
+        // A once-per-run snapshot before the loop is the sanctioned shape.
+        fx.write(
+            "crates/sim/src/ok.rs",
+            "pub fn f(sim: &Simulator) {\n\
+             \x20   let state = sim.state().clone();\n\
+             \x20   for _ in 0..10 {\n\
+             \x20       consume(&state);\n\
+             \x20   }\n\
+             }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             \x20   fn t(sim: &Simulator) {\n\
+             \x20       for _ in 0..2 {\n\
+             \x20           let _s = sim.state().clone();\n\
+             \x20       }\n\
+             \x20   }\n\
+             }\n",
+        );
+        fx.write(
+            "crates/cli/src/ok.rs",
+            "pub fn g(sim: &Simulator) {\n\
+             \x20   loop {\n\
+             \x20       let _s = sim.state().clone();\n\
+             \x20   }\n\
+             }\n",
+        );
+        fx.write(
+            "crates/faults/src/justified.rs",
+            "pub fn h(t: &Tracer) {\n\
+             \x20   for _ in 0..2 {\n\
+             \x20       keep(t.entries().to_vec());\n\
+             \x20   }\n\
+             }\n",
+        );
+        let allow = Allowlist::parse("L6 crates/faults/src/justified.rs\n");
+        assert!(fx.scan(&allow).is_empty());
+    }
+
+    #[test]
+    fn loop_mask_handles_nesting_and_one_liners() {
+        let src = "fn a() {\n\
+                   \x20   let x = 1;\n\
+                   \x20   for i in 0..x { f(i) }\n\
+                   \x20   let y = 2;\n\
+                   \x20   while y > 0 {\n\
+                   \x20       loop {\n\
+                   \x20           g();\n\
+                   \x20       }\n\
+                   \x20   }\n\
+                   \x20   h();\n\
+                   }\n";
+        let mask = loop_line_mask(src);
+        assert_eq!(
+            mask,
+            vec![false, false, true, false, true, true, true, true, true, false, false]
+        );
     }
 
     #[test]
