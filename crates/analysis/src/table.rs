@@ -96,6 +96,33 @@ impl Table {
         out
     }
 
+    /// Builds the per-resource span table of a [`tapesim_obs::TimeBudget`]:
+    /// one row per drive and arm, one column per span category plus a
+    /// `total` column equal to the makespan on every row — the budget
+    /// rendered for markdown/CSV artefacts where `tapesim report` prints
+    /// fixed-width text.
+    pub fn from_budget(budget: &tapesim_obs::TimeBudget) -> Table {
+        use tapesim_obs::SpanKind;
+        let mut headers = vec!["resource".to_string()];
+        headers.extend(SpanKind::ALL.iter().map(|k| k.label().to_string()));
+        headers.push("total".to_string());
+        let mut table = Table {
+            headers,
+            rows: Vec::new(),
+        };
+        for r in budget.drives.iter().chain(budget.arms.iter()) {
+            let mut row = vec![r.label.clone()];
+            row.extend(
+                SpanKind::ALL
+                    .iter()
+                    .map(|&k| format!("{:.2}", r.spans.get(k))),
+            );
+            row.push(format!("{:.2}", r.spans.total()));
+            table.rows.push(row);
+        }
+        table
+    }
+
     /// Builds the standard table of an [`ExperimentResult`]: x first, one
     /// column per series.
     pub fn from_result(result: &ExperimentResult) -> Table {
@@ -171,5 +198,38 @@ mod tests {
     fn ragged_row_rejected() {
         let mut t = Table::new(&["a", "b"]);
         t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn from_budget_shapes_rows_and_totals() {
+        use tapesim_obs::{PhaseTotals, ResourceBudget, SpanSecs, TimeBudget};
+        let budget = TimeBudget {
+            makespan_s: 100.0,
+            drives: vec![ResourceBudget {
+                label: "L0:D0".into(),
+                spans: SpanSecs {
+                    transfer: 70.0,
+                    idle: 30.0,
+                    ..SpanSecs::default()
+                },
+            }],
+            arms: vec![ResourceBudget {
+                label: "L0:A0".into(),
+                spans: SpanSecs {
+                    exchange: 5.0,
+                    idle: 95.0,
+                    ..SpanSecs::default()
+                },
+            }],
+            phases: PhaseTotals::default(),
+            overlap: Vec::new(),
+        };
+        let t = Table::from_budget(&budget);
+        assert_eq!(t.len(), 2);
+        let md = t.to_markdown();
+        assert!(md.contains("L0:D0"));
+        assert!(md.contains("L0:A0"));
+        // Both rows total the makespan.
+        assert_eq!(md.matches("100.00").count(), 2);
     }
 }

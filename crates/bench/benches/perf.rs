@@ -1,9 +1,11 @@
 //! Hot-path throughput bench: runs the same deterministic scheduling
 //! scenario as `BENCH_sched.json` through every DES engine — the legacy
-//! sequential queue gear, the optimized concurrent scheduler, the frozen
-//! pre-optimization baseline (`tapesim_sched::baseline`) and the faulty
-//! concurrent gear — and records events/sec, allocation counts and wall
-//! time into `BENCH_perf.json` at the workspace root.
+//! sequential queue gear, the optimized concurrent scheduler (with and
+//! without span time accounting, so the observability overhead is
+//! measured in the same run), the frozen pre-optimization baseline
+//! (`tapesim_sched::baseline`) and the faulty concurrent gear — and
+//! records events/sec, allocation counts and wall time into
+//! `BENCH_perf.json` at the workspace root.
 //!
 //! Because the optimized and baseline engines are bit-identical on
 //! metrics (pinned by `tapesim-sched`'s regression tests), they process
@@ -100,6 +102,13 @@ struct Report {
     /// Optimized concurrent gear over the frozen pre-optimization copy,
     /// events/sec ratio measured in this same run.
     speedup_vs_baseline: f64,
+    /// Throughput cost of span time accounting: the median of per-round
+    /// `sched_obs`/`sched` wall-time ratios, as a percentage (rounds run
+    /// the two engines back to back, so each ratio compares like machine
+    /// state). Absent in artifacts written before the observability
+    /// layer existed.
+    #[serde(default)]
+    obs_overhead_pct: f64,
 }
 
 const RATE_PER_HOUR: f64 = 24.0;
@@ -121,62 +130,124 @@ fn workload() -> Workload {
     .generate()
 }
 
-/// Best-of-N wall time and the best iteration's allocation deltas for one
-/// engine run. Each iteration rebuilds its simulator via `setup` *outside*
-/// the timed window, so the measurement covers the engine alone, not
-/// placement cloning or simulator construction. The scenario is
-/// deterministic, so the fastest iteration is the least-noisy estimate and
-/// every iteration allocates identically.
-fn measure(
-    engine: &str,
-    iterations: u32,
-    mut setup: impl FnMut() -> Simulator,
-    mut run: impl FnMut(Simulator) -> (u64, u64),
-) -> EngineRow {
-    let mut best = f64::INFINITY;
-    let mut best_allocs = 0u64;
-    let mut best_bytes = 0u64;
-    let mut served = 0u64;
-    let mut events = 0u64;
-    for _ in 0..iterations {
-        let sim = setup();
-        let (a0, b0) = alloc_counter::snapshot();
-        let t = Instant::now();
-        let (s, e) = run(sim);
-        let secs = t.elapsed().as_secs_f64();
-        let (a1, b1) = alloc_counter::snapshot();
-        served = s;
-        events = e;
-        if secs < best {
-            best = secs;
-            best_allocs = a1 - a0;
-            best_bytes = b1 - b0;
+/// One engine under measurement: a named run closure over a fresh
+/// simulator, plus the best-of-N accumulators.
+struct Probe<'a> {
+    engine: &'static str,
+    run: Box<dyn FnMut(Simulator) -> (u64, u64) + 'a>,
+    best: f64,
+    best_allocs: u64,
+    best_bytes: u64,
+    served: u64,
+    events: u64,
+    /// Wall seconds of every round, in round order. Cross-engine ratios
+    /// are computed per round (adjacent runs share the machine state)
+    /// and summarised by their median, which is far more noise-robust
+    /// than a ratio of two independently-achieved bests.
+    rounds: Vec<f64>,
+}
+
+impl<'a> Probe<'a> {
+    fn new(engine: &'static str, run: impl FnMut(Simulator) -> (u64, u64) + 'a) -> Probe<'a> {
+        Probe {
+            engine,
+            run: Box::new(run),
+            best: f64::INFINITY,
+            best_allocs: 0,
+            best_bytes: 0,
+            served: 0,
+            events: 0,
+            rounds: Vec::new(),
         }
     }
-    let events_per_sec = if best > 0.0 {
-        events as f64 / best
-    } else {
-        0.0
-    };
-    println!(
-        "{:<14}  {:>6} served  {:>10} events  {:>12.0} events/s  {:>10} allocs  {:>12} bytes  wall {:.2}ms",
-        engine,
-        served,
-        events,
-        events_per_sec,
-        best_allocs,
-        best_bytes,
-        best * 1e3
-    );
-    EngineRow {
-        engine: engine.to_string(),
-        served,
-        events,
-        events_per_sec,
-        allocs: best_allocs,
-        alloc_bytes: best_bytes,
-        wall_ms: best * 1e3,
+}
+
+/// Median of the per-round wall-time ratios `num[r] / den[r]`, as a
+/// percentage above 1 (`3.0` = the numerator engine is 3% slower).
+fn median_ratio_pct(num: &[f64], den: &[f64]) -> f64 {
+    let mut ratios: Vec<f64> = num
+        .iter()
+        .zip(den)
+        .filter(|&(_, &d)| d > 0.0)
+        .map(|(&n, &d)| n / d)
+        .collect();
+    if ratios.is_empty() {
+        return 0.0;
     }
+    ratios.sort_by(f64::total_cmp);
+    let mid = ratios.len() / 2;
+    let median = if ratios.len() % 2 == 0 {
+        (ratios[mid - 1] + ratios[mid]) / 2.0
+    } else {
+        ratios[mid]
+    };
+    100.0 * (median - 1.0)
+}
+
+/// Best-of-N wall time per engine, with the iterations *interleaved
+/// round-robin* across engines: every round runs each engine once, so
+/// slow drift of the machine (frequency scaling, thermal state, noisy
+/// neighbours) biases every engine equally instead of penalising
+/// whichever one happened to run last. Cross-engine ratios — the
+/// baseline speedup and the observability overhead — are only
+/// trustworthy under this schedule.
+///
+/// Each iteration rebuilds its simulator via `setup` *outside* the timed
+/// window, so the measurement covers the engine alone. The scenario is
+/// deterministic, so the fastest iteration is the least-noisy estimate
+/// and every iteration allocates identically.
+fn measure_all(
+    probes: &mut [Probe<'_>],
+    iterations: u32,
+    mut setup: impl FnMut() -> Simulator,
+) -> Vec<EngineRow> {
+    for _ in 0..iterations {
+        for probe in probes.iter_mut() {
+            let sim = setup();
+            let (a0, b0) = alloc_counter::snapshot();
+            let t = Instant::now();
+            let (s, e) = (probe.run)(sim);
+            let secs = t.elapsed().as_secs_f64();
+            let (a1, b1) = alloc_counter::snapshot();
+            probe.served = s;
+            probe.events = e;
+            probe.rounds.push(secs);
+            if secs < probe.best {
+                probe.best = secs;
+                probe.best_allocs = a1 - a0;
+                probe.best_bytes = b1 - b0;
+            }
+        }
+    }
+    probes
+        .iter()
+        .map(|p| {
+            let events_per_sec = if p.best > 0.0 && p.best.is_finite() {
+                p.events as f64 / p.best
+            } else {
+                0.0
+            };
+            println!(
+                "{:<14}  {:>6} served  {:>10} events  {:>12.0} events/s  {:>10} allocs  {:>12} bytes  wall {:.2}ms",
+                p.engine,
+                p.served,
+                p.events,
+                events_per_sec,
+                p.best_allocs,
+                p.best_bytes,
+                p.best * 1e3
+            );
+            EngineRow {
+                engine: p.engine.to_string(),
+                served: p.served,
+                events: p.events,
+                events_per_sec,
+                allocs: p.best_allocs,
+                alloc_bytes: p.best_bytes,
+                wall_ms: p.best * 1e3,
+            }
+        })
+        .collect()
 }
 
 fn baseline_path() -> std::path::PathBuf {
@@ -235,7 +306,10 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let smoke = argv.iter().any(|a| a == "--smoke");
     let check = argv.iter().any(|a| a == "--check");
-    let (samples, iterations) = if smoke { (120, 2) } else { (400, 5) };
+    // The runs are milliseconds each, so best-of-many is cheap; a high
+    // iteration count is what makes the best-time estimate stable enough
+    // to compare engines (and the obs on/off pair) on a shared machine.
+    let (samples, iterations) = if smoke { (120, 5) } else { (400, 25) };
 
     let system = paper_table1();
     let w = workload();
@@ -254,29 +328,46 @@ fn main() {
     let no_alternates: BTreeMap<_, _> = BTreeMap::new();
 
     let fresh_sim = || Simulator::with_natural_policy(placement.clone(), 4);
-    let queued = measure("queued_fcfs", iterations, fresh_sim, |mut sim| {
-        let out = run_scheduled(&mut sim, &w, &Fcfs, &cfg);
-        (out.metrics.served(), out.metrics.events())
-    });
-    let sched = measure("sched", iterations, fresh_sim, |mut sim| {
-        let out = run_scheduled(&mut sim, &w, &BatchByTape, &cfg);
-        (out.metrics.served(), out.metrics.events())
-    });
-    let sched_baseline = measure("sched_baseline", iterations, fresh_sim, |sim| {
-        let out = run_scheduled_baseline(&sim, &w, &BatchByTape, &cfg, &zero_plan, &no_alternates);
-        (out.metrics.served(), out.metrics.events())
-    });
-    let faults = measure("faults", iterations, fresh_sim, |mut sim| {
-        let out = run_scheduled_faulty(
-            &mut sim,
-            &w,
-            &BatchByTape,
-            &cfg,
-            &fault_plan,
-            &no_alternates,
-        );
-        (out.metrics.served(), out.metrics.events())
-    });
+    let obs_cfg = cfg.with_obs(true);
+    let mut probes = vec![
+        Probe::new("queued_fcfs", |mut sim: Simulator| {
+            let out = run_scheduled(&mut sim, &w, &Fcfs, &cfg);
+            (out.metrics.served(), out.metrics.events())
+        }),
+        Probe::new("sched", |mut sim: Simulator| {
+            let out = run_scheduled(&mut sim, &w, &BatchByTape, &cfg);
+            (out.metrics.served(), out.metrics.events())
+        }),
+        Probe::new("sched_obs", |mut sim: Simulator| {
+            let out = run_scheduled(&mut sim, &w, &BatchByTape, &obs_cfg);
+            let budget = out.budget.expect("obs on");
+            assert!(budget.sum_error() < 1e-6, "budget must close in the bench");
+            (out.metrics.served(), out.metrics.events())
+        }),
+        Probe::new("sched_baseline", |sim: Simulator| {
+            let out =
+                run_scheduled_baseline(&sim, &w, &BatchByTape, &cfg, &zero_plan, &no_alternates);
+            (out.metrics.served(), out.metrics.events())
+        }),
+        Probe::new("faults", |mut sim: Simulator| {
+            let out = run_scheduled_faulty(
+                &mut sim,
+                &w,
+                &BatchByTape,
+                &cfg,
+                &fault_plan,
+                &no_alternates,
+            );
+            (out.metrics.served(), out.metrics.events())
+        }),
+    ];
+    let rows = measure_all(&mut probes, iterations, fresh_sim);
+    let sched_rounds = std::mem::take(&mut probes[1].rounds);
+    let sched_obs_rounds = std::mem::take(&mut probes[2].rounds);
+    drop(probes);
+    let [queued, sched, sched_obs, sched_baseline, faults]: [EngineRow; 5] = rows
+        .try_into()
+        .unwrap_or_else(|_| unreachable!("five probes produce five rows"));
 
     assert_eq!(
         (sched.served, sched.events),
@@ -291,13 +382,26 @@ fn main() {
     };
     println!("speedup vs frozen baseline (same run): {speedup:.2}x");
 
+    assert_eq!(
+        (sched.served, sched.events),
+        (sched_obs.served, sched_obs.events),
+        "span accounting changed the simulation — the observability tap \
+         must be a pure reader"
+    );
+    let obs_overhead_pct = median_ratio_pct(&sched_obs_rounds, &sched_rounds);
+    println!(
+        "span-accounting overhead (median per-round sched_obs/sched wall ratio): \
+         {obs_overhead_pct:.1}%"
+    );
+
     let report = Report {
         bench: "perf".to_string(),
         samples,
         rate_per_hour: RATE_PER_HOUR,
         iterations,
-        engines: vec![queued, sched, sched_baseline, faults],
+        engines: vec![queued, sched, sched_obs, sched_baseline, faults],
         speedup_vs_baseline: speedup,
+        obs_overhead_pct,
     };
 
     if check {

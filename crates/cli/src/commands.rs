@@ -431,6 +431,152 @@ pub fn sched(args: &Args) -> Result<String, CommandError> {
     Ok(out)
 }
 
+/// One entry of `tapesim report --json` output.
+#[derive(Debug, Serialize)]
+struct ReportEntry {
+    scheme: &'static str,
+    policy: &'static str,
+    manifest: tapesim_obs::RunManifest,
+    budget: tapesim_obs::TimeBudget,
+}
+
+/// `tapesim report` — explain a run at resource granularity: re-run the
+/// scheduler sweep with span time accounting on and print, per scheme ×
+/// policy, the signed run manifest and the per-drive/per-arm time budget
+/// (seek/rewind/transfer/load/unload/exchange/idle/failed columns that
+/// sum to the makespan on every row), plus job-phase means and the
+/// robot-exchange overlap ratio. A merged metrics registry across the
+/// whole sweep closes the report.
+pub fn report(args: &Args) -> Result<String, CommandError> {
+    use tapesim_obs::{MetricsRegistry, RunManifest};
+
+    let smoke = args.has("smoke");
+    let workload = if smoke {
+        smoke_workload()
+    } else {
+        read_workload(args.require("workload")?)?
+    };
+    let system = system_from(args)?;
+    let m: u8 = args.get_or("m", 4)?;
+    let samples: usize = args.get_or("samples", if smoke { 30 } else { 100 })?;
+    let rate: f64 = args.get_or("rate", 12.0)?;
+    let seed: u64 = args.get_or("seed", 0xD15Cu64)?;
+    let max_batch: usize = args.get_or("max-batch", 0)?;
+    let spec = ArrivalSpec {
+        per_hour: rate,
+        seed,
+    };
+
+    let schemes = parse_schemes(args)?;
+    let policies = parse_policies(args)?;
+
+    let mut entries = Vec::new();
+    let mut totals = MetricsRegistry::default();
+    for scheme in schemes {
+        let policy = placement_for(scheme, m);
+        let placement = policy
+            .place(&workload, &system)
+            .map_err(|e| CommandError(format!("{} failed: {e}", policy.display_name())))?;
+        for &kind in &policies {
+            let mut sim = Simulator::with_natural_policy(placement.clone(), m);
+            let cfg = SchedConfig::new(spec, samples)
+                .with_max_batch(max_batch)
+                .with_obs(true);
+            let out = run_scheduled(&mut sim, &workload, kind.build().as_ref(), &cfg);
+            let budget = out
+                .budget
+                .expect("observability was enabled, the run must carry a budget");
+            if budget.sum_error() > 1e-6 {
+                return Err(CommandError(format!(
+                    "{scheme}/{}: budget does not close (error {:.3e} s)",
+                    kind.label(),
+                    budget.sum_error()
+                )));
+            }
+
+            // Per-run registry, merged into the sweep totals: the same
+            // mechanism aggregates metrics across repeated runs.
+            let mut reg = MetricsRegistry::default();
+            let served = reg.counter("requests_served");
+            let mounts = reg.counter("tape_mounts");
+            let makespan = reg.gauge("makespan_s_max");
+            let sojourn = reg.histogram(
+                "sojourn_s",
+                &[60.0, 300.0, 900.0, 1800.0, 3600.0, 7200.0, 14400.0],
+            );
+            reg.add(served, out.metrics.served());
+            reg.add(mounts, out.metrics.mounts());
+            reg.set(makespan, budget.makespan_s);
+            for &s in out.metrics.sojourn_seconds() {
+                reg.observe(sojourn, s);
+            }
+            totals.merge(&reg);
+
+            let manifest = RunManifest {
+                engine: "sched".into(),
+                scheme: short_scheme(scheme).into(),
+                policy: kind.label().into(),
+                workload_seed: tapesim_obs::digest(&workload),
+                arrival_seed: seed,
+                rate_per_hour: rate,
+                samples: samples as u64,
+                fault_spec_hash: 0,
+                crates: RunManifest::workspace_crates(),
+                signature: 0,
+            }
+            .signed();
+            entries.push(ReportEntry {
+                scheme,
+                policy: kind.label(),
+                manifest,
+                budget,
+            });
+        }
+    }
+
+    if args.has("json") {
+        return Ok(serde_json::to_string_pretty(&entries)?);
+    }
+    let mut out =
+        format!("resource report: {samples} requests at {rate}/h (seed {seed}), m = {m}\n");
+    for e in &entries {
+        out.push_str(&format!(
+            "\n== {} / {} (manifest {:016x}, verified: {}) ==\n",
+            e.scheme,
+            e.policy,
+            e.manifest.signature,
+            e.manifest.verify(),
+        ));
+        out.push_str(&tapesim_obs::render_budget(&e.budget));
+    }
+    out.push_str("\nsweep totals (merged registry):\n");
+    for (name, value) in totals.canonical().counters() {
+        out.push_str(&format!("  {name} = {value}\n"));
+    }
+    for (name, value) in totals.canonical().gauges() {
+        out.push_str(&format!("  {name} = {value:.2}\n"));
+    }
+    if let Some(h) = totals.histogram_by_name("sojourn_s") {
+        out.push_str(&format!(
+            "  sojourn_s: n = {}, mean = {:.1}, p50 ~ {:.0}, p99 ~ {:.0}\n",
+            h.count(),
+            h.mean(),
+            h.percentile(50.0),
+            h.percentile(99.0),
+        ));
+    }
+    Ok(out)
+}
+
+/// Short scheme label used in manifests and figure captions.
+fn short_scheme(scheme: &str) -> &'static str {
+    match scheme {
+        "parallel-batch" => "pbp",
+        "object-prob" => "opp",
+        _ => "cpp",
+    }
+}
+
 /// One row of `tapesim faults` output.
 #[derive(Debug, Serialize)]
 struct FaultRow {

@@ -45,6 +45,13 @@ COMMANDS:
                --intensity X --mtbf-hours H --jams-per-hour R
                --spots-per-tape R --replicate-gb GB [--smoke] [--json]
                [--audit-mode streaming|batch]
+  report     explain a run at resource granularity: per-drive/per-arm span
+             time budgets (seek/rewind/transfer/load/unload/exchange/idle/
+             failed, summing to the makespan), job-phase means, robot-
+             exchange overlap ratios and a signed run manifest per scheme
+               -w WORKLOAD --scheme all|pbp|opp|cpp --policy all|fcfs|batch|sltf
+               --rate PER_HOUR --samples N --seed S --m M --max-batch N
+               [--smoke] [--json]
   inspect    summarise a placement (batches, per-tape fill map)
                -p PLACEMENT
   help       show this message
@@ -142,6 +149,24 @@ fn main() {
         )
         .map_err(Into::into)
         .and_then(|a| commands::faults(&a)),
+        "report" => Args::parse(
+            rest,
+            &[
+                "workload",
+                "scheme",
+                "policy",
+                "rate",
+                "samples",
+                "seed",
+                "m",
+                "max-batch",
+                "libraries",
+                "tapes",
+            ],
+            &["json", "smoke"],
+        )
+        .map_err(Into::into)
+        .and_then(|a| commands::report(&a)),
         "inspect" => Args::parse(rest, &["placement"], &[])
             .map_err(Into::into)
             .and_then(|a| commands::inspect(&a)),

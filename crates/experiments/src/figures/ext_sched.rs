@@ -17,6 +17,7 @@
 use crate::harness::{sweep, Scheme};
 use crate::settings::ExperimentSettings;
 use tapesim_analysis::{ExperimentResult, Series};
+use tapesim_obs::SpanKind;
 use tapesim_sched::{run_scheduled, PolicyKind, SchedConfig};
 use tapesim_sim::queue::ArrivalSpec;
 use tapesim_sim::Simulator;
@@ -117,6 +118,45 @@ pub fn run(base: &ExperimentSettings) -> ExperimentResult {
             mount_note.push_str(&format!(" {} {}", kind.label(), values[off + top_rate].1));
         }
         result.push_note(mount_note);
+    }
+    // Resource-budget columns for the top-rate batch runs: where each
+    // scheme's drive time actually goes, from the span accountant.
+    for &scheme in Scheme::ALL.iter() {
+        let placement = scheme
+            .policy(base.m)
+            .place(&workload, &system)
+            .expect("placement");
+        let mut sim = Simulator::with_natural_policy(placement, base.m);
+        let cfg = SchedConfig::new(
+            ArrivalSpec {
+                per_hour: rs[top_rate],
+                seed: base.sim_seed,
+            },
+            base.samples,
+        )
+        .with_obs(true);
+        let out = run_scheduled(
+            &mut sim,
+            &workload,
+            PolicyKind::BatchByTape.build().as_ref(),
+            &cfg,
+        );
+        let budget = out.budget.expect("obs on");
+        let drive_secs = budget.makespan_s * budget.drives.len() as f64;
+        let share = |kind| 100.0 * budget.drive_total(kind) / drive_secs;
+        result.push_note(format!(
+            "{} budget at {}/h (batch): transfer {:.1}% seek {:.1}% rewind {:.1}% \
+             exchange {:.1}% idle {:.1}% | drive util {:.1}% | robot overlap {:.1}%",
+            short(scheme),
+            rs[top_rate],
+            share(SpanKind::Transfer),
+            share(SpanKind::Seek),
+            share(SpanKind::Rewind),
+            share(SpanKind::Exchange),
+            share(SpanKind::Idle),
+            budget.drive_utilisation() * 100.0,
+            budget.robot_overlap_ratio() * 100.0,
+        ));
     }
     result.push_note(format!(
         "Poisson arrivals into a shared admission queue, all drives serving \

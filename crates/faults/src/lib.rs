@@ -269,6 +269,13 @@ impl FaultPlan {
     pub fn n_spots(&self) -> usize {
         self.spots.iter().map(Vec::len).sum()
     }
+
+    /// Whether the plan injects only media faults — no drive failures,
+    /// no robot jams. Media-only plans have no hardware identities to
+    /// act on, so a sequential (single-server) engine can honour them.
+    pub fn media_only(&self) -> bool {
+        self.n_drive_failures() == 0 && self.n_jams() == 0
+    }
 }
 
 /// Read-only view of a [`FaultPlan`] that the engines consult. All

@@ -1,0 +1,82 @@
+// quick micro-bench of TimeAccountant::observe on a synthetic trace
+use std::time::Instant;
+use tapesim_des::{DriveKey, TapeKey};
+use tapesim_des::{SimTime, TraceEvent};
+use tapesim_obs::{TimeAccountant, Topology};
+
+fn main() {
+    let topo = Topology {
+        libraries: 3,
+        drives_per_library: 8,
+        arms_per_library: 1,
+        tapes_per_library: 80,
+        load_secs: 19.0,
+        unload_secs: 19.0,
+    };
+    // Build a synthetic interleaved trace resembling the bench run.
+    let mut events: Vec<(SimTime, TraceEvent)> = Vec::new();
+    let mut t = 0.0f64;
+    for j in 0..2000u32 {
+        let drive = DriveKey::pack((j % 3) as u16, (j % 8) as u16);
+        let tape = TapeKey::pack(j % 3, j % 80);
+        t += 5.0;
+        events.push((
+            SimTime::from_secs(t),
+            TraceEvent::JobSubmitted { job: j, tape },
+        ));
+        if j % 4 == 0 {
+            events.push((
+                SimTime::from_secs(t + 1.0),
+                TraceEvent::Unmounted { drive, tape },
+            ));
+            events.push((
+                SimTime::from_secs(t + 1.0),
+                TraceEvent::ExchangeBegun {
+                    drive,
+                    tape,
+                    arm: 0,
+                    start: SimTime::from_secs(t + 10.0),
+                    finish: SimTime::from_secs(t + 60.0),
+                },
+            ));
+            events.push((
+                SimTime::from_secs(t + 60.0),
+                TraceEvent::Mounted { drive, tape },
+            ));
+        }
+        events.push((
+            SimTime::from_secs(t + 61.0),
+            TraceEvent::Transfer {
+                drive,
+                tape,
+                job: j,
+                extents: 3,
+                seek: SimTime::from_secs(12.0),
+                transfer: SimTime::from_secs(80.0),
+                start: SimTime::from_secs(t + 61.0),
+                finish: SimTime::from_secs(t + 153.0),
+            },
+        ));
+        events.push((
+            SimTime::from_secs(t + 153.0),
+            TraceEvent::JobCompleted { job: j, drive },
+        ));
+    }
+    println!("{} events", events.len());
+    let iters = 200;
+    let start = Instant::now();
+    let mut sink = 0.0f64;
+    for _ in 0..iters {
+        let mut acc = TimeAccountant::new(topo);
+        for (time, ev) in &events {
+            acc.observe(*time, ev);
+        }
+        let b = acc.finish(SimTime::from_secs(t + 200.0));
+        sink += b.makespan_s;
+    }
+    let el = start.elapsed().as_secs_f64();
+    println!(
+        "{:.1} ns/event (sink {sink})",
+        el / iters as f64 / events.len() as f64 * 1e9
+    );
+}

@@ -1,0 +1,33 @@
+//! Resource-level observability for the tape-storage simulators.
+//!
+//! Three layers, all zero-overhead when disabled (engines hold an
+//! `Option` of the accountant; `None` costs one branch per event):
+//!
+//! * [`registry`] — a [`MetricsRegistry`] of named counters, gauges and
+//!   fixed-bucket histograms with cheap index handles, mergeable across
+//!   runs (counters/buckets add, gauges keep the max).
+//! * [`spans`] — streaming per-resource **time accounting** over the
+//!   engines' [`tapesim_des::TraceEvent`] tap: every drive and robot arm
+//!   splits the run makespan into exclusive
+//!   `{Seek, Rewind, Transfer, Load, Unload, Exchange, Idle, Failed}`
+//!   spans, every job into `{Queued, WaitingMount, Serviced}`; the
+//!   resulting [`TimeBudget`] closes exactly (categories sum to
+//!   makespan × resource-count).
+//! * [`manifest`] — a signed [`RunManifest`] recording the config,
+//!   seeds, fault-spec digest, policy and crate versions of a run.
+//!
+//! [`report::render_budget`] renders a budget as the table the
+//! `tapesim report` CLI subcommand prints.
+
+pub mod manifest;
+pub mod registry;
+pub mod report;
+pub mod spans;
+
+pub use manifest::{digest, fnv1a64, RunManifest};
+pub use registry::{CounterId, GaugeId, Histogram, HistogramId, MetricsRegistry};
+pub use report::render_budget;
+pub use spans::{
+    LibraryOverlap, PhaseTotals, ResourceBudget, SpanKind, SpanSecs, TimeAccountant, TimeBudget,
+    Topology,
+};

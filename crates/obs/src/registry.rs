@@ -1,0 +1,424 @@
+//! A small name-keyed metrics registry: counters, gauges and fixed-bucket
+//! histograms with cheap index handles.
+//!
+//! Registration (`counter`/`gauge`/`histogram`) resolves a name to a
+//! handle once; the hot path then updates through the handle with a bare
+//! vector index — no hashing, no string comparison. Registries from
+//! independent runs [`MetricsRegistry::merge`] by name: counters and
+//! histogram buckets add, gauges keep the maximum, so merging is
+//! associative and commutative regardless of run order (the property
+//! tests in `crates/obs/tests` pin this).
+//!
+//! Histogram percentiles are bucket estimates: the reported value is the
+//! upper edge of the bucket holding the requested order statistic
+//! (clamped to the observed extrema), so it brackets the exact
+//! [`tapesim_des::stats::Samples::percentile`] at the same rank to
+//! within one bucket width — close enough to steer, cheap enough to
+//! keep always-on.
+
+use serde::{Deserialize, Serialize};
+
+/// Handle of a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle of a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle of a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// A fixed-bucket histogram: `bounds` are strictly increasing upper
+/// edges; one overflow bucket catches everything above the last edge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Upper bucket edges, strictly increasing.
+    bounds: Vec<f64>,
+    /// Observation counts per bucket; `len == bounds.len() + 1` (the
+    /// last entry is the overflow bucket).
+    counts: Vec<u64>,
+    /// Total observations.
+    count: u64,
+    /// Sum of all observed values.
+    sum: f64,
+    /// Smallest observed value (`+inf` when empty).
+    min: f64,
+    /// Largest observed value (`-inf` when empty).
+    max: f64,
+}
+
+impl Histogram {
+    /// An empty histogram over `bounds` (strictly increasing edges).
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&mut self, x: f64) {
+        let idx = self.bounds.partition_point(|&b| b < x);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all observations (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation (NaN when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (NaN when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// The bucket edges this histogram was built over.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (last entry is the overflow bucket).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bucket estimate of the `p`-th percentile (`p` in `[0, 100]`; NaN
+    /// when empty): the upper edge of the bucket containing the
+    /// nearest-rank order statistic, clamped to the observed `[min, max]`.
+    /// For values inside the bounded range this brackets the exact
+    /// percentile at the same rank to within one bucket width.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let rank = (p / 100.0).clamp(0.0, 1.0) * (self.count - 1) as f64;
+        let target = rank.round() as u64 + 1; // 1-based cumulative target
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                let edge = match self.bounds.get(i) {
+                    Some(&b) => b,
+                    None => self.max, // overflow bucket
+                };
+                return edge.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds `other`'s observations (bucket-wise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket layouts differ — merging is only defined
+    /// over identically shaped histograms.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket layouts"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A registry of named metrics for one run, mergeable across runs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn find<T>(items: &[(String, T)], name: &str) -> Option<usize> {
+        items.iter().position(|(n, _)| n == name)
+    }
+
+    /// Registers (or finds) the counter `name`.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        CounterId(match Self::find(&self.counters, name) {
+            Some(i) => i,
+            None => {
+                self.counters.push((name.to_string(), 0));
+                self.counters.len() - 1
+            }
+        })
+    }
+
+    /// Adds `delta` to a counter.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, delta: u64) {
+        self.counters[id.0].1 += delta;
+    }
+
+    /// Increments a counter by one.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Current value of a counter.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].1
+    }
+
+    /// Registers (or finds) the gauge `name`.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        GaugeId(match Self::find(&self.gauges, name) {
+            Some(i) => i,
+            None => {
+                self.gauges.push((name.to_string(), 0.0));
+                self.gauges.len() - 1
+            }
+        })
+    }
+
+    /// Sets a gauge.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, value: f64) {
+        self.gauges[id.0].1 = value;
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0].1
+    }
+
+    /// Registers (or finds) the histogram `name` over `bounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` exists with a different bucket layout.
+    pub fn histogram(&mut self, name: &str, bounds: &[f64]) -> HistogramId {
+        HistogramId(match Self::find(&self.histograms, name) {
+            Some(i) => {
+                assert_eq!(
+                    self.histograms[i].1.bounds(),
+                    bounds,
+                    "histogram {name:?} re-registered with different bounds"
+                );
+                i
+            }
+            None => {
+                self.histograms
+                    .push((name.to_string(), Histogram::new(bounds)));
+                self.histograms.len() - 1
+            }
+        })
+    }
+
+    /// Records one observation into a histogram.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, x: f64) {
+        self.histograms[id.0].1.observe(x);
+    }
+
+    /// Read access to a histogram.
+    pub fn histogram_ref(&self, id: HistogramId) -> &Histogram {
+        &self.histograms[id.0].1
+    }
+
+    /// Looks a counter value up by name (None when unregistered).
+    pub fn counter_by_name(&self, name: &str) -> Option<u64> {
+        Self::find(&self.counters, name).map(|i| self.counters[i].1)
+    }
+
+    /// Looks a gauge value up by name (None when unregistered).
+    pub fn gauge_by_name(&self, name: &str) -> Option<f64> {
+        Self::find(&self.gauges, name).map(|i| self.gauges[i].1)
+    }
+
+    /// Looks a histogram up by name (None when unregistered).
+    pub fn histogram_by_name(&self, name: &str) -> Option<&Histogram> {
+        Self::find(&self.histograms, name).map(|i| &self.histograms[i].1)
+    }
+
+    /// All counters as `(name, value)` pairs, in registration order.
+    pub fn counters(&self) -> &[(String, u64)] {
+        &self.counters
+    }
+
+    /// All gauges as `(name, value)` pairs, in registration order.
+    pub fn gauges(&self) -> &[(String, f64)] {
+        &self.gauges
+    }
+
+    /// All histograms as `(name, histogram)` pairs, in registration order.
+    pub fn histograms(&self) -> &[(String, Histogram)] {
+        &self.histograms
+    }
+
+    /// Folds `other` into `self` by metric name: counters and histogram
+    /// buckets add, gauges keep the maximum. Metrics unknown to `self`
+    /// are adopted. Associative and commutative up to registration order
+    /// (use [`MetricsRegistry::canonical`] for order-independent
+    /// comparison).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a histogram name is shared with a different bucket
+    /// layout (see [`Histogram::merge`]).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, v) in &other.counters {
+            match Self::find(&self.counters, name) {
+                Some(i) => self.counters[i].1 += v,
+                None => self.counters.push((name.clone(), *v)),
+            }
+        }
+        for (name, v) in &other.gauges {
+            match Self::find(&self.gauges, name) {
+                Some(i) => self.gauges[i].1 = self.gauges[i].1.max(*v),
+                None => self.gauges.push((name.clone(), *v)),
+            }
+        }
+        for (name, h) in &other.histograms {
+            match Self::find(&self.histograms, name) {
+                Some(i) => self.histograms[i].1.merge(h),
+                None => self.histograms.push((name.clone(), h.clone())),
+            }
+        }
+    }
+
+    /// A copy with every metric family sorted by name — the
+    /// registration-order-independent form two merged registries are
+    /// compared in.
+    pub fn canonical(&self) -> MetricsRegistry {
+        let mut out = self.clone();
+        out.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        out.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        out.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("served");
+        let g = reg.gauge("utilisation");
+        reg.inc(c);
+        reg.add(c, 4);
+        reg.set(g, 0.75);
+        assert_eq!(reg.counter_value(c), 5);
+        assert_eq!(reg.gauge_value(g), 0.75);
+        assert_eq!(reg.counter_by_name("served"), Some(5));
+        assert_eq!(reg.counter_by_name("absent"), None);
+        // Re-registration returns the same handle.
+        assert_eq!(reg.counter("served"), c);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for x in [0.5, 1.5, 1.7, 3.0, 10.0] {
+            h.observe(x);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.counts(), &[1, 2, 1, 1]);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 10.0);
+        // p0 → first order stat's bucket edge (clamp leaves 1.0 as is).
+        assert_eq!(h.percentile(0.0), 1.0);
+        // p100 → overflow bucket → observed max.
+        assert_eq!(h.percentile(100.0), 10.0);
+        assert!(h.percentile(50.0) <= 2.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_nan() {
+        let h = Histogram::new(&[1.0]);
+        assert!(h.percentile(50.0).is_nan());
+        assert!(h.mean().is_nan());
+        assert!(h.min().is_nan());
+    }
+
+    #[test]
+    fn merge_adds_counters_and_buckets() {
+        let mut a = MetricsRegistry::new();
+        let c = a.counter("mounts");
+        a.add(c, 3);
+        let ha = a.histogram("sojourn", &[10.0, 100.0]);
+        a.observe(ha, 5.0);
+
+        let mut b = MetricsRegistry::new();
+        let hb = b.histogram("sojourn", &[10.0, 100.0]);
+        b.observe(hb, 50.0);
+        let c2 = b.counter("mounts");
+        b.add(c2, 2);
+        let g = b.gauge("peak");
+        b.set(g, 1.5);
+
+        a.merge(&b);
+        assert_eq!(a.counter_by_name("mounts"), Some(5));
+        assert_eq!(a.gauge_by_name("peak"), Some(1.5));
+        let h = a.histogram_by_name("sojourn").map(Histogram::counts);
+        assert_eq!(h, Some([1u64, 1, 0].as_slice()));
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket layouts")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new(&[1.0]);
+        let b = Histogram::new(&[2.0]);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_bounds() {
+        let _h = Histogram::new(&[2.0, 1.0]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Text rendering of a [`TimeBudget`]: the fixed-width table the
+//! `tapesim report` subcommand prints.
+//!
+//! The table has one row per resource and one column per [`SpanKind`],
+//! plus a `total` column that must equal the makespan on every row —
+//! the budget-closure invariant rendered where a human can check it.
+//! JSON output goes through the budget's `Serialize` impl directly.
+
+use crate::spans::{SpanKind, TimeBudget};
+
+/// Renders one budget as a fixed-width text table with a phase and
+/// overlap summary underneath.
+pub fn render_budget(budget: &TimeBudget) -> String {
+    let mut out = String::new();
+    let headers: Vec<&str> = SpanKind::ALL.iter().map(|k| k.label()).collect();
+    out.push_str(&format!("{:<8}", "resource"));
+    for h in &headers {
+        out.push_str(&format!("{h:>12}"));
+    }
+    out.push_str(&format!("{:>12}\n", "total"));
+
+    for r in budget.drives.iter().chain(budget.arms.iter()) {
+        out.push_str(&format!("{:<8}", r.label));
+        for kind in SpanKind::ALL {
+            out.push_str(&format!("{:>12.2}", r.spans.get(kind)));
+        }
+        out.push_str(&format!("{:>12.2}\n", r.spans.total()));
+    }
+
+    out.push_str(&format!(
+        "\nmakespan {:.2} s | {} drives, {} arms | budget closure error {:.2e} s\n",
+        budget.makespan_s,
+        budget.drives.len(),
+        budget.arms.len(),
+        budget.sum_error(),
+    ));
+    out.push_str(&format!(
+        "drive utilisation {:.1}% | arm utilisation {:.1}% | robot-exchange overlap {:.1}%\n",
+        budget.drive_utilisation() * 100.0,
+        budget.arm_utilisation() * 100.0,
+        budget.robot_overlap_ratio() * 100.0,
+    ));
+    let p = &budget.phases;
+    out.push_str(&format!(
+        "job phases ({} jobs): queued {:.2} s | waiting-mount {:.2} s | serviced {:.2} s (means/job)\n",
+        p.jobs,
+        p.mean_queued(),
+        p.mean_waiting_mount(),
+        p.mean_serviced(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spans::{PhaseTotals, ResourceBudget, SpanSecs};
+
+    fn budget() -> TimeBudget {
+        TimeBudget {
+            makespan_s: 100.0,
+            drives: vec![ResourceBudget {
+                label: "L0:D0".into(),
+                spans: SpanSecs {
+                    transfer: 60.0,
+                    seek: 10.0,
+                    idle: 30.0,
+                    ..SpanSecs::default()
+                },
+            }],
+            arms: vec![ResourceBudget {
+                label: "L0:A0".into(),
+                spans: SpanSecs {
+                    exchange: 20.0,
+                    idle: 80.0,
+                    ..SpanSecs::default()
+                },
+            }],
+            phases: PhaseTotals {
+                jobs: 4,
+                queued_s: 8.0,
+                waiting_mount_s: 4.0,
+                serviced_s: 40.0,
+            },
+            overlap: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn renders_every_resource_and_the_closure_line() {
+        let text = render_budget(&budget());
+        assert!(text.contains("L0:D0"));
+        assert!(text.contains("L0:A0"));
+        assert!(text.contains("makespan 100.00 s"));
+        assert!(text.contains("budget closure error"));
+        assert!(text.contains("job phases (4 jobs)"));
+        // Header carries every span category.
+        for label in [
+            "seek", "rewind", "transfer", "load", "unload", "exchange", "idle", "failed",
+        ] {
+            assert!(text.contains(label), "missing column {label}");
+        }
+    }
+}

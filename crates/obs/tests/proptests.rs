@@ -1,0 +1,110 @@
+//! Property tests for the metrics registry and histogram estimators.
+//!
+//! Merge laws are checked on *exact* inputs: counter deltas and
+//! histogram observations are drawn from small integer/binary-fraction
+//! grids, so every floating-point sum in the registry is exact and the
+//! associativity/commutativity assertions can use strict equality
+//! (comparison is on [`MetricsRegistry::canonical`] — registration order
+//! is explicitly not part of the law).
+
+use proptest::prelude::*;
+use tapesim_des::stats::Samples;
+use tapesim_obs::MetricsRegistry;
+
+/// Histogram bucket upper bounds: eight buckets of width 12.5 covering
+/// `(…, 100]`. 12.5 is a binary fraction, so widths and edges are exact.
+const BOUNDS: [f64; 8] = [12.5, 25.0, 37.5, 50.0, 62.5, 75.0, 87.5, 100.0];
+const WIDTH: f64 = 12.5;
+
+/// One run's worth of registry activity, built from integer-grid inputs.
+fn registry_from(counts: &[u32], values: &[u32], gauge: u32) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    let served = reg.counter("served");
+    for &c in counts {
+        reg.add(served, c as u64);
+    }
+    let g = reg.gauge("makespan_s");
+    reg.set(g, gauge as f64);
+    let h = reg.histogram("sojourn_s", &BOUNDS);
+    for &v in values {
+        // v in [0, 800] maps to [0.0, 100.0] in exact 1/8 steps.
+        reg.observe(h, v as f64 / 8.0);
+    }
+    reg
+}
+
+fn run_strategy() -> impl Strategy<Value = (Vec<u32>, Vec<u32>, u32)> {
+    (
+        proptest::collection::vec(0u32..1000, 0..20),
+        proptest::collection::vec(0u32..=800, 0..50),
+        0u32..100_000,
+    )
+}
+
+proptest! {
+    /// merge(a, b) == merge(b, a) on the canonical form.
+    #[test]
+    fn merge_is_commutative(a in run_strategy(), b in run_strategy()) {
+        let (ra, rb) = (registry_from(&a.0, &a.1, a.2), registry_from(&b.0, &b.1, b.2));
+        let mut ab = ra.clone();
+        ab.merge(&rb);
+        let mut ba = rb.clone();
+        ba.merge(&ra);
+        prop_assert_eq!(ab.canonical(), ba.canonical());
+    }
+
+    /// (a ∪ b) ∪ c == a ∪ (b ∪ c) on the canonical form.
+    #[test]
+    fn merge_is_associative(
+        a in run_strategy(),
+        b in run_strategy(),
+        c in run_strategy(),
+    ) {
+        let (ra, rb, rc) = (
+            registry_from(&a.0, &a.1, a.2),
+            registry_from(&b.0, &b.1, b.2),
+            registry_from(&c.0, &c.1, c.2),
+        );
+        let mut left = ra.clone();
+        left.merge(&rb);
+        left.merge(&rc);
+        let mut right_tail = rb.clone();
+        right_tail.merge(&rc);
+        let mut right = ra.clone();
+        right.merge(&right_tail);
+        prop_assert_eq!(left.canonical(), right.canonical());
+    }
+
+    /// The bucket percentile estimator brackets the exact
+    /// [`Samples::percentile`] at the same (integer) rank from above,
+    /// within one bucket width. Integer ranks (`p = 100·i/(n−1)`) make
+    /// the exact percentile a pure order statistic, so the comparison
+    /// has no interpolation slack.
+    #[test]
+    fn histogram_percentile_brackets_exact(
+        values in proptest::collection::vec(0u32..=800, 1..120),
+        rank_seed in 0usize..1000,
+    ) {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("x", &BOUNDS);
+        let mut samples = Samples::new();
+        for &v in &values {
+            let x = v as f64 / 8.0;
+            reg.observe(h, x);
+            samples.push(x);
+        }
+        let n = values.len();
+        let p = if n == 1 {
+            50.0
+        } else {
+            100.0 * (rank_seed % n) as f64 / (n - 1) as f64
+        };
+        let exact = samples.percentile(p);
+        let est = reg.histogram_ref(h).percentile(p);
+        prop_assert!(
+            est >= exact - 1e-9 && est - exact <= WIDTH + 1e-9,
+            "estimate {est} must bracket exact {exact} within one bucket \
+             width {WIDTH} (p = {p}, n = {n})"
+        );
+    }
+}

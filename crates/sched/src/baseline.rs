@@ -763,7 +763,13 @@ pub fn run_scheduled_baseline(
     } else {
         Vec::new()
     };
-    SchedOutcome { metrics, reports }
+    // The baseline gear exists only for perf comparison; it does not
+    // carry the observability tap.
+    SchedOutcome {
+        metrics,
+        reports,
+        budget: None,
+    }
 }
 
 #[cfg(test)]

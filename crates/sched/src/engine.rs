@@ -60,6 +60,7 @@ use tapesim_des::{Resource, Scheduler, SimTime, TraceEvent, Tracer, World};
 use tapesim_faults::{FaultClock, FaultPlan};
 use tapesim_model::tape::Extent;
 use tapesim_model::{Bytes, DriveId, ObjectId, SystemConfig, TapeId};
+use tapesim_obs::{TimeAccountant, TimeBudget, Topology};
 use tapesim_placement::Placement;
 use tapesim_sim::catalog::{tape_jobs, TapeJob};
 use tapesim_sim::seek_order;
@@ -95,6 +96,10 @@ pub struct SchedConfig {
     pub audit: bool,
     /// Whether audits consume events online or from a buffered trace.
     pub audit_mode: AuditMode,
+    /// Whether to run the span accountant and attach a
+    /// [`TimeBudget`] to the outcome. Off by default; when off the
+    /// only cost is one `None` check per emitted trace event.
+    pub obs: bool,
 }
 
 impl SchedConfig {
@@ -106,6 +111,7 @@ impl SchedConfig {
             max_batch: 0,
             audit: false,
             audit_mode: AuditMode::default(),
+            obs: false,
         }
     }
 
@@ -125,6 +131,24 @@ impl SchedConfig {
     pub fn with_audit_mode(mut self, mode: AuditMode) -> SchedConfig {
         self.audit_mode = mode;
         self
+    }
+
+    /// Enables span time accounting (a [`TimeBudget`] on the outcome).
+    pub fn with_obs(mut self, obs: bool) -> SchedConfig {
+        self.obs = obs;
+        self
+    }
+}
+
+/// The span accountant's view of the simulated hardware.
+fn topology_of(system: &SystemConfig) -> Topology {
+    Topology {
+        libraries: system.libraries as u32,
+        drives_per_library: system.library.drives as u32,
+        arms_per_library: system.library.robot.arms.max(1) as u32,
+        tapes_per_library: system.library.tapes as u32,
+        load_secs: system.library.drive.load_time,
+        unload_secs: system.library.drive.unload_time,
     }
 }
 
@@ -169,6 +193,46 @@ impl AuditSink {
     }
 }
 
+/// The engine's single trace-event tap: every emitted event goes to the
+/// optional span accountant and then to the audit sink. Both consumers
+/// are streaming; neither buffers the trace. With both off, the cost per
+/// event is one `None` check and one `Off` match.
+#[derive(Debug)]
+struct Tap {
+    sink: AuditSink,
+    spans: Option<Box<TimeAccountant>>,
+}
+
+impl Tap {
+    fn new(cfg: &SchedConfig, auditor: &TraceAuditor, system: &SystemConfig) -> Tap {
+        Tap {
+            sink: AuditSink::new(cfg, auditor),
+            spans: cfg
+                .obs
+                .then(|| Box::new(TimeAccountant::new(topology_of(system)))),
+        }
+    }
+
+    #[inline]
+    fn emit(&mut self, time: SimTime, event: TraceEvent) {
+        if let Some(acc) = self.spans.as_deref_mut() {
+            acc.observe(time, &event);
+        }
+        self.sink.emit(time, event);
+    }
+
+    /// Closes both consumers: audit reports from the sink, the time
+    /// budget (booked against makespan `end`) from the accountant.
+    fn finish(
+        self,
+        auditor: &TraceAuditor,
+        end: SimTime,
+    ) -> (Vec<AuditReport>, Option<TimeBudget>) {
+        let budget = self.spans.map(|acc| acc.finish(end));
+        (self.sink.finish(auditor), budget)
+    }
+}
+
 /// Result of one scheduled run.
 #[derive(Debug, Clone, Default)]
 pub struct SchedOutcome {
@@ -177,6 +241,10 @@ pub struct SchedOutcome {
     /// Audit reports (one per request in the sequential gear, one for the
     /// whole run in the concurrent gear; empty when auditing is off).
     pub reports: Vec<AuditReport>,
+    /// Per-resource time budget (present iff [`SchedConfig::obs`] was
+    /// set): the makespan of every drive and robot arm split into
+    /// exclusive span categories, plus job-phase totals.
+    pub budget: Option<TimeBudget>,
 }
 
 impl SchedOutcome {
@@ -215,10 +283,14 @@ pub fn run_scheduled(
 /// losses.
 ///
 /// With a zero plan the metrics are bit-identical to [`run_scheduled`].
-/// Sequential policies route through the concurrent event gear whenever
-/// the plan is non-zero — the legacy single-server loop has no drive
-/// identities for faults to act on. FCFS order is preserved there by
-/// `Fcfs::choose` (oldest arrival first).
+/// Sequential policies route by what the plan injects: a **media-only**
+/// plan (bad-spots, no drive failures, no jams) re-runs the legacy
+/// single-server fault loop and reproduces `sim::queue::run_queued_faulty`
+/// bit for bit (pinned by the differential tests); any plan with drive
+/// failures or jams routes through the concurrent event gear — the
+/// single-server loop has no drive identities for those faults to act
+/// on. FCFS order is preserved there by `Fcfs::choose` (oldest arrival
+/// first).
 pub fn run_scheduled_faulty(
     sim: &mut Simulator,
     workload: &Workload,
@@ -229,6 +301,8 @@ pub fn run_scheduled_faulty(
 ) -> SchedOutcome {
     if policy.sequential() && plan.is_zero() {
         run_sequential(sim, workload, cfg)
+    } else if policy.sequential() && plan.media_only() {
+        run_sequential_faulty(sim, workload, cfg, plan, alternates)
     } else {
         run_concurrent(sim, workload, policy, cfg, plan, alternates)
     }
@@ -244,6 +318,7 @@ fn run_sequential(sim: &mut Simulator, workload: &Workload, cfg: &SchedConfig) -
 
     let mut metrics = SchedMetrics::new(1);
     let mut reports = Vec::new();
+    let mut acct = new_sequential_accountant(sim, cfg);
     let mut server_free = 0.0;
     let mut first_arrival = None;
     let mut events = 0u64;
@@ -254,16 +329,19 @@ fn run_sequential(sim: &mut Simulator, workload: &Workload, cfg: &SchedConfig) -
         let request = &workload.requests()[idx];
 
         let start = clock.max(server_free);
-        let r = if cfg.audit {
+        let r = if cfg.audit || acct.is_some() {
             let (r, tracer) = sim.serve_traced(&request.objects);
-            reports.push(match cfg.audit_mode {
-                AuditMode::Batch => TraceAuditor::new().audit(tracer.entries()),
-                AuditMode::Streaming => {
-                    let mut stream = TraceAuditor::new().stream();
-                    stream.push_all(tracer.entries());
-                    stream.finish()
-                }
-            });
+            if cfg.audit {
+                reports.push(match cfg.audit_mode {
+                    AuditMode::Batch => TraceAuditor::new().audit(tracer.entries()),
+                    AuditMode::Streaming => {
+                        let mut stream = TraceAuditor::new().stream();
+                        stream.push_all(tracer.entries());
+                        stream.finish()
+                    }
+                });
+            }
+            observe_request_trace(&mut acct, start, &tracer);
             r
         } else {
             sim.serve(&request.objects)
@@ -277,7 +355,170 @@ fn run_sequential(sim: &mut Simulator, workload: &Workload, cfg: &SchedConfig) -
     }
     metrics.set_horizon(server_free - first_arrival.unwrap_or(0.0));
     metrics.set_events(events);
-    SchedOutcome { metrics, reports }
+    let budget = acct.map(|acc| acc.finish(SimTime::from_secs(server_free)));
+    SchedOutcome {
+        metrics,
+        reports,
+        budget,
+    }
+}
+
+/// The span accountant for a sequential-gear run, when `cfg.obs` asks
+/// for one.
+fn new_sequential_accountant(sim: &Simulator, cfg: &SchedConfig) -> Option<Box<TimeAccountant>> {
+    cfg.obs
+        .then(|| Box::new(TimeAccountant::new(topology_of(sim.placement().config()))))
+}
+
+/// Stitches one per-request trace (whose local clock restarts at zero)
+/// onto the run axis at `start` and feeds it to the accountant.
+/// Sequential services never overlap, so the shifted windows stay
+/// exclusive per resource.
+fn observe_request_trace(acct: &mut Option<Box<TimeAccountant>>, start: f64, tracer: &Tracer) {
+    if let Some(acc) = acct.as_deref_mut() {
+        let offset = SimTime::from_secs(start);
+        for entry in tracer.entries() {
+            acc.observe_shifted(offset, entry.time, &entry.event);
+        }
+    }
+}
+
+/// The legacy single-server loop under **media-only** faults: arithmetic,
+/// RNG draws, accumulator push order and fault bookkeeping are copied
+/// verbatim from `sim::queue::run_queued_faulty`, so the metric bits and
+/// the lost/retries/failovers counters agree exactly (pinned by the
+/// differential tests). Lost requests are skipped, never served.
+///
+/// Media-retry penalties are response-time surcharges with no trace
+/// events behind them in this gear, so in an observed run they surface
+/// as server idle time, not `Transfer` — documented in DESIGN §12.
+fn run_sequential_faulty(
+    sim: &mut Simulator,
+    workload: &Workload,
+    cfg: &SchedConfig,
+    plan: &FaultPlan,
+    alternates: &BTreeMap<ObjectId, Vec<ObjectId>>,
+) -> SchedOutcome {
+    let clock = plan.clock();
+    let mut stream = ArrivalProcess::new(cfg.arrivals);
+    let sampler = workload.request_sampler();
+    let mut pick_rng = ChaCha12Rng::seed_from_u64(cfg.arrivals.seed ^ 0x9A3E);
+
+    let mut metrics = SchedMetrics::new(1);
+    let mut reports = Vec::new();
+    let mut acct = new_sequential_accountant(sim, cfg);
+    let mut retries = 0u64;
+    let mut failovers = 0u64;
+    let mut lost_requests = 0u64;
+    let mut server_free = 0.0;
+    let mut first_arrival = None;
+    let mut events = 0u64;
+    for _ in 0..cfg.samples {
+        let clock_t = stream.next_arrival();
+        first_arrival.get_or_insert(clock_t);
+        let idx = sampler.sample(&mut pick_rng);
+        let request = &workload.requests()[idx];
+
+        let placement = sim.placement();
+        let syscfg = placement.config();
+        let spec = &syscfg.library.drive;
+        let capacity = syscfg.library.tape.capacity;
+        let budget = clock.max_retries();
+
+        let jobs = tape_jobs(placement, &request.objects);
+        let mut final_objects = Vec::with_capacity(request.objects.len());
+        let mut penalty_s = 0.0;
+        let mut lost = false;
+        for job in &jobs {
+            let tape_idx = syscfg.tape_index(job.tape);
+            let mut granted_total = 0u32;
+            let mut extent_retry_s = 0.0;
+            let mut fatal = false;
+            for e in &job.extents {
+                let demand = clock.spot_demand(tape_idx, e.offset, e.end());
+                if demand > 0 {
+                    let granted = demand.min(budget - granted_total);
+                    granted_total += granted;
+                    extent_retry_s += granted as f64
+                        * (spec.position_time(e.end(), e.offset, capacity)
+                            + spec.transfer_time(e.size));
+                    if demand > granted {
+                        fatal = true;
+                    }
+                }
+            }
+            if granted_total > 0 || fatal {
+                penalty_s += clock.backoff_secs(granted_total) + extent_retry_s;
+                retries += granted_total as u64;
+            }
+            if !fatal {
+                final_objects.extend(job.extents.iter().map(|e| e.object));
+                continue;
+            }
+            // Retries exhausted: redirect every extent to a replica on a
+            // different tape, or lose the whole request.
+            let mut replicas = Vec::with_capacity(job.extents.len());
+            let resolvable = job.extents.iter().all(|e| {
+                alternates
+                    .get(&e.object)
+                    .and_then(|alts| {
+                        alts.iter()
+                            .copied()
+                            .find(|&o| placement.locate(o).tape != job.tape)
+                    })
+                    .map(|o| replicas.push(o))
+                    .is_some()
+            });
+            if resolvable {
+                failovers += 1;
+                final_objects.extend(replicas);
+            } else {
+                lost = true;
+                break;
+            }
+        }
+        if lost {
+            lost_requests += 1;
+            continue;
+        }
+
+        let start = clock_t.max(server_free);
+        let r = if cfg.audit || acct.is_some() {
+            let (r, tracer) = sim.serve_traced(&final_objects);
+            if cfg.audit {
+                reports.push(match cfg.audit_mode {
+                    AuditMode::Batch => TraceAuditor::new().audit(tracer.entries()),
+                    AuditMode::Streaming => {
+                        let mut stream = TraceAuditor::new().stream();
+                        stream.push_all(tracer.entries());
+                        stream.finish()
+                    }
+                });
+            }
+            observe_request_trace(&mut acct, start, &tracer);
+            r
+        } else {
+            sim.serve(&final_objects)
+        };
+        let response = r.response + penalty_s;
+        server_free = start + response;
+
+        metrics.record_seconds(start - clock_t, response, server_free - clock_t);
+        metrics.add_mounts(r.n_switches as u64);
+        metrics.add_busy(response);
+        events += r.n_events;
+    }
+    metrics.set_horizon(server_free - first_arrival.unwrap_or(0.0));
+    metrics.set_events(events);
+    metrics.add_retries(retries);
+    metrics.add_failovers(failovers);
+    metrics.add_lost(lost_requests);
+    let budget = acct.map(|acc| acc.finish(SimTime::from_secs(server_free)));
+    SchedOutcome {
+        metrics,
+        reports,
+        budget,
+    }
 }
 
 /// One job in the shared admission queue.
@@ -361,8 +602,9 @@ struct SchedSim<'a> {
     mounts: u64,
     busy_time: SimTime,
     records: Vec<RequestRecord>,
-    /// Audit event sink: off, buffered trace, or online stream.
-    audit: AuditSink,
+    /// Audit/observability tap: every emitted event passes the optional
+    /// span accountant, then the audit sink.
+    audit: Tap,
     /// Fault-plan view; identity answers under a zero plan.
     clock: FaultClock<'a>,
     /// Replica fallbacks per object (empty when replication is off).
@@ -1047,7 +1289,7 @@ fn run_concurrent(
         mounts: 0,
         busy_time: SimTime::ZERO,
         records: Vec::new(),
-        audit: AuditSink::new(cfg, &auditor),
+        audit: Tap::new(cfg, &auditor, system),
         clock: plan.clock(),
         alternates,
         dead: vec![false; n_drives],
@@ -1165,8 +1407,12 @@ fn run_concurrent(
         metrics.set_availability(healthy, span);
     }
 
-    let reports = world.audit.finish(&auditor);
-    SchedOutcome { metrics, reports }
+    let (reports, budget) = world.audit.finish(&auditor, end);
+    SchedOutcome {
+        metrics,
+        reports,
+        budget,
+    }
 }
 
 #[cfg(test)]
@@ -1611,5 +1857,223 @@ mod tests {
         assert_eq!(ra.metrics.avg_sojourn(), rb.metrics.avg_sojourn());
         assert_eq!(ra.metrics.mounts(), rb.metrics.mounts());
         assert_eq!(ra.metrics.events(), rb.metrics.events());
+    }
+
+    /// A media-only fault spec: bad-spots only, so the sequential gear
+    /// can honour the plan without drive/robot identities.
+    fn media_only_spec(seed: u64) -> tapesim_faults::FaultSpec {
+        tapesim_faults::FaultSpec {
+            bad_spots_per_tape: 20.0,
+            drive_mtbf_hours: 0.0,
+            jams_per_hour: 0.0,
+            ..tapesim_faults::FaultSpec::moderate(seed)
+        }
+    }
+
+    /// The engine-level acceptance invariant: with observability on,
+    /// every gear and every policy produces a budget whose per-resource
+    /// categories sum to the makespan within 1e-6 s.
+    #[test]
+    fn obs_budget_closes_for_every_policy() {
+        let spec = ArrivalSpec {
+            per_hour: 30.0,
+            seed: 3,
+        };
+        for kind in crate::policy::PolicyKind::ALL {
+            let (mut sim, w) = heavy_setup();
+            let out = run_scheduled(
+                &mut sim,
+                &w,
+                kind.build().as_ref(),
+                &SchedConfig::new(spec, 25).with_obs(true),
+            );
+            let budget = out.budget.expect("obs on must yield a budget");
+            assert!(
+                budget.sum_error() < 1e-6,
+                "{}: closure error {:.3e}",
+                kind.label(),
+                budget.sum_error()
+            );
+            assert!(budget.makespan_s > 0.0, "{}", kind.label());
+            assert!(
+                budget.drive_total(tapesim_obs::SpanKind::Transfer) > 0.0,
+                "{}: a served run must transfer",
+                kind.label()
+            );
+        }
+    }
+
+    /// Observability must never perturb the simulation: the metric bits
+    /// are identical with the accountant on and off, for both gears.
+    #[test]
+    fn obs_does_not_change_metrics() {
+        let spec = ArrivalSpec {
+            per_hour: 20.0,
+            seed: 7,
+        };
+        for kind in crate::policy::PolicyKind::ALL {
+            let (mut a, w) = heavy_setup();
+            let (mut b, _) = heavy_setup();
+            let plain = run_scheduled(
+                &mut a,
+                &w,
+                kind.build().as_ref(),
+                &SchedConfig::new(spec, 20),
+            );
+            let observed = run_scheduled(
+                &mut b,
+                &w,
+                kind.build().as_ref(),
+                &SchedConfig::new(spec, 20).with_obs(true),
+            );
+            assert!(plain.budget.is_none(), "{}", kind.label());
+            assert!(observed.budget.is_some(), "{}", kind.label());
+            assert_eq!(
+                plain.metrics.avg_sojourn(),
+                observed.metrics.avg_sojourn(),
+                "{}",
+                kind.label()
+            );
+            assert_eq!(
+                plain.metrics.mounts(),
+                observed.metrics.mounts(),
+                "{}",
+                kind.label()
+            );
+            assert_eq!(
+                plain.metrics.events(),
+                observed.metrics.events(),
+                "{}",
+                kind.label()
+            );
+        }
+    }
+
+    /// Budgets also close on degraded runs, where `Failed` spans eat
+    /// into drive and arm idle time.
+    #[test]
+    fn obs_budget_closes_under_faults() {
+        use tapesim_faults::FaultSpec;
+        let spec = ArrivalSpec {
+            per_hour: 30.0,
+            seed: 3,
+        };
+        let (mut sim, w) = heavy_setup();
+        let plan = FaultPlan::generate(&FaultSpec::moderate(41), sim.placement().config());
+        let out = run_scheduled_faulty(
+            &mut sim,
+            &w,
+            &BatchByTape,
+            &SchedConfig::new(spec, 25).with_obs(true),
+            &plan,
+            &BTreeMap::new(),
+        );
+        let budget = out.budget.expect("obs on must yield a budget");
+        assert!(
+            budget.sum_error() < 1e-6,
+            "closure error {:.3e}",
+            budget.sum_error()
+        );
+        assert!(
+            budget.drive_total(tapesim_obs::SpanKind::Failed) > 0.0,
+            "a moderate plan fails at least one drive in this fixture"
+        );
+    }
+
+    /// Differential wall (satellite of ISSUE 5): under media-only fault
+    /// plans the sequential FCFS gear reproduces the legacy
+    /// `run_queued_faulty` loop *bit for bit* — metrics and
+    /// lost/retries/failovers counters — across several seeds.
+    #[test]
+    fn media_only_fcfs_matches_legacy_queue_bit_for_bit() {
+        use tapesim_sim::queue::run_queued_faulty;
+        let spec = ArrivalSpec {
+            per_hour: 10.0,
+            seed: 5,
+        };
+        for fault_seed in [11u64, 29, 83] {
+            let (mut legacy_sim, w) = setup();
+            let plan = FaultPlan::generate(
+                &media_only_spec(fault_seed),
+                legacy_sim.placement().config(),
+            );
+            assert!(plan.media_only() && !plan.is_zero(), "seed {fault_seed}");
+            let (legacy, stats) =
+                run_queued_faulty(&mut legacy_sim, &w, 30, spec, &plan, &BTreeMap::new());
+
+            let (mut sim, _) = setup();
+            let out = run_scheduled_faulty(
+                &mut sim,
+                &w,
+                &Fcfs,
+                &SchedConfig::new(spec, 30),
+                &plan,
+                &BTreeMap::new(),
+            );
+            assert_eq!(out.metrics.served(), legacy.served(), "seed {fault_seed}");
+            assert_eq!(
+                out.metrics.avg_wait(),
+                legacy.avg_wait(),
+                "seed {fault_seed}"
+            );
+            assert_eq!(
+                out.metrics.avg_service(),
+                legacy.avg_service(),
+                "seed {fault_seed}"
+            );
+            assert_eq!(
+                out.metrics.avg_sojourn(),
+                legacy.avg_sojourn(),
+                "seed {fault_seed}"
+            );
+            assert_eq!(
+                out.metrics.utilisation(),
+                legacy.utilisation(),
+                "seed {fault_seed}"
+            );
+            assert_eq!(out.metrics.retries(), stats.retries, "seed {fault_seed}");
+            assert_eq!(
+                out.metrics.failovers(),
+                stats.failovers,
+                "seed {fault_seed}"
+            );
+            assert_eq!(out.metrics.lost(), stats.lost, "seed {fault_seed}");
+        }
+    }
+
+    /// The sequential faulty gear supports the observability tap too:
+    /// budgets close, and auditing still works alongside.
+    #[test]
+    fn sequential_faulty_obs_and_audit_coexist() {
+        let spec = ArrivalSpec {
+            per_hour: 10.0,
+            seed: 5,
+        };
+        let (mut sim, w) = setup();
+        let plan = FaultPlan::generate(&media_only_spec(29), sim.placement().config());
+        let out = run_scheduled_faulty(
+            &mut sim,
+            &w,
+            &Fcfs,
+            &SchedConfig::new(spec, 30).with_obs(true).with_audit(true),
+            &plan,
+            &BTreeMap::new(),
+        );
+        assert!(
+            out.is_clean(),
+            "{:?}",
+            out.reports.iter().find(|r| !r.is_clean())
+        );
+        assert_eq!(
+            out.reports.len() as u64,
+            out.metrics.served(),
+            "one audit per served request"
+        );
+        let budget = out.budget.expect("obs on must yield a budget");
+        assert!(
+            budget.sum_error() < 1e-6,
+            "closure error {:.3e}",
+            budget.sum_error()
+        );
     }
 }

@@ -25,7 +25,10 @@
 //!   extended invariants for batched service;
 //! * **degraded-mode operation** ([`run_scheduled_faulty`]) under a
 //!   `tapesim-faults` fault plan: drive failures, robot jams and media
-//!   bad-spots with retry, replica failover and availability metrics.
+//!   bad-spots with retry, replica failover and availability metrics;
+//! * **span time accounting** (`SchedConfig::with_obs`): every run can
+//!   carry a `tapesim-obs` [`TimeBudget`] splitting the makespan of each
+//!   drive and robot arm into exclusive spans, at zero cost when off.
 //!
 //! [`TraceAuditor`]: tapesim_des::audit::TraceAuditor
 
@@ -37,3 +40,4 @@ pub mod policy;
 pub use engine::{run_scheduled, run_scheduled_faulty, AuditMode, SchedConfig, SchedOutcome};
 pub use metrics::SchedMetrics;
 pub use policy::{BatchByTape, Fcfs, PolicyKind, SchedPolicy, SltfTape, TapeCandidate};
+pub use tapesim_obs::TimeBudget;

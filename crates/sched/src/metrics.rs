@@ -155,6 +155,12 @@ impl SchedMetrics {
         self.sojourn_samples.percentile(p)
     }
 
+    /// Raw per-request sojourn samples in recording order, for feeding
+    /// external aggregators (registries, histograms).
+    pub fn sojourn_seconds(&self) -> &[f64] {
+        self.sojourn_samples.values()
+    }
+
     /// Tape mounts (exchanges) performed over the run.
     pub fn mounts(&self) -> u64 {
         self.mounts

@@ -1,6 +1,6 @@
 //! Property tests for the scheduling subsystem.
 //!
-//! Five families, per the subsystem's contract:
+//! Six families, per the subsystem's contract:
 //!
 //! 1. **Conservation** — no policy loses or double-serves a request, and
 //!    every audited trace is clean, across random seeds/rates.
@@ -16,6 +16,10 @@
 //!    is clean.
 //! 5. **Zero-fault identity** — a generated-but-empty fault plan leaves
 //!    every metric bit-identical to the fault-free engine.
+//! 6. **Span accounting sanity** — with observability on, every run's
+//!    `TimeBudget` closes to within 1e-6, never attributes a negative
+//!    span to any resource (idle in particular), and keeps every
+//!    per-library overlap ratio inside `[0, 1]`.
 
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -269,6 +273,72 @@ proptest! {
             prop_assert_eq!(out.metrics.lost(), 0);
             prop_assert_eq!(out.metrics.retries(), 0);
             prop_assert_eq!(out.metrics.failovers(), 0);
+        }
+    }
+
+    /// Family 6: span accounting never yields a negative span. The
+    /// accountant derives idle as `makespan − busy − failed`; on any
+    /// seed/rate/policy (fault-free and faulty) that remainder — and
+    /// every attributed category — must be ≥ 0 on every drive and arm,
+    /// with the budget still closing to 1e-6 and overlap ratios in
+    /// `[0, 1]`.
+    #[test]
+    fn span_accounting_never_negative(
+        seed in 0u64..1_000,
+        rate_tenths in 5u32..400,
+        samples in 5usize..25,
+        faulty in any::<bool>(),
+    ) {
+        use tapesim_obs::SpanKind;
+        let spec = ArrivalSpec {
+            per_hour: rate_tenths as f64 / 10.0,
+            seed,
+        };
+        for kind in PolicyKind::ALL {
+            let (mut sim, w) = heavy_setup(17);
+            let cfg = SchedConfig::new(spec, samples).with_obs(true);
+            let out = if faulty {
+                let plan = FaultPlan::generate(
+                    &FaultSpec::moderate(seed),
+                    sim.placement().config(),
+                );
+                run_scheduled_faulty(
+                    &mut sim,
+                    &w,
+                    kind.build().as_ref(),
+                    &cfg,
+                    &plan,
+                    &BTreeMap::new(),
+                )
+            } else {
+                run_scheduled(&mut sim, &w, kind.build().as_ref(), &cfg)
+            };
+            let budget = out.budget.expect("obs on must yield a budget");
+            prop_assert!(
+                budget.sum_error() < 1e-6,
+                "{}: closure error {:.3e}",
+                kind.label(),
+                budget.sum_error()
+            );
+            for r in budget.drives.iter().chain(budget.arms.iter()) {
+                for sk in SpanKind::ALL {
+                    prop_assert!(
+                        r.spans.get(sk) >= 0.0,
+                        "{}: negative {sk:?} span {:.3e}",
+                        kind.label(),
+                        r.spans.get(sk)
+                    );
+                }
+            }
+            for o in &budget.overlap {
+                let ratio = o.ratio();
+                prop_assert!(
+                    (0.0..=1.0).contains(&ratio),
+                    "{}: overlap ratio {ratio} outside [0, 1] (library {})",
+                    kind.label(),
+                    o.library
+                );
+            }
         }
     }
 }

@@ -148,6 +148,61 @@ pub fn run_queued_detailed(
     (metrics, records)
 }
 
+/// [`run_queued`] with span time accounting: serves through the traced
+/// engine, stitches each request's local-clock trace onto the run axis at
+/// its service start, and returns the run's
+/// [`tapesim_obs::TimeBudget`] beside the metrics. The metric bits are
+/// identical to [`run_queued`] — the accountant only reads the trace.
+pub fn run_queued_observed(
+    sim: &mut Simulator,
+    workload: &Workload,
+    samples: usize,
+    arrivals: ArrivalSpec,
+) -> (QueueMetrics, tapesim_obs::TimeBudget) {
+    use tapesim_des::SimTime;
+    use tapesim_obs::{TimeAccountant, Topology};
+
+    let mut stream = ArrivalProcess::new(arrivals);
+    let sampler = workload.request_sampler();
+    let mut pick_rng = ChaCha12Rng::seed_from_u64(arrivals.seed ^ 0x9A3E);
+
+    let cfg = sim.placement().config();
+    let mut acct = TimeAccountant::new(Topology {
+        libraries: cfg.libraries as u32,
+        drives_per_library: cfg.library.drives as u32,
+        arms_per_library: cfg.library.robot.arms.max(1) as u32,
+        tapes_per_library: cfg.library.tapes as u32,
+        load_secs: cfg.library.drive.load_time,
+        unload_secs: cfg.library.drive.unload_time,
+    });
+
+    let mut metrics = QueueMetrics::default();
+    let mut server_free = 0.0;
+    let mut first_arrival = None;
+    for _ in 0..samples {
+        let clock = stream.next_arrival();
+        first_arrival.get_or_insert(clock);
+        let idx = sampler.sample(&mut pick_rng);
+        let request = &workload.requests()[idx];
+
+        let start = clock.max(server_free);
+        let (r, tracer) = sim.serve_traced(&request.objects);
+        let offset = SimTime::from_secs(start);
+        for entry in tracer.entries() {
+            acct.observe_shifted(offset, entry.time, &entry.event);
+        }
+        server_free = start + r.response;
+
+        metrics.wait.push(start - clock);
+        metrics.service.push(r.response);
+        metrics.sojourn.push(server_free - clock);
+        metrics.busy += r.response;
+    }
+    metrics.horizon = server_free - first_arrival.unwrap_or(0.0);
+    let budget = acct.finish(SimTime::from_secs(server_free));
+    (metrics, budget)
+}
+
 /// Fault accounting of one [`run_queued_faulty`] run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QueueFaultStats {
@@ -376,6 +431,30 @@ mod tests {
         let a = run_queued(&mut sim1, &w, 25, spec);
         let b = run_queued(&mut sim2, &w, 25, spec);
         assert_eq!(a.avg_sojourn(), b.avg_sojourn());
+    }
+
+    /// The observed variant is a pure tap: its metrics equal
+    /// [`run_queued`] bit for bit, and its budget closes within 1e-6.
+    #[test]
+    fn observed_run_matches_plain_and_budget_closes() {
+        let (mut plain_sim, w) = setup();
+        let (mut obs_sim, _) = setup();
+        let spec = ArrivalSpec {
+            per_hour: 10.0,
+            seed: 4,
+        };
+        let plain = run_queued(&mut plain_sim, &w, 25, spec);
+        let (observed, budget) = run_queued_observed(&mut obs_sim, &w, 25, spec);
+        assert_eq!(plain.avg_wait(), observed.avg_wait());
+        assert_eq!(plain.avg_service(), observed.avg_service());
+        assert_eq!(plain.avg_sojourn(), observed.avg_sojourn());
+        assert_eq!(plain.utilisation(), observed.utilisation());
+        assert!(
+            budget.sum_error() < 1e-6,
+            "closure error {:.3e}",
+            budget.sum_error()
+        );
+        assert!(budget.makespan_s > 0.0);
     }
 
     #[test]

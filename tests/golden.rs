@@ -1,0 +1,176 @@
+//! Golden-trace snapshot wall.
+//!
+//! Every placement scheme runs three engine modes — the sequential FCFS
+//! gear (`queued`), the concurrent batching scheduler (`sched`) and the
+//! faulty concurrent gear under a seeded moderate fault plan
+//! (`faults-smoke`) — with the trace auditor enabled. Each run's audit
+//! verdict and event-count fingerprint (entries, jobs, transfers,
+//! exchanges, faults, losses, failovers) is compared against a committed
+//! snapshot under `tests/golden/`.
+//!
+//! These snapshots pin the *shape* of the trace, not floating-point
+//! metrics: a refactor that reorders events, drops an exchange, or emits
+//! a duplicate transfer changes a count here even when every sojourn
+//! average stays bit-identical. The auditor verdict additionally pins
+//! that the trace still satisfies every DES invariant.
+//!
+//! To re-bless after an intentional engine change:
+//!
+//! ```text
+//! TAPESIM_BLESS=1 cargo test -p tapesim-experiments --test golden
+//! ```
+//!
+//! then review the diff of `tests/golden/*.json` like any other code.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use tapesim_experiments::figures::quick_settings;
+use tapesim_experiments::Scheme;
+use tapesim_faults::{FaultPlan, FaultSpec};
+use tapesim_sched::{run_scheduled, run_scheduled_faulty, BatchByTape, Fcfs, SchedConfig};
+use tapesim_sim::queue::ArrivalSpec;
+use tapesim_sim::Simulator;
+
+/// The audited shape of one deterministic run.
+#[derive(Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct Fingerprint {
+    scheme: String,
+    mode: String,
+    served: u64,
+    events: u64,
+    /// Auditor verdict: every invariant held over the whole trace.
+    clean: bool,
+    entries: u64,
+    jobs: u64,
+    transfers: u64,
+    exchanges: u64,
+    faults: u64,
+    losses: u64,
+    failovers: u64,
+}
+
+/// Short scheme tag used in snapshot file names.
+fn tag(scheme: Scheme) -> &'static str {
+    match scheme {
+        Scheme::ParallelBatch => "pbp",
+        Scheme::ObjectProbability => "opp",
+        Scheme::ClusterProbability => "cpp",
+    }
+}
+
+/// Runs one (scheme, mode) cell with auditing on and fingerprints it.
+fn fingerprint(scheme: Scheme, mode: &str) -> Fingerprint {
+    let s = quick_settings();
+    let system = s.system();
+    let w = s.generate_workload();
+    let placement = scheme.policy(s.m).place(&w, &system).expect("placement");
+    let mut sim = Simulator::with_natural_policy(placement, s.m);
+    let cfg = SchedConfig::new(
+        ArrivalSpec {
+            per_hour: 16.0,
+            seed: s.sim_seed,
+        },
+        s.samples,
+    )
+    .with_audit(true);
+    let out = match mode {
+        "queued" => run_scheduled(&mut sim, &w, &Fcfs, &cfg),
+        "sched" => run_scheduled(&mut sim, &w, &BatchByTape, &cfg),
+        "faults-smoke" => {
+            let plan = FaultPlan::generate(&FaultSpec::moderate(29), &system);
+            run_scheduled_faulty(&mut sim, &w, &BatchByTape, &cfg, &plan, &BTreeMap::new())
+        }
+        other => panic!("unknown golden mode {other:?}"),
+    };
+    let mut fp = Fingerprint {
+        scheme: tag(scheme).to_string(),
+        mode: mode.to_string(),
+        served: out.metrics.served(),
+        events: out.metrics.events(),
+        clean: out.is_clean(),
+        entries: 0,
+        jobs: 0,
+        transfers: 0,
+        exchanges: 0,
+        faults: 0,
+        losses: 0,
+        failovers: 0,
+    };
+    assert!(
+        !out.reports.is_empty(),
+        "auditing was on; the golden fingerprint needs audit reports"
+    );
+    for r in &out.reports {
+        fp.entries += r.entries as u64;
+        fp.jobs += r.jobs as u64;
+        fp.transfers += r.transfers as u64;
+        fp.exchanges += r.exchanges as u64;
+        fp.faults += r.faults as u64;
+        fp.losses += r.losses as u64;
+        fp.failovers += r.failovers as u64;
+    }
+    fp
+}
+
+fn golden_path(scheme: Scheme, mode: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(format!("{}_{}.json", tag(scheme), mode))
+}
+
+/// Compares one cell against its snapshot; returns a description of the
+/// mismatch (or of a missing snapshot). `TAPESIM_BLESS=1` rewrites the
+/// snapshot instead and never fails.
+fn check(scheme: Scheme, mode: &str) -> Option<String> {
+    let fp = fingerprint(scheme, mode);
+    let path = golden_path(scheme, mode);
+    if std::env::var_os("TAPESIM_BLESS").is_some() {
+        let json = serde_json::to_string_pretty(&fp).expect("serialize fingerprint");
+        std::fs::write(&path, json + "\n").expect("write golden snapshot");
+        return None;
+    }
+    let committed = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            return Some(format!(
+                "{}: cannot read snapshot ({e}); run with TAPESIM_BLESS=1 to create it",
+                path.display()
+            ))
+        }
+    };
+    let want: Fingerprint = match serde_json::from_str(&committed) {
+        Ok(fp) => fp,
+        Err(e) => return Some(format!("{}: cannot parse snapshot: {e}", path.display())),
+    };
+    (fp != want).then(|| {
+        format!(
+            "{}: trace shape drifted\n  committed: {want:?}\n  current:   {fp:?}\n  \
+             (re-bless with TAPESIM_BLESS=1 if the change is intentional)",
+            path.display()
+        )
+    })
+}
+
+fn run_mode(mode: &str) {
+    let diffs: Vec<String> = Scheme::ALL
+        .iter()
+        .filter_map(|&scheme| check(scheme, mode))
+        .collect();
+    assert!(diffs.is_empty(), "{}", diffs.join("\n"));
+}
+
+#[test]
+fn golden_queued_traces_match() {
+    run_mode("queued");
+}
+
+#[test]
+fn golden_sched_traces_match() {
+    run_mode("sched");
+}
+
+#[test]
+fn golden_faulty_traces_match() {
+    run_mode("faults-smoke");
+}

@@ -8,16 +8,18 @@
 //!   sneak into a DES; all clock math must stay behind the newtype.
 //! * **L2 — determinism**: no `std::time::Instant`, `SystemTime` or
 //!   `thread_rng` in the deterministic crates (`des`, `sim`, `core`,
-//!   `sched`, `faults`). The
+//!   `sched`, `faults`, `obs`). The
 //!   simulator must be a pure function of (config, placement, workload,
 //!   seed); wall-clock reads or OS entropy silently break replayability.
 //! * **L3 — iteration order**: no iteration over `HashMap`/`HashSet` in
 //!   simulation-order-sensitive code (`des`, `sim`, `core`, `sched`,
 //!   `faults`). Unordered
 //!   iteration reorders tie-broken events between runs and platforms; use
-//!   `Vec`, `BTreeMap` or sort before iterating.
+//!   `Vec`, `BTreeMap` or sort before iterating. `obs` counts as both
+//!   deterministic and hot-path: the span accountant sits inside every
+//!   engine's emit path and its output is diffed across runs.
 //! * **L4 — no panic shortcuts**: no `.unwrap()`/`.expect(` in non-test
-//!   code of the `des`/`sim`/`sched`/`faults` hot paths. Invariants there
+//!   code of the `des`/`sim`/`sched`/`faults`/`obs` hot paths. Invariants there
 //!   must either be
 //!   encoded structurally or surfaced as `Result`s the caller can audit.
 //! * **L5 — no dropped results**: no `let _ = f(...)` in non-test code of
@@ -188,8 +190,8 @@ pub fn scan_file(rel: &str, content: &str, allow: &Allowlist) -> Vec<Finding> {
     let code_lines: Vec<String> = content.lines().map(code_portion).collect();
     let mut findings = Vec::new();
 
-    let deterministic = matches!(krate, "des" | "sim" | "core" | "sched" | "faults");
-    let hot_path = matches!(krate, "des" | "sim" | "sched" | "faults");
+    let deterministic = matches!(krate, "des" | "sim" | "core" | "sched" | "faults" | "obs");
+    let hot_path = matches!(krate, "des" | "sim" | "sched" | "faults" | "obs");
     let mut push = |rule: &'static str, idx: usize, line: &str| {
         if !allow.allows(rule, rel) {
             findings.push(Finding {
