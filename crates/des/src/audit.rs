@@ -1186,9 +1186,7 @@ fn overlaps(windows: &mut [Window]) -> Vec<Window> {
     windows.sort_by_key(|w| w.1);
     let eps = SimTime::from_secs(EPSILON);
     let mut found = Vec::new();
-    for pair in windows.windows(2) {
-        let (_, _, prev_finish) = pair[0];
-        let (index, start, _) = pair[1];
+    for (&(_, _, prev_finish), &(index, start, _)) in windows.iter().zip(windows.iter().skip(1)) {
         if start + eps < prev_finish {
             found.push((index, prev_finish, start));
         }

@@ -53,7 +53,7 @@ impl Histogram {
     /// An empty histogram over `bounds` (strictly increasing edges).
     pub fn new(bounds: &[f64]) -> Histogram {
         assert!(
-            bounds.windows(2).all(|w| w[0] < w[1]),
+            bounds.is_sorted_by(|a, b| a < b),
             "histogram bounds must be strictly increasing"
         );
         Histogram {

@@ -1594,6 +1594,77 @@ mod tests {
         assert_eq!(sim.state(), fresh.state());
     }
 
+    /// ROADMAP flagged that `sltf` ties `batch` bit-for-bit in
+    /// BENCH_sched.json — suspicious for a policy sorting on a
+    /// different key. The tie is real and benign: the bench fixture's
+    /// popular objects all land on the initially-mounted tapes
+    /// (`mounts == 0` in the bench output), so a drive never goes idle
+    /// with an *unmounted* tape queued, the tape-selection hook is
+    /// never consulted, and every `choose` policy coincides trivially.
+    /// This test pins both halves of that claim: the all-mounted
+    /// regime ties bit-for-bit, and a regime with tape pressure —
+    /// where the requested working set overflows the mounted capacity
+    /// and several tapes queue at once — provably reorders service
+    /// (shortest locate+service first vs. longest-waiting first) and
+    /// diverges in every serve-order-sensitive metric.
+    #[test]
+    fn sltf_ties_batch_all_mounted_and_diverges_under_tape_pressure() {
+        // Bench regime: light fixture, zero exchanges, policies tie.
+        let spec = ArrivalSpec {
+            per_hour: 24.0,
+            seed: 11,
+        };
+        let (mut bsim, w) = setup();
+        let batch = run_scheduled(&mut bsim, &w, &BatchByTape, &SchedConfig::new(spec, 40));
+        let (mut ssim, _) = setup();
+        let sltf = run_scheduled(&mut ssim, &w, &SltfTape, &SchedConfig::new(spec, 40));
+        assert_eq!(
+            batch.metrics.mounts(),
+            0,
+            "light fixture must stay all-mounted or the tie explanation is wrong"
+        );
+        assert_eq!(batch.metrics.served(), sltf.metrics.served());
+        assert_eq!(
+            batch.metrics.avg_wait().to_bits(),
+            sltf.metrics.avg_wait().to_bits(),
+            "with no tape choice to make the policies must tie bit-for-bit"
+        );
+        assert_eq!(
+            batch.metrics.avg_sojourn().to_bits(),
+            sltf.metrics.avg_sojourn().to_bits()
+        );
+
+        // Tape-pressure regime: backlog with several unmounted tapes
+        // queued, so `choose` actually picks — and the keys disagree.
+        let spec = ArrivalSpec {
+            per_hour: 30.0,
+            seed: 3,
+        };
+        let (mut bsim, w) = heavy_setup();
+        let batch = run_scheduled(&mut bsim, &w, &BatchByTape, &SchedConfig::new(spec, 25));
+        let (mut ssim, _) = heavy_setup();
+        let sltf = run_scheduled(&mut ssim, &w, &SltfTape, &SchedConfig::new(spec, 25));
+        assert!(
+            batch.metrics.mounts() > 0,
+            "pressure fixture must exchange tapes"
+        );
+        assert_eq!(batch.metrics.served(), sltf.metrics.served());
+        assert_ne!(
+            batch.metrics.mounts(),
+            sltf.metrics.mounts(),
+            "shortest-first must re-batch differently than oldest-first"
+        );
+        assert_ne!(
+            batch.metrics.avg_wait().to_bits(),
+            sltf.metrics.avg_wait().to_bits(),
+            "service reordering must show up in waiting time"
+        );
+        assert_ne!(
+            batch.metrics.avg_sojourn().to_bits(),
+            sltf.metrics.avg_sojourn().to_bits()
+        );
+    }
+
     #[test]
     fn batch_cap_one_still_serves_everything() {
         let spec = ArrivalSpec {

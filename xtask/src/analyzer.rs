@@ -1,0 +1,1001 @@
+//! Structural analysis over the token stream: the [`FileModel`].
+//!
+//! One parse per file produces everything the rules need:
+//!
+//! * **line masks** — which lines sit under `#[cfg(test)]`/`#[test]`
+//!   items and which sit inside loop bodies, derived from real attribute
+//!   tokens and matched delimiter pairs (replacing the old per-line
+//!   brace-counting heuristics);
+//! * **fn items** — name, visibility, parsed parameters, return-type
+//!   tokens and body extent, for the unit-safety rule and the
+//!   panic-reachability call graph;
+//! * **expression sites** — method calls, free/path calls, macro
+//!   invocations, index expressions and `match` arms, each with a
+//!   line/column span.
+//!
+//! Everything here is resolution-free (no type inference, no imports):
+//! rules that need "is this an iterator over a `HashMap`" work from
+//! binding-site heuristics, and the call graph matches by name, which
+//! over-approximates reachability — the safe direction for a lint.
+
+use crate::ast::{Tok, TokenFile};
+
+/// A parsed function parameter with a simple `name: Type` shape.
+#[derive(Debug, Clone)]
+pub struct Param {
+    pub name: String,
+    /// The type, rendered token-by-token (e.g. `["&", "mut", "f64"]`).
+    pub ty: Vec<String>,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// A `fn` item (free function or method; nested fns included).
+#[derive(Debug)]
+pub struct FnItem {
+    pub name: String,
+    pub line: usize,
+    pub col: usize,
+    /// Any `pub` visibility, including restricted (`pub(crate)`).
+    pub is_pub: bool,
+    pub params: Vec<Param>,
+    /// Token range `[start, end)` of the return type, if any.
+    pub ret: Option<(usize, usize)>,
+    /// Token indexes of the body's `{` and `}`, if the fn has a body.
+    pub body: Option<(usize, usize)>,
+    /// True if the `fn` keyword sits under a `#[cfg(test)]`/`#[test]`
+    /// item.
+    pub in_test: bool,
+}
+
+/// A `.name(...)` method call.
+#[derive(Debug, Clone, Copy)]
+pub struct MethodCall {
+    /// Token index of the `.`.
+    pub dot: usize,
+    /// Token index of the method name.
+    pub name_idx: usize,
+    /// Token index of the argument list's `(`.
+    pub args_open: usize,
+}
+
+/// A `name(...)` free or path call.
+#[derive(Debug, Clone, Copy)]
+pub struct FreeCall {
+    pub name_idx: usize,
+}
+
+/// A `name!(...)` / `name![...]` / `name! {...}` macro invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct MacroCall {
+    pub name_idx: usize,
+}
+
+/// One arm of a `match`.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchArm {
+    /// Token range `[start, end)` of the pattern (guard excluded).
+    pub pat: (usize, usize),
+}
+
+/// A `match` expression.
+#[derive(Debug)]
+pub struct MatchExpr {
+    /// Token index of the `match` keyword.
+    pub kw: usize,
+    /// Token range `[start, end)` of the scrutinee.
+    pub scrutinee: (usize, usize),
+    pub arms: Vec<MatchArm>,
+}
+
+/// The fully analyzed file.
+pub struct FileModel {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Raw source lines, for excerpts.
+    pub lines: Vec<String>,
+    pub tf: TokenFile,
+    /// Per-line (0-based index): under a test-guarded item?
+    pub test_mask: Vec<bool>,
+    /// Per-line (0-based index): inside a loop header/body?
+    pub loop_mask: Vec<bool>,
+    pub fns: Vec<FnItem>,
+    /// Names bound to `HashMap`/`HashSet` outside test code.
+    pub hash_names: Vec<String>,
+}
+
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "do", "dyn", "else",
+    "enum", "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "macro", "match",
+    "mod", "move", "mut", "pub", "ref", "return", "self", "static", "struct", "super", "trait",
+    "true", "type", "unsafe", "use", "where", "while", "yield",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+impl FileModel {
+    /// Parses `src` (workspace-relative path `rel`) into a model.
+    pub fn build(rel: &str, src: &str) -> Result<FileModel, crate::ast::LexError> {
+        let tf = TokenFile::lex(src)?;
+        let lines: Vec<String> = src.lines().map(str::to_string).collect();
+        let test_mask = derive_test_mask(&tf);
+        let loop_mask = derive_loop_mask(&tf);
+        let fns = extract_fns(&tf, &test_mask);
+        let hash_names = hash_bindings(&tf, &test_mask);
+        Ok(FileModel {
+            rel: rel.to_string(),
+            lines,
+            tf,
+            test_mask,
+            loop_mask,
+            fns,
+            hash_names,
+        })
+    }
+
+    /// True if 1-based `line` is inside test-guarded code.
+    pub fn line_in_test(&self, line: usize) -> bool {
+        line >= 1 && self.test_mask.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// True if 1-based `line` is inside a loop header or body.
+    pub fn line_in_loop(&self, line: usize) -> bool {
+        line >= 1 && self.loop_mask.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// The trimmed source text of 1-based `line`.
+    pub fn excerpt(&self, line: usize) -> String {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+
+    /// All `.name(...)` method calls, in token order.
+    pub fn method_calls(&self) -> Vec<MethodCall> {
+        let t = &self.tf;
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i + 2 < t.tokens.len() {
+            if t.tokens[i].tok.is_punct('.') && matches!(t.tokens[i + 1].tok, Tok::Ident(_)) {
+                let name_idx = i + 1;
+                let mut j = i + 2;
+                // Optional turbofish: `.collect::<T>()`.
+                if t.tokens[j].tok.is_punct(':')
+                    && t.get(j + 1).is_some_and(|x| x.is_punct(':'))
+                    && t.get(j + 2).is_some_and(|x| x.is_punct('<'))
+                {
+                    j = t.skip_angles(j + 2);
+                }
+                if matches!(t.get(j), Some(Tok::Open('('))) {
+                    out.push(MethodCall {
+                        dot: i,
+                        name_idx,
+                        args_open: j,
+                    });
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// All `name(...)` free or path calls (method calls excluded).
+    pub fn free_calls(&self) -> Vec<FreeCall> {
+        let t = &self.tf;
+        let mut out = Vec::new();
+        for i in 0..t.tokens.len() {
+            let Tok::Ident(name) = &t.tokens[i].tok else {
+                continue;
+            };
+            if is_keyword(name) {
+                continue;
+            }
+            if !matches!(t.get(i + 1), Some(Tok::Open('('))) {
+                continue;
+            }
+            let prev = i.checked_sub(1).map(|p| &t.tokens[p].tok);
+            let after_dot = prev.is_some_and(|p| p.is_punct('.'));
+            let is_decl = prev.is_some_and(|p| p.is_ident("fn"));
+            if !after_dot && !is_decl {
+                out.push(FreeCall { name_idx: i });
+            }
+        }
+        out
+    }
+
+    /// All macro invocations.
+    pub fn macro_calls(&self) -> Vec<MacroCall> {
+        let t = &self.tf;
+        let mut out = Vec::new();
+        for i in 0..t.tokens.len() {
+            if matches!(t.tokens[i].tok, Tok::Ident(_))
+                && t.get(i + 1).is_some_and(|x| x.is_punct('!'))
+                && matches!(t.get(i + 2), Some(Tok::Open(_)))
+            {
+                out.push(MacroCall { name_idx: i });
+            }
+        }
+        out
+    }
+
+    /// Token indexes of `[` delimiters that index an expression
+    /// (`xs[i]`, `f(x)[0]`, `a[i][j]`) — array literals, attributes,
+    /// types, macro delimiters and slice patterns excluded.
+    pub fn index_sites(&self) -> Vec<usize> {
+        let t = &self.tf;
+        let mut out = Vec::new();
+        for i in 1..t.tokens.len() {
+            if !matches!(t.tokens[i].tok, Tok::Open('[')) {
+                continue;
+            }
+            match &t.tokens[i - 1].tok {
+                Tok::Ident(name) if !is_keyword(name) => out.push(i),
+                Tok::Close(')') | Tok::Close(']') => out.push(i),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// All `match` expressions with parsed arms.
+    pub fn match_exprs(&self) -> Vec<MatchExpr> {
+        let t = &self.tf;
+        let mut out = Vec::new();
+        for i in 0..t.tokens.len() {
+            if !t.tokens[i].tok.is_ident("match") {
+                continue;
+            }
+            // `match` directly after `.` is impossible (reserved word);
+            // after `=` / `(` / statement start it's the expression form.
+            let Some(body_open) = find_block_start(t, i + 1) else {
+                continue;
+            };
+            let scrutinee = (i + 1, body_open);
+            let arms = parse_arms(t, body_open);
+            out.push(MatchExpr {
+                kw: i,
+                scrutinee,
+                arms,
+            });
+        }
+        out
+    }
+
+    /// Walks the postfix chain containing the method call whose `.` is at
+    /// `dot` back to its first token (the chain root). Steps over
+    /// argument lists, index groups, turbofish, `?` and path segments.
+    pub fn chain_start(&self, dot: usize) -> usize {
+        let t = &self.tf;
+        let mut i = dot;
+        loop {
+            let Some(pi) = i.checked_sub(1) else {
+                return i;
+            };
+            match &t.tokens[pi].tok {
+                Tok::Close(_) => {
+                    let open = t.match_of[pi];
+                    // Include the callee/indexed expression before the
+                    // group, handled on the next iteration.
+                    i = open;
+                }
+                Tok::Ident(name) if !is_keyword(name) => {
+                    i = pi;
+                    // Continue through `.`, `::` or `!` linkage.
+                    let Some(ppi) = i.checked_sub(1) else {
+                        return i;
+                    };
+                    match &t.tokens[ppi].tok {
+                        Tok::Punct('.') => i = ppi,
+                        Tok::Punct('!') => i = ppi,
+                        Tok::Punct(':') if ppi >= 1 && t.tokens[ppi - 1].tok.is_punct(':') => {
+                            i = ppi - 1;
+                        }
+                        _ => return i,
+                    }
+                }
+                Tok::Punct('?') => i = pi,
+                Tok::Punct('>') => {
+                    // End of a turbofish: walk back to its `<`.
+                    let mut depth = 1i64;
+                    let mut j = pi;
+                    while depth > 0 && j > 0 {
+                        j -= 1;
+                        match &t.tokens[j].tok {
+                            Tok::Punct('>') => depth += 1,
+                            Tok::Punct('<') => depth -= 1,
+                            Tok::Close(_) => j = t.match_of[j],
+                            _ => {}
+                        }
+                    }
+                    i = j;
+                }
+                Tok::Punct('.') => i = pi,
+                _ => return i,
+            }
+        }
+    }
+
+    /// The identifier tokens of the chain `[start, end)`.
+    pub fn chain_idents(&self, start: usize, end: usize) -> Vec<&str> {
+        self.tf.tokens[start..end]
+            .iter()
+            .filter_map(|t| t.tok.ident())
+            .collect()
+    }
+
+    /// The innermost fn whose body contains token `idx`.
+    pub fn enclosing_fn(&self, idx: usize) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None; // (span, fn index)
+        for (fi, f) in self.fns.iter().enumerate() {
+            if let Some((open, close)) = f.body {
+                if idx > open && idx < close {
+                    let span = close - open;
+                    if best.is_none_or(|(s, _)| span < s) {
+                        best = Some((span, fi));
+                    }
+                }
+            }
+        }
+        best.map(|(_, fi)| fi)
+    }
+}
+
+/// Marks lines covered by `#[cfg(test)]`- or `#[test]`-guarded items:
+/// from the attribute line through the end of the annotated item (its
+/// body's closing brace, or a terminating `;`).
+fn derive_test_mask(tf: &TokenFile) -> Vec<bool> {
+    let mut mask = vec![false; tf.n_lines];
+    let mut i = 0;
+    while i + 1 < tf.tokens.len() {
+        if !(tf.tokens[i].tok.is_punct('#') && matches!(tf.tokens[i + 1].tok, Tok::Open('['))) {
+            i += 1;
+            continue;
+        }
+        let attr_close = tf.match_of[i + 1];
+        if !attr_is_test(tf, i + 1, attr_close) {
+            i = attr_close + 1;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut j = attr_close + 1;
+        while j + 1 < tf.tokens.len()
+            && tf.tokens[j].tok.is_punct('#')
+            && matches!(tf.tokens[j + 1].tok, Tok::Open('['))
+        {
+            j = tf.match_of[j + 1] + 1;
+        }
+        // The item ends at the first top-level `;` or the close of the
+        // first top-level `{...}` group.
+        let mut end_line = tf.line(attr_close);
+        let mut k = j;
+        while k < tf.tokens.len() {
+            match &tf.tokens[k].tok {
+                Tok::Punct(';') => {
+                    end_line = tf.line(k);
+                    break;
+                }
+                Tok::Open('{') => {
+                    end_line = tf.line(tf.match_of[k]);
+                    break;
+                }
+                Tok::Open(_) => k = tf.skip_group(k),
+                Tok::Close(_) => {
+                    // Enclosing scope ended before the item did (guarded
+                    // trailing expression); stop here.
+                    end_line = tf.line(k);
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+        mark(&mut mask, tf.line(i), end_line);
+        i += 1;
+    }
+    mask
+}
+
+/// Is the attribute group `[open..close]` a test guard: `#[test]`,
+/// `#[cfg(test)]`, or `#[cfg(any(test, ...))]`/`#[cfg(all(test, ...))]`
+/// — with `test` under `not(...)` explicitly NOT counting?
+fn attr_is_test(tf: &TokenFile, open: usize, close: usize) -> bool {
+    let inner: Vec<usize> = (open + 1..close).collect();
+    match inner.as_slice() {
+        [single] => tf.tokens[*single].tok.is_ident("test"),
+        _ => {
+            if !tf.tokens[open + 1].tok.is_ident("cfg") {
+                return false;
+            }
+            let Some(Tok::Open('(')) = tf.get(open + 2) else {
+                return false;
+            };
+            cfg_has_test(tf, open + 2, tf.match_of[open + 2])
+        }
+    }
+}
+
+/// Searches a `cfg(...)` argument group for the predicate `test`,
+/// recursing into `any(...)`/`all(...)` but skipping `not(...)`.
+fn cfg_has_test(tf: &TokenFile, open: usize, close: usize) -> bool {
+    let mut i = open + 1;
+    while i < close {
+        match &tf.tokens[i].tok {
+            Tok::Ident(name) if name == "not" => {
+                if let Some(Tok::Open('(')) = tf.get(i + 1) {
+                    i = tf.match_of[i + 1] + 1;
+                    continue;
+                }
+                i += 1;
+            }
+            Tok::Ident(name) if name == "any" || name == "all" => {
+                if let Some(Tok::Open('(')) = tf.get(i + 1) {
+                    if cfg_has_test(tf, i + 1, tf.match_of[i + 1]) {
+                        return true;
+                    }
+                    i = tf.match_of[i + 1] + 1;
+                    continue;
+                }
+                i += 1;
+            }
+            Tok::Ident(name) if name == "test" => return true,
+            Tok::Open(_) => i = tf.skip_group(i),
+            _ => i += 1,
+        }
+    }
+    false
+}
+
+/// Marks lines inside `for`/`while`/`loop` headers and bodies.
+fn derive_loop_mask(tf: &TokenFile) -> Vec<bool> {
+    let mut mask = vec![false; tf.n_lines];
+    for i in 0..tf.tokens.len() {
+        let Tok::Ident(kw) = &tf.tokens[i].tok else {
+            continue;
+        };
+        let body = match kw.as_str() {
+            "loop" => match tf.get(i + 1) {
+                Some(Tok::Open('{')) => Some(i + 1),
+                _ => None,
+            },
+            "while" => find_block_start(tf, i + 1),
+            "for" if for_is_loop(tf, i) => find_block_start(tf, i + 1),
+            _ => None,
+        };
+        if let Some(open) = body {
+            mark(&mut mask, tf.line(i), tf.line(tf.match_of[open]));
+        }
+    }
+    mask
+}
+
+/// Distinguishes loop-`for` from `impl Trait for Type` and `for<'a>`
+/// bounds: a loop has a top-level `in` between `for` and its `{`.
+fn for_is_loop(tf: &TokenFile, for_idx: usize) -> bool {
+    if tf.get(for_idx + 1).is_some_and(|t| t.is_punct('<')) {
+        return false; // `for<'a>` higher-ranked bound
+    }
+    let mut j = for_idx + 1;
+    while j < tf.tokens.len() {
+        match &tf.tokens[j].tok {
+            Tok::Ident(name) if name == "in" => return true,
+            Tok::Open('{') | Tok::Close(_) => return false,
+            Tok::Punct(';') => return false,
+            Tok::Open(_) => j = tf.skip_group(j),
+            _ => j += 1,
+        }
+    }
+    false
+}
+
+/// Finds the `{` opening the block that follows a `while`/`for`/`match`
+/// header starting at `from`: the first top-level `{` that is not a
+/// closure body (`|x| { ... }`).
+fn find_block_start(tf: &TokenFile, from: usize) -> Option<usize> {
+    let mut j = from;
+    while j < tf.tokens.len() {
+        match &tf.tokens[j].tok {
+            Tok::Open('{') => {
+                if j > 0 && tf.tokens[j - 1].tok.is_punct('|') {
+                    // Closure body inside the header expression.
+                    j = tf.skip_group(j);
+                    continue;
+                }
+                return Some(j);
+            }
+            Tok::Open(_) => j = tf.skip_group(j),
+            Tok::Punct(';') | Tok::Close(_) => return None,
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// Extracts every `fn` item (fn-pointer types `fn(...)` excluded: those
+/// have no name identifier after the keyword).
+fn extract_fns(tf: &TokenFile, test_mask: &[bool]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    for i in 0..tf.tokens.len() {
+        if !tf.tokens[i].tok.is_ident("fn") {
+            continue;
+        }
+        let Some(Tok::Ident(name)) = tf.get(i + 1) else {
+            continue;
+        };
+        let name = name.clone();
+        let mut j = i + 2;
+        if tf.get(j).is_some_and(|t| t.is_punct('<')) {
+            j = tf.skip_angles(j);
+        }
+        let Some(Tok::Open('(')) = tf.get(j) else {
+            continue;
+        };
+        let params_open = j;
+        let params_close = tf.match_of[j];
+        let mut k = params_close + 1;
+        let mut ret = None;
+        if tf.get(k).is_some_and(|t| t.is_punct('-'))
+            && tf.get(k + 1).is_some_and(|t| t.is_punct('>'))
+        {
+            let rs = k + 2;
+            let mut re = rs;
+            while re < tf.tokens.len() {
+                match &tf.tokens[re].tok {
+                    Tok::Open('{') | Tok::Punct(';') => break,
+                    Tok::Ident(w) if w == "where" => break,
+                    Tok::Punct('<') => re = tf.skip_angles(re),
+                    Tok::Open(_) => re = tf.skip_group(re),
+                    _ => re += 1,
+                }
+            }
+            ret = Some((rs, re));
+            k = re;
+        }
+        // Step over a where clause to the body (or the terminating `;`).
+        let mut body = None;
+        while k < tf.tokens.len() {
+            match &tf.tokens[k].tok {
+                Tok::Open('{') => {
+                    body = Some((k, tf.match_of[k]));
+                    break;
+                }
+                Tok::Punct(';') | Tok::Close(_) => break,
+                Tok::Punct('<') => k = tf.skip_angles(k),
+                Tok::Open(_) => k = tf.skip_group(k),
+                _ => k += 1,
+            }
+        }
+        // Visibility: walk back over `const`/`unsafe`/`async`/`extern`
+        // "C" and a possible `pub` / `pub(crate)`.
+        let mut b = i;
+        let mut is_pub = false;
+        while let Some(pb) = b.checked_sub(1) {
+            match &tf.tokens[pb].tok {
+                Tok::Ident(m) if matches!(m.as_str(), "const" | "unsafe" | "async" | "extern") => {
+                    b = pb;
+                }
+                Tok::Str => b = pb, // the "C" in `extern "C"`
+                Tok::Close(')') => {
+                    let open = tf.match_of[pb];
+                    if open >= 1 && tf.tokens[open - 1].tok.is_ident("pub") {
+                        is_pub = true;
+                        b = open - 1;
+                    } else {
+                        break;
+                    }
+                }
+                Tok::Ident(m) if m == "pub" => {
+                    is_pub = true;
+                    b = pb;
+                }
+                _ => break,
+            }
+        }
+        let line = tf.line(i);
+        out.push(FnItem {
+            name,
+            line,
+            col: tf.col(i),
+            is_pub,
+            params: parse_params(tf, params_open, params_close),
+            ret,
+            body,
+            in_test: line >= 1 && test_mask.get(line - 1).copied().unwrap_or(false),
+        });
+    }
+    out
+}
+
+/// Parses simple `name: Type` parameters; `self` receivers and complex
+/// patterns (tuples, destructuring) are skipped.
+fn parse_params(tf: &TokenFile, open: usize, close: usize) -> Vec<Param> {
+    let mut out = Vec::new();
+    let mut start = open + 1;
+    let mut i = open + 1;
+    while i <= close {
+        let end_of_param = i == close
+            || (tf.tokens[i].tok.is_punct(',') && {
+                true // top-level: groups are skipped below
+            });
+        if !end_of_param {
+            match &tf.tokens[i].tok {
+                Tok::Open(_) => i = tf.skip_group(i),
+                Tok::Punct('<') => i = tf.skip_angles(i),
+                _ => i += 1,
+            }
+            continue;
+        }
+        if start < i {
+            parse_one_param(tf, start, i, &mut out);
+        }
+        i += 1;
+        start = i;
+    }
+    out
+}
+
+fn parse_one_param(tf: &TokenFile, start: usize, end: usize, out: &mut Vec<Param>) {
+    let mut i = start;
+    if tf.tokens[i].tok.is_ident("mut") {
+        i += 1;
+    }
+    let Tok::Ident(name) = &tf.tokens[i].tok else {
+        return;
+    };
+    if name == "self" || is_keyword(name) {
+        return;
+    }
+    if !tf.get(i + 1).is_some_and(|t| t.is_punct(':')) {
+        return;
+    }
+    let ty: Vec<String> = tf.tokens[i + 2..end]
+        .iter()
+        .map(|t| match &t.tok {
+            Tok::Ident(s) => s.clone(),
+            Tok::Lifetime(l) => format!("'{l}"),
+            Tok::Punct(c) => c.to_string(),
+            Tok::Open(c) => c.to_string(),
+            Tok::Close(c) => c.to_string(),
+            Tok::Num { text, .. } => text.clone(),
+            Tok::Str => "\"\"".into(),
+            Tok::Char => "''".into(),
+        })
+        .collect();
+    out.push(Param {
+        name: name.clone(),
+        ty,
+        line: tf.line(i),
+        col: tf.col(i),
+    });
+}
+
+/// Parses the arms of a match body group.
+fn parse_arms(tf: &TokenFile, body_open: usize) -> Vec<MatchArm> {
+    let close = tf.match_of[body_open];
+    let mut arms = Vec::new();
+    let mut j = body_open + 1;
+    while j < close {
+        let pat_start = j;
+        // Scan to the top-level `=>`.
+        let mut fat_arrow = None;
+        let mut k = j;
+        while k < close {
+            if tf.tokens[k].tok.is_punct('=') && tf.get(k + 1).is_some_and(|t| t.is_punct('>')) {
+                fat_arrow = Some(k);
+                break;
+            }
+            match &tf.tokens[k].tok {
+                Tok::Open(_) => k = tf.skip_group(k),
+                _ => k += 1,
+            }
+        }
+        let Some(arrow) = fat_arrow else { break };
+        // Guard: pattern proper ends at a top-level `if`.
+        let mut pat_end = arrow;
+        let mut g = pat_start;
+        while g < arrow {
+            match &tf.tokens[g].tok {
+                Tok::Ident(w) if w == "if" => {
+                    pat_end = g;
+                    break;
+                }
+                Tok::Open(_) => g = tf.skip_group(g),
+                _ => g += 1,
+            }
+        }
+        arms.push(MatchArm {
+            pat: (pat_start, pat_end),
+        });
+        // Arm body: a block, or an expression up to the top-level comma.
+        let mut b = arrow + 2;
+        if let Some(Tok::Open('{')) = tf.get(b) {
+            b = tf.skip_group(b);
+            if tf.get(b).is_some_and(|t| t.is_punct(',')) {
+                b += 1;
+            }
+        } else {
+            while b < close {
+                match &tf.tokens[b].tok {
+                    Tok::Punct(',') => {
+                        b += 1;
+                        break;
+                    }
+                    Tok::Open(_) => b = tf.skip_group(b),
+                    _ => b += 1,
+                }
+            }
+        }
+        j = b;
+    }
+    arms
+}
+
+/// Is the arm pattern a bare wildcard — `_`, or an or-pattern with a
+/// bare `_` alternative?
+pub fn arm_is_wildcard(tf: &TokenFile, arm: &MatchArm) -> bool {
+    let (start, end) = arm.pat;
+    if end == start + 1 {
+        return tf.tokens[start].tok.is_ident("_");
+    }
+    // Split on top-level `|`.
+    let mut seg_start = start;
+    let mut i = start;
+    while i <= end {
+        let boundary = i == end || tf.tokens[i].tok.is_punct('|');
+        if !boundary {
+            match &tf.tokens[i].tok {
+                Tok::Open(_) => i = tf.skip_group(i),
+                _ => i += 1,
+            }
+            continue;
+        }
+        if i - seg_start == 1 && tf.tokens[seg_start].tok.is_ident("_") {
+            return true;
+        }
+        i += 1;
+        seg_start = i;
+    }
+    false
+}
+
+/// Names bound to `HashMap`/`HashSet` outside test code: `let` bindings
+/// and struct fields, matched on the binding line.
+fn hash_bindings(tf: &TokenFile, test_mask: &[bool]) -> Vec<String> {
+    let mut names = Vec::new();
+    for (i, t) in tf.tokens.iter().enumerate() {
+        let is_hash = t.tok.is_ident("HashMap") || t.tok.is_ident("HashSet");
+        if !is_hash || test_mask.get(t.line - 1).copied().unwrap_or(false) {
+            continue;
+        }
+        // Tokens on the same line, up to this one.
+        let line = t.line;
+        let first = (0..=i).rev().take_while(|&j| tf.line(j) == line).last();
+        let Some(first) = first else { continue };
+        if tf.tokens[first].tok.is_ident("let") {
+            let mut n = first + 1;
+            if tf.get(n).is_some_and(|t| t.is_ident("mut")) {
+                n += 1;
+            }
+            if let Some(Tok::Ident(name)) = tf.get(n) {
+                names.push(name.clone());
+            }
+        } else if let (Some(Tok::Ident(name)), Some(colon)) = (tf.get(first), tf.get(first + 1)) {
+            if colon.is_punct(':') && !is_keyword(name) {
+                names.push(name.clone());
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+fn mark(mask: &mut [bool], from_line: usize, to_line: usize) {
+    if from_line == 0 {
+        return;
+    }
+    for l in from_line..=to_line.min(mask.len()) {
+        mask[l - 1] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::build("crates/sim/src/x.rs", src).unwrap()
+    }
+
+    #[test]
+    fn test_mask_covers_attr_through_item_end() {
+        let m = model(
+            "fn a() { if x { y() } }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn helper() { z() }\n\
+             }\n\
+             fn b() {}\n",
+        );
+        assert_eq!(m.test_mask, vec![false, true, true, true, true, false],);
+    }
+
+    #[test]
+    fn test_mask_handles_single_item_guards_and_attr_stacks() {
+        let m = model(
+            "#[cfg(test)]\nuse foo::bar;\n\
+             #[cfg(test)]\n#[derive(Debug)]\nstruct T {\n    x: u32,\n}\n",
+        );
+        assert_eq!(m.test_mask, vec![true; 7]);
+    }
+
+    #[test]
+    fn test_mask_respects_not_and_any() {
+        let m = model("#[cfg(not(test))]\nfn a() {\n    b();\n}\n");
+        assert_eq!(m.test_mask, vec![false; 4]);
+        let m2 = model("#[cfg(any(test, feature = \"x\"))]\nfn a() {\n    b();\n}\n");
+        assert_eq!(m2.test_mask, vec![true; 4]);
+    }
+
+    #[test]
+    fn loop_mask_nesting_and_one_liners() {
+        let m = model(
+            "fn a() {\n\
+                 let x = 1;\n\
+                 for i in 0..x { f(i) }\n\
+                 let y = 2;\n\
+                 while y > 0 {\n\
+                     loop {\n\
+                         g();\n\
+                     }\n\
+                 }\n\
+                 h();\n\
+             }\n",
+        );
+        assert_eq!(
+            m.loop_mask,
+            vec![false, false, true, false, true, true, true, true, true, false, false]
+        );
+    }
+
+    #[test]
+    fn loop_mask_ignores_impl_for_and_hrtb() {
+        let m = model(
+            "impl Display\nfor Foo {\n    fn fmt(&self) {}\n}\n\
+             fn g<F: for<'a> Fn(&'a u32)>(f: F) {\n    f(&1);\n}\n",
+        );
+        assert_eq!(m.loop_mask, vec![false; 7]);
+    }
+
+    #[test]
+    fn loop_mask_skips_closure_braces_in_headers() {
+        let m = model(
+            "fn a(xs: &[u32]) {\n\
+                 for x in xs.iter().map(|y| { y }) {\n\
+                     f(x);\n\
+                 }\n\
+             }\n",
+        );
+        assert_eq!(m.loop_mask, vec![false, true, true, true, false]);
+    }
+
+    #[test]
+    fn fn_extraction_names_visibility_params() {
+        let m = model(
+            "pub fn alpha(secs: f64, size: Bytes) -> f64 { secs }\n\
+             pub(crate) fn beta(&self) {}\n\
+             fn gamma<T: Clone>(x: T) -> T where T: Default { x }\n\
+             trait T { fn decl(&self, n: u64); }\n",
+        );
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "beta", "gamma", "decl"]);
+        assert!(m.fns[0].is_pub && m.fns[1].is_pub && !m.fns[2].is_pub);
+        assert_eq!(m.fns[0].params.len(), 2);
+        assert_eq!(m.fns[0].params[0].name, "secs");
+        assert_eq!(m.fns[0].params[0].ty, vec!["f64"]);
+        assert!(m.fns[0].body.is_some());
+        assert!(m.fns[3].body.is_none(), "trait decl has no body");
+        assert!(m.fns[2].body.is_some(), "where clause is stepped over");
+        let ret = m.fns[0].ret.unwrap();
+        assert!(m.tf.tokens[ret.0].tok.is_ident("f64"));
+    }
+
+    #[test]
+    fn call_and_index_sites() {
+        let m = model(
+            "fn f(xs: &[u32], i: usize) -> u32 {\n\
+                 helper(xs);\n\
+                 xs.iter().count();\n\
+                 vec![1, 2];\n\
+                 #[allow(dead_code)]\n\
+                 let a = [1, 2];\n\
+                 xs[i] + a[0]\n\
+             }\n",
+        );
+        let frees: Vec<&str> = m
+            .free_calls()
+            .iter()
+            .map(|c| m.tf.tokens[c.name_idx].tok.ident().unwrap())
+            .collect();
+        assert!(frees.contains(&"helper"));
+        let methods: Vec<&str> = m
+            .method_calls()
+            .iter()
+            .map(|c| m.tf.tokens[c.name_idx].tok.ident().unwrap())
+            .collect();
+        assert_eq!(methods, vec!["iter", "count"]);
+        let macros: Vec<&str> = m
+            .macro_calls()
+            .iter()
+            .map(|c| m.tf.tokens[c.name_idx].tok.ident().unwrap())
+            .collect();
+        assert_eq!(macros, vec!["vec"]);
+        // Exactly the two expression indexings; the attribute, the array
+        // literal and the macro brackets don't count.
+        assert_eq!(m.index_sites().len(), 2);
+    }
+
+    #[test]
+    fn match_arms_and_wildcards() {
+        let m = model(
+            "fn f(e: E) -> u32 {\n\
+                 match e {\n\
+                     E::A { x } => x,\n\
+                     E::B(..) if cond() => 2,\n\
+                     E::C | _ => 0,\n\
+                 }\n\
+             }\n",
+        );
+        let ms = m.match_exprs();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].arms.len(), 3);
+        assert!(!arm_is_wildcard(&m.tf, &ms[0].arms[0]));
+        assert!(!arm_is_wildcard(&m.tf, &ms[0].arms[1]), "guard excluded");
+        assert!(arm_is_wildcard(&m.tf, &ms[0].arms[2]), "or-pattern `_`");
+    }
+
+    #[test]
+    fn chain_walk_reaches_root() {
+        let m = model("fn f(m: M) -> f64 { m.values().map(|v| v.x).sum::<f64>() }\n");
+        let calls = m.method_calls();
+        let sum = calls
+            .iter()
+            .find(|c| m.tf.tokens[c.name_idx].tok.is_ident("sum"))
+            .unwrap();
+        let start = m.chain_start(sum.dot);
+        assert!(m.tf.tokens[start].tok.is_ident("m"));
+        let idents = m.chain_idents(start, sum.dot);
+        assert!(idents.contains(&"values") && idents.contains(&"map"));
+    }
+
+    #[test]
+    fn hash_bindings_found_outside_tests_only() {
+        let m = model(
+            "struct S {\n    index: HashMap<u32, u32>,\n}\n\
+             fn f() {\n    let mut seen = HashSet::new();\n    seen.insert(1);\n}\n\
+             #[cfg(test)]\n\
+             mod tests {\n    fn t() { let local = HashMap::new(); }\n}\n",
+        );
+        assert_eq!(m.hash_names, vec!["index", "seen"]);
+    }
+
+    #[test]
+    fn enclosing_fn_is_innermost() {
+        let m = model(
+            "fn outer() {\n\
+                 fn inner() {\n\
+                     target();\n\
+                 }\n\
+                 inner();\n\
+             }\n",
+        );
+        let call = m
+            .free_calls()
+            .into_iter()
+            .find(|c| m.tf.tokens[c.name_idx].tok.is_ident("target"))
+            .unwrap();
+        let fi = m.enclosing_fn(call.name_idx).unwrap();
+        assert_eq!(m.fns[fi].name, "inner");
+    }
+}

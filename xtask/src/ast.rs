@@ -1,0 +1,632 @@
+//! A minimal Rust lexer and token-stream layer for the lint analyzer.
+//!
+//! The build environment is fully offline (every external dependency in
+//! this workspace is a std-only shim), so `syn` is not available. The
+//! lint rules do not need a full grammar either: they need *faithful
+//! tokens* — comments and string literals dropped, char literals
+//! distinguished from lifetimes, raw strings handled, every token
+//! carrying a line/column span — plus matched delimiter pairs so
+//! analyses can jump over nested groups instead of counting braces per
+//! line. That is exactly what this module provides; the structural
+//! passes (items, masks, call sites) live in [`crate::analyzer`].
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `for`, `HashMap`, `_`, ...).
+    Ident(String),
+    /// Lifetime (`'a`, `'static`), without the quote.
+    Lifetime(String),
+    /// Numeric literal. `float` is true for `1.0`, `1e-5`, `0f64`, ...
+    Num { text: String, float: bool },
+    /// String / raw-string / byte-string literal (contents dropped so
+    /// pattern matching never fires on prose).
+    Str,
+    /// Char or byte-char literal (contents dropped).
+    Char,
+    /// Opening delimiter: `(`, `[` or `{`.
+    Open(char),
+    /// Closing delimiter: `)`, `]` or `}`.
+    Close(char),
+    /// Any other single punctuation character (`.`, `:`, `!`, `<`, ...).
+    Punct(char),
+}
+
+impl Tok {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if this is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(self, Tok::Ident(i) if i == s)
+    }
+
+    /// True if this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, Tok::Punct(p) if *p == c)
+    }
+}
+
+/// A token plus its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// A fully lexed file: tokens plus delimiter matching.
+#[derive(Debug)]
+pub struct TokenFile {
+    pub tokens: Vec<Token>,
+    /// For `Open`/`Close` tokens, the index of the partner delimiter;
+    /// `usize::MAX` for every other token.
+    pub match_of: Vec<usize>,
+    /// Number of source lines (for sizing line masks).
+    pub n_lines: usize,
+}
+
+/// A lexing failure (unbalanced delimiter / unterminated literal). The
+/// workspace only contains compiling Rust, so this is surfaced as a hard
+/// lint error rather than silently skipping the file.
+#[derive(Debug)]
+pub struct LexError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl TokenFile {
+    /// Lexes `src` into a token file.
+    pub fn lex(src: &str) -> Result<TokenFile, LexError> {
+        let tokens = lex_tokens(src)?;
+        let mut match_of = vec![usize::MAX; tokens.len()];
+        let mut stack: Vec<(usize, char)> = Vec::new();
+        for (i, t) in tokens.iter().enumerate() {
+            match t.tok {
+                Tok::Open(c) => stack.push((i, c)),
+                Tok::Close(c) => {
+                    let Some((open, oc)) = stack.pop() else {
+                        return Err(LexError {
+                            line: t.line,
+                            msg: format!("unmatched closing `{c}`"),
+                        });
+                    };
+                    if closer_of(oc) != c {
+                        return Err(LexError {
+                            line: t.line,
+                            msg: format!("mismatched `{oc}` closed by `{c}`"),
+                        });
+                    }
+                    match_of[open] = i;
+                    match_of[i] = open;
+                }
+                _ => {}
+            }
+        }
+        if let Some((_, c)) = stack.pop() {
+            return Err(LexError {
+                line: tokens.last().map_or(0, |t| t.line),
+                msg: format!("unclosed `{c}`"),
+            });
+        }
+        let n_lines = src.lines().count();
+        Ok(TokenFile {
+            tokens,
+            match_of,
+            n_lines,
+        })
+    }
+
+    /// The token at `i`, or a reference past either end returns `None`.
+    pub fn get(&self, i: usize) -> Option<&Tok> {
+        self.tokens.get(i).map(|t| &t.tok)
+    }
+
+    /// 1-based line of token `i` (0 if out of range).
+    pub fn line(&self, i: usize) -> usize {
+        self.tokens.get(i).map_or(0, |t| t.line)
+    }
+
+    /// 1-based column of token `i` (0 if out of range).
+    pub fn col(&self, i: usize) -> usize {
+        self.tokens.get(i).map_or(0, |t| t.col)
+    }
+
+    /// If token `i` is an `Open`, the index just past its matching
+    /// `Close`; otherwise `i + 1`. Lets scans step over whole groups.
+    pub fn skip_group(&self, i: usize) -> usize {
+        match self.tokens.get(i).map(|t| &t.tok) {
+            Some(Tok::Open(_)) => self.match_of[i] + 1,
+            _ => i + 1,
+        }
+    }
+
+    /// Steps over a balanced `<...>` generics run starting at the `<` at
+    /// `i`; returns the index just past the closing `>`. `->` inside the
+    /// run is skipped as a unit so its `>` never miscounts.
+    pub fn skip_angles(&self, i: usize) -> usize {
+        debug_assert!(self.tokens[i].tok.is_punct('<'));
+        let mut depth = 0i64;
+        let mut j = i;
+        while j < self.tokens.len() {
+            match &self.tokens[j].tok {
+                Tok::Open(_) => {
+                    j = self.skip_group(j);
+                    continue;
+                }
+                Tok::Punct('-') if self.get(j + 1).is_some_and(|t| t.is_punct('>')) => {
+                    j += 2;
+                    continue;
+                }
+                Tok::Punct('<') => depth += 1,
+                Tok::Punct('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        j
+    }
+}
+
+fn closer_of(open: char) -> char {
+    match open {
+        '(' => ')',
+        '[' => ']',
+        _ => '}',
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// The character-level lexer.
+fn lex_tokens(src: &str) -> Result<Vec<Token>, LexError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        // Line comments (incl. doc comments).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < chars.len() && chars[i] != '\n' {
+                bump!();
+            }
+            continue;
+        }
+        // Block comments, nested.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 0i64;
+            while i < chars.len() {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    bump!();
+                    bump!();
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    bump!();
+                    bump!();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    bump!();
+                }
+            }
+            if depth != 0 {
+                return Err(LexError {
+                    line: tline,
+                    msg: "unterminated block comment".into(),
+                });
+            }
+            continue;
+        }
+        // Identifiers, keywords, and string/char prefixes (r"", b"", b'',
+        // br"", r#ident).
+        if is_ident_start(c) {
+            let start = i;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                bump!();
+            }
+            let ident: String = chars[start..i].iter().collect();
+            let next = chars.get(i).copied();
+            let raw_capable = matches!(ident.as_str(), "r" | "br" | "rb");
+            let byte_capable = matches!(ident.as_str(), "b" | "br");
+            if raw_capable && (next == Some('"') || next == Some('#')) {
+                // Raw string — or a raw identifier (`r#ident`).
+                if next == Some('#') && chars.get(i + 1).copied().is_some_and(is_ident_start) {
+                    bump!(); // consume `#`
+                    let s = i;
+                    while i < chars.len() && is_ident_continue(chars[i]) {
+                        bump!();
+                    }
+                    let name: String = chars[s..i].iter().collect();
+                    out.push(Token {
+                        tok: Tok::Ident(name),
+                        line: tline,
+                        col: tcol,
+                    });
+                    continue;
+                }
+                let mut hashes = 0usize;
+                while chars.get(i) == Some(&'#') {
+                    hashes += 1;
+                    bump!();
+                }
+                if chars.get(i) != Some(&'"') {
+                    return Err(LexError {
+                        line: tline,
+                        msg: "malformed raw string".into(),
+                    });
+                }
+                bump!(); // opening quote
+                'raw: loop {
+                    if i >= chars.len() {
+                        return Err(LexError {
+                            line: tline,
+                            msg: "unterminated raw string".into(),
+                        });
+                    }
+                    if chars[i] == '"' {
+                        let mut ok = true;
+                        for k in 0..hashes {
+                            if chars.get(i + 1 + k) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            for _ in 0..=hashes {
+                                bump!();
+                            }
+                            break 'raw;
+                        }
+                    }
+                    bump!();
+                }
+                out.push(Token {
+                    tok: Tok::Str,
+                    line: tline,
+                    col: tcol,
+                });
+                continue;
+            }
+            if byte_capable && next == Some('"') {
+                lex_quoted(&chars, &mut i, &mut line, &mut col, '"', tline)?;
+                out.push(Token {
+                    tok: Tok::Str,
+                    line: tline,
+                    col: tcol,
+                });
+                continue;
+            }
+            if ident == "b" && next == Some('\'') {
+                lex_quoted(&chars, &mut i, &mut line, &mut col, '\'', tline)?;
+                out.push(Token {
+                    tok: Tok::Char,
+                    line: tline,
+                    col: tcol,
+                });
+                continue;
+            }
+            out.push(Token {
+                tok: Tok::Ident(ident),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            lex_number_body(&chars, &mut i, &mut line, &mut col);
+            // Fractional part: a `.` followed by a digit, or a trailing
+            // `1.` (dot not followed by `.` or an identifier).
+            if chars.get(i) == Some(&'.') {
+                let after = chars.get(i + 1).copied();
+                let fractional = after.is_some_and(|a| a.is_ascii_digit())
+                    || !(after == Some('.') || after.is_some_and(is_ident_start));
+                if fractional {
+                    bump!(); // the dot
+                    lex_number_body(&chars, &mut i, &mut line, &mut col);
+                }
+            }
+            let text: String = chars[start..i].iter().collect();
+            let lower = text.to_ascii_lowercase();
+            let has_radix = lower.starts_with("0x") || lower.starts_with("0b");
+            let float = text.contains('.')
+                || lower.ends_with("f32")
+                || lower.ends_with("f64")
+                || (!has_radix && lower.contains('e') && !lower.starts_with("0o"));
+            out.push(Token {
+                tok: Tok::Num { text, float },
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        // Strings.
+        if c == '"' {
+            lex_quoted(&chars, &mut i, &mut line, &mut col, '"', tline)?;
+            out.push(Token {
+                tok: Tok::Str,
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let p1 = chars.get(i + 1).copied();
+            let is_lifetime = match p1 {
+                Some(n) if is_ident_start(n) => {
+                    // `'a` / `'static` — a lifetime unless the very next
+                    // char closes a char literal (`'x'`).
+                    let mut j = i + 2;
+                    while chars.get(j).copied().is_some_and(is_ident_continue) {
+                        j += 1;
+                    }
+                    chars.get(j) != Some(&'\'') || j > i + 2
+                }
+                _ => false,
+            };
+            if is_lifetime {
+                bump!(); // quote
+                let s = i;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    bump!();
+                }
+                let name: String = chars[s..i].iter().collect();
+                out.push(Token {
+                    tok: Tok::Lifetime(name),
+                    line: tline,
+                    col: tcol,
+                });
+            } else {
+                lex_quoted(&chars, &mut i, &mut line, &mut col, '\'', tline)?;
+                out.push(Token {
+                    tok: Tok::Char,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            continue;
+        }
+        // Delimiters and punctuation.
+        let tok = match c {
+            '(' | '[' | '{' => Tok::Open(c),
+            ')' => Tok::Close(')'),
+            ']' => Tok::Close(']'),
+            '}' => Tok::Close('}'),
+            other => Tok::Punct(other),
+        };
+        bump!();
+        out.push(Token {
+            tok,
+            line: tline,
+            col: tcol,
+        });
+    }
+    Ok(out)
+}
+
+/// Consumes digits/alphanumerics/underscores, allowing a signed exponent
+/// (`1e-5`). Shared by the integer and fractional parts.
+fn lex_number_body(chars: &[char], i: &mut usize, line: &mut usize, col: &mut usize) {
+    let bump = |i: &mut usize, line: &mut usize, col: &mut usize| {
+        if chars[*i] == '\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+        *i += 1;
+    };
+    while *i < chars.len() {
+        let c = chars[*i];
+        if is_ident_continue(c) {
+            let was_exp = (c == 'e' || c == 'E')
+                && chars
+                    .get(*i + 1)
+                    .is_some_and(|&n| (n == '+' || n == '-') && chars.get(*i + 2).is_some());
+            bump(i, line, col);
+            if was_exp {
+                bump(i, line, col); // the sign
+            }
+        } else {
+            break;
+        }
+    }
+}
+
+/// Consumes a quoted literal (string or char) starting at the opening
+/// quote; handles `\\` escapes. `i` points at the quote on entry and one
+/// past the closing quote on exit.
+fn lex_quoted(
+    chars: &[char],
+    i: &mut usize,
+    line: &mut usize,
+    col: &mut usize,
+    quote: char,
+    start_line: usize,
+) -> Result<(), LexError> {
+    let bump = |i: &mut usize, line: &mut usize, col: &mut usize| {
+        if chars[*i] == '\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+        *i += 1;
+    };
+    bump(i, line, col); // opening quote
+    while *i < chars.len() {
+        match chars[*i] {
+            '\\' => {
+                bump(i, line, col);
+                if *i < chars.len() {
+                    bump(i, line, col);
+                }
+            }
+            c if c == quote => {
+                bump(i, line, col);
+                return Ok(());
+            }
+            _ => bump(i, line, col),
+        }
+    }
+    Err(LexError {
+        line: start_line,
+        msg: format!("unterminated {quote}-literal"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        TokenFile::lex(src)
+            .unwrap()
+            .tokens
+            .into_iter()
+            .map(|t| t.tok)
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_spans() {
+        let f = TokenFile::lex("fn main() {\n    x.y();\n}\n").unwrap();
+        assert!(f.tokens[0].tok.is_ident("fn"));
+        assert_eq!((f.tokens[0].line, f.tokens[0].col), (1, 1));
+        // `x` on line 2, column 5.
+        let x = f.tokens.iter().find(|t| t.tok.is_ident("x")).unwrap();
+        assert_eq!((x.line, x.col), (2, 5));
+    }
+
+    #[test]
+    fn comments_and_strings_are_dropped() {
+        let t = toks("// HashMap in a comment\nlet s = \"HashMap { }\"; /* { */");
+        assert!(t.iter().all(|t| !t.is_ident("HashMap")));
+        // The string collapses to an opaque token: no stray brace tokens.
+        assert!(t.iter().all(|t| !matches!(t, Tok::Open('{'))));
+        assert!(t.contains(&Tok::Str));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let t = toks("a /* x /* y */ z */ b");
+        assert_eq!(t, vec![Tok::Ident("a".into()), Tok::Ident("b".into())]);
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let t = toks(r##"let x = r#"quote " inside"#; r#match"##);
+        assert!(t.contains(&Tok::Str));
+        assert!(t.iter().any(|t| t.is_ident("match")));
+        let t2 = toks("b\"bytes\" br#\"raw bytes\"# b'x'");
+        assert_eq!(t2, vec![Tok::Str, Tok::Str, Tok::Char]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = toks("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            t.iter().filter(|t| matches!(t, Tok::Lifetime(_))).count(),
+            2
+        );
+        assert_eq!(t.iter().filter(|t| matches!(t, Tok::Char)).count(), 2);
+        // `'static` in expression position is a lifetime, not a char.
+        let t2 = toks("&'static str");
+        assert!(matches!(t2[1], Tok::Lifetime(ref l) if l == "static"));
+    }
+
+    #[test]
+    fn numbers_classify_floats() {
+        let cases = [
+            ("1.0", true),
+            ("0.5e-3", true),
+            ("1e9", true),
+            ("0f64", true),
+            ("3f32", true),
+            ("42", false),
+            ("0xEE", false),
+            ("1_000u64", false),
+        ];
+        for (text, float) in cases {
+            let t = toks(text);
+            assert_eq!(
+                t,
+                vec![Tok::Num {
+                    text: text.into(),
+                    float
+                }],
+                "{text}"
+            );
+        }
+        // `0..10` is two ints and a range, not a float.
+        let t = toks("0..10");
+        assert_eq!(t.len(), 4);
+        assert!(matches!(t[0], Tok::Num { float: false, .. }));
+    }
+
+    #[test]
+    fn delimiters_are_matched() {
+        let f = TokenFile::lex("fn f() { (a[b]) }").unwrap();
+        for (i, t) in f.tokens.iter().enumerate() {
+            if let Tok::Open(_) = t.tok {
+                let close = f.match_of[i];
+                assert!(matches!(f.tokens[close].tok, Tok::Close(_)));
+                assert_eq!(f.match_of[close], i);
+            }
+        }
+        assert!(TokenFile::lex("fn f() { (a[b) }").is_err());
+        assert!(TokenFile::lex("fn f() {").is_err());
+    }
+
+    #[test]
+    fn skip_angles_handles_arrows_and_shifts() {
+        let f = TokenFile::lex("<F: Fn(u32) -> Vec<Vec<u8>>> rest").unwrap();
+        let end = f.skip_angles(0);
+        assert!(f.tokens[end].tok.is_ident("rest"));
+    }
+}

@@ -1,5 +1,7 @@
 //! Workspace automation tasks. See `cargo xtask --help`.
 
+mod analyzer;
+mod ast;
 mod lint;
 
 use std::process::ExitCode;
@@ -24,14 +26,25 @@ fn print_help() {
     eprintln!(
         "cargo xtask <TASK>\n\n\
          Tasks:\n  \
-         lint    Run the repository's custom static checks over crates/*/src.\n\
+         lint [--format human|json]\n          \
+         Run the repository's static analyzer over crates/*/src.\n          \
+         `json` prints machine-readable findings on stdout (for CI\n          \
+         annotations); `human` (default) prints to stderr and is the\n          \
+         failing gate.\n\
          \n\
-         Lint rules (see DESIGN.md for rationale):\n  \
-         L1  no raw f64 seconds arithmetic outside des::time and the metrics boundary\n  \
-         L2  no wall-clock or OS randomness in deterministic simulation crates\n  \
-         L3  no iteration over unordered maps/sets in simulation-order-sensitive code\n  \
-         L4  no unwrap/expect in non-test code of the des/sim hot paths\n\
+         Lint rules (see DESIGN.md \u{a7}13 for rationale and architecture):\n  \
+         L1   no raw f64 seconds arithmetic outside des::time and the metrics boundary\n  \
+         L2   no wall-clock or OS randomness in deterministic simulation crates\n  \
+         L3   no iteration over unordered maps/sets in simulation-order-sensitive code\n  \
+         L4   no unwrap/expect in non-test code of the des/sim hot paths\n  \
+         L5   no `let _ = f(...)` result-dropping in non-test hot-path code\n  \
+         L6   no per-iteration state copies (.state().clone(), .entries().to_vec())\n  \
+         L7   no non-associative f64 reductions over order-unstable iterators\n  \
+         L8   no raw f64/u64 seconds/bytes/positions crossing public APIs\n  \
+         L9   no wildcard `_` arms in TraceEvent matches (des::audit, obs::spans)\n  \
+         L10  no panics or direct slice indexing reachable from engine entry points\n\
          \n\
-         Allowlist: xtask/lint.allow (one `RULE path/substring` per line)."
+         Allowlist: xtask/lint.allow (one `RULE path/substring` per line).\n\
+         Entries that suppress zero findings are themselves reported (ALLOW)."
     );
 }
