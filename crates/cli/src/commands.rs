@@ -5,9 +5,10 @@
 //! without spawning processes.
 
 use crate::args::{ArgError, Args};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::time::Instant;
 use tapesim_faults::{FaultPlan, FaultSpec};
 use tapesim_model::specs::{lto3_drive, lto3_tape, stk_l80_library};
 use tapesim_model::{Bytes, SystemConfig};
@@ -16,6 +17,7 @@ use tapesim_placement::{
     PlacementPolicy, TapeRole,
 };
 use tapesim_sched::{run_scheduled, run_scheduled_faulty, AuditMode, PolicyKind, SchedConfig};
+use tapesim_serve::{serve_run, ServeConfig};
 use tapesim_sim::Simulator;
 use tapesim_workload::{
     replicate_workload, ArrivalSpec, ObjectSizeSpec, ReplicationSpec, RequestSpec, Workload,
@@ -175,8 +177,13 @@ pub fn simulate(args: &Args) -> Result<String, CommandError> {
     ))
 }
 
-/// `tapesim serve` — serve one specific pre-defined request.
+/// `tapesim serve` — serve one specific pre-defined request, or, with
+/// `--campaign`, run the long-running sharded service under a sustained
+/// load campaign (see [`campaign`]).
 pub fn serve(args: &Args) -> Result<String, CommandError> {
+    if args.has("campaign") {
+        return campaign(args);
+    }
     let workload = read_workload(args.require("workload")?)?;
     let placement = read_placement(args.require("placement")?)?;
     placement
@@ -211,6 +218,295 @@ pub fn serve(args: &Args) -> Result<String, CommandError> {
         metrics.robot_wait,
         metrics.bandwidth_mbs(),
     ) + &timeline)
+}
+
+/// One cell of the `tapesim serve --campaign` sweep: one placement
+/// scheme × scheduling policy under the sustained arrival stream.
+/// Virtual-time figures (sojourns, mounts, events) are deterministic;
+/// `wall_s` and `requests_per_sec` are wall-clock measurements of the
+/// service runtime on this machine.
+#[derive(Debug, Serialize, Deserialize)]
+struct ServeCell {
+    scheme: String,
+    policy: String,
+    requests: u64,
+    served: u64,
+    lost: u64,
+    snapshots: usize,
+    wall_s: f64,
+    requests_per_sec: f64,
+    avg_sojourn_s: f64,
+    p50_sojourn_s: f64,
+    p99_sojourn_s: f64,
+    mounts: u64,
+    events: u64,
+}
+
+/// The `BENCH_serve.json` artifact: sustained-throughput and tail-
+/// latency numbers for the sharded service, per scheme × policy.
+#[derive(Debug, Serialize, Deserialize)]
+struct ServeBench {
+    bench: String,
+    requests_per_cell: usize,
+    total_requests: u64,
+    rate_per_hour: f64,
+    shards: usize,
+    channel_bound: usize,
+    snapshot_every: usize,
+    cells: Vec<ServeCell>,
+}
+
+/// The built-in demand catalog for `serve --campaign`: 80 request
+/// templates of 20–30 objects over a working set (~33 TB at 8 GB
+/// calibration) that overflows the initially mounted capacity, so a
+/// sustained campaign performs real tape exchanges (~3 mounts per
+/// request) rather than streaming from always-mounted tapes. The
+/// catalog is a set of *templates*; the campaign re-samples it by
+/// popularity for however many requests the run ingests. At the default
+/// 12/h arrival rate the queue is stable: sojourn percentiles are flat
+/// in campaign length.
+fn campaign_workload() -> Workload {
+    WorkloadSpec {
+        objects: 4_000,
+        sizes: ObjectSizeSpec::default().calibrated(Bytes::mb(8192)),
+        requests: RequestSpec {
+            count: 80,
+            min_objects: 20,
+            max_objects: 30,
+            count_shape: 1.0,
+            alpha: 0.3,
+        },
+        seed: 5,
+    }
+    .generate()
+}
+
+fn serve_bench_path() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_serve.json")
+}
+
+/// `--check`: fail if any cell's sustained requests/sec dropped more
+/// than 30% below the committed `BENCH_serve.json` (same convention as
+/// the perf bench gate).
+fn serve_check(current: &ServeBench) -> Result<String, CommandError> {
+    let path = serve_bench_path();
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        CommandError(format!(
+            "serve --check: cannot read committed BENCH_serve.json: {e}"
+        ))
+    })?;
+    let committed: ServeBench = serde_json::from_str(&text).map_err(|e| {
+        CommandError(format!(
+            "serve --check: cannot parse committed BENCH_serve.json: {e}"
+        ))
+    })?;
+    let mut failures = Vec::new();
+    for old in &committed.cells {
+        let Some(new) = current
+            .cells
+            .iter()
+            .find(|c| c.scheme == old.scheme && c.policy == old.policy)
+        else {
+            failures.push(format!(
+                "cell {}/{} missing from this run",
+                old.scheme, old.policy
+            ));
+            continue;
+        };
+        let floor = old.requests_per_sec * 0.7;
+        if new.requests_per_sec < floor {
+            failures.push(format!(
+                "{}/{}: {:.0} requests/s is more than 30% below the committed {:.0}",
+                old.scheme, old.policy, new.requests_per_sec, old.requests_per_sec
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok("serve --check: no cell regressed >30% vs committed baseline".to_string())
+    } else {
+        Err(CommandError(format!(
+            "serve --check FAILED:\n{}",
+            failures.join("\n")
+        )))
+    }
+}
+
+/// `tapesim serve --campaign` — the closed-loop load harness over the
+/// sharded service ([`tapesim_serve::serve_run`]): ingest a sustained
+/// Poisson request stream, fan it out to per-library scheduler shards,
+/// and report sustained wall-clock throughput and virtual-time tail
+/// latency per placement scheme × policy.
+///
+/// The full campaign (no `--smoke`) ingests 175 000 requests per cell —
+/// 3 schemes × 2 policies = 1.05 million audited requests — and rewrites
+/// `BENCH_serve.json` at the workspace root. `--smoke` runs a reduced
+/// but still multi-shard, still audited campaign and leaves the artifact
+/// untouched; `--check` gates against the committed artifact. Any audit
+/// violation, conservation breach or rejected submission is a non-zero
+/// exit.
+fn campaign(args: &Args) -> Result<String, CommandError> {
+    let smoke = args.has("smoke");
+    let check = args.has("check");
+    let workload = match args.get("workload") {
+        Some(path) => read_workload(path)?,
+        None => campaign_workload(),
+    };
+    let system = system_from(args)?;
+    let m: u8 = args.get_or("m", 4)?;
+    let requests: usize = args.get_or("requests", if smoke { 10_000 } else { 175_000 })?;
+    let rate: f64 = args.get_or("rate", 12.0)?;
+    let seed: u64 = args.get_or("seed", 0xD15Cu64)?;
+    let shards: usize = args.get_or("shards", system.libraries as usize)?;
+    let channel_bound: usize = args.get_or("channel-bound", 256)?;
+    let snapshot_every: usize = args.get_or("snapshot-every", (requests / 8).max(1))?;
+    let max_batch: usize = args.get_or("max-batch", 0)?;
+    let spec = ArrivalSpec {
+        per_hour: rate,
+        seed,
+    };
+    let plan = FaultPlan::zero(&system);
+    let no_alternates: BTreeMap<_, _> = BTreeMap::new();
+
+    let schemes = parse_schemes(args)?;
+    // The campaign defaults to the two policies that keep a sustained
+    // queue stable (fcfs melts down at campaign rates, which is a
+    // finding, not a throughput baseline); `--policy` overrides.
+    let policies = match args.get("policy") {
+        Some(_) => parse_policies(args)?,
+        None => vec![PolicyKind::BatchByTape, PolicyKind::SltfTape],
+    };
+
+    let cfg = ServeConfig::new(spec, requests)
+        .with_shards(shards)
+        .with_max_batch(max_batch)
+        .with_audit(true)
+        .with_channel_bound(channel_bound)
+        .with_snapshot_every(snapshot_every);
+
+    let mut cells = Vec::new();
+    let mut dirty = Vec::new();
+    let mut total = 0u64;
+    let mut effective_shards = shards.max(1);
+    for scheme in schemes {
+        let policy = placement_for(scheme, m);
+        let placement = policy
+            .place(&workload, &system)
+            .map_err(|e| CommandError(format!("{} failed: {e}", policy.display_name())))?;
+        for &kind in &policies {
+            let sim = Simulator::with_natural_policy(placement.clone(), m);
+            let t = Instant::now();
+            let report = serve_run(&sim, &workload, kind, &cfg, &plan, &no_alternates);
+            let wall = t.elapsed().as_secs_f64();
+            for audit in report.reports.iter().filter(|r| !r.is_clean()) {
+                dirty.push(format!("{scheme}/{}: {audit}", kind.label()));
+            }
+            if report.submitted != report.served + report.lost || report.rejected != 0 {
+                dirty.push(format!(
+                    "{scheme}/{}: request conservation violated \
+                     ({} submitted, {} served, {} lost, {} rejected)",
+                    kind.label(),
+                    report.submitted,
+                    report.served,
+                    report.lost,
+                    report.rejected
+                ));
+            }
+            total += report.submitted;
+            effective_shards = report.shards;
+            cells.push(ServeCell {
+                scheme: scheme.to_string(),
+                policy: kind.label().to_string(),
+                requests: report.submitted,
+                served: report.served,
+                lost: report.lost,
+                snapshots: report.snapshots.len(),
+                wall_s: wall,
+                requests_per_sec: if wall > 0.0 {
+                    report.served as f64 / wall
+                } else {
+                    0.0
+                },
+                avg_sojourn_s: report.metrics.avg_sojourn(),
+                p50_sojourn_s: report.metrics.sojourn_percentile(50.0),
+                p99_sojourn_s: report.metrics.sojourn_percentile(99.0),
+                mounts: report.metrics.mounts(),
+                events: report.metrics.events(),
+            });
+        }
+    }
+    if !dirty.is_empty() {
+        return Err(CommandError(format!(
+            "serve campaign FAILED:\n{}",
+            dirty.join("\n")
+        )));
+    }
+
+    let bench = ServeBench {
+        bench: "serve".to_string(),
+        requests_per_cell: requests,
+        total_requests: total,
+        rate_per_hour: rate,
+        shards: effective_shards,
+        channel_bound,
+        snapshot_every,
+        cells,
+    };
+
+    let mut notes = Vec::new();
+    if check {
+        notes.push(serve_check(&bench)?);
+    }
+    if smoke {
+        notes.push("smoke mode: BENCH_serve.json left untouched".to_string());
+    } else {
+        let path = serve_bench_path();
+        let pretty = serde_json::to_string_pretty(&bench)?;
+        std::fs::write(&path, pretty + "\n")?;
+        notes.push(format!("wrote {}", path.display()));
+    }
+
+    if args.has("json") {
+        return Ok(serde_json::to_string_pretty(&bench)?);
+    }
+    let mut out = format!(
+        "serve campaign: {} requests/cell at {rate}/h across {} shards \
+         (seed {seed}, channel bound {channel_bound}, snapshot every \
+         {snapshot_every}) — {total} total, audited\n\
+         {:<15} {:<6} {:>8} {:>6} {:>5} {:>10} {:>12} {:>12} {:>12} {:>7}\n",
+        requests,
+        effective_shards,
+        "scheme",
+        "policy",
+        "requests",
+        "served",
+        "lost",
+        "req/s wall",
+        "avg sojourn",
+        "p50 sojourn",
+        "p99 sojourn",
+        "mounts",
+    );
+    for c in &bench.cells {
+        out.push_str(&format!(
+            "{:<15} {:<6} {:>8} {:>6} {:>5} {:>10.0} {:>11.1}s {:>11.1}s {:>11.1}s {:>7}\n",
+            c.scheme,
+            c.policy,
+            c.requests,
+            c.served,
+            c.lost,
+            c.requests_per_sec,
+            c.avg_sojourn_s,
+            c.p50_sojourn_s,
+            c.p99_sojourn_s,
+            c.mounts,
+        ));
+    }
+    for note in &notes {
+        out.push_str(&format!("{note}\n"));
+    }
+    Ok(out)
 }
 
 /// `tapesim audit` — serve a sampled request stream with tracing on and
@@ -972,6 +1268,104 @@ mod tests {
         ))
         .unwrap_err();
         assert!(err.0.contains("audit-mode"), "{err}");
+    }
+
+    const SERVE_VALUES: &[&str] = &[
+        "workload",
+        "placement",
+        "m",
+        "request",
+        "scheme",
+        "policy",
+        "rate",
+        "requests",
+        "seed",
+        "shards",
+        "max-batch",
+        "channel-bound",
+        "snapshot-every",
+        "libraries",
+        "tapes",
+    ];
+    const SERVE_BOOLS: &[&str] = &["trace", "campaign", "smoke", "check", "json"];
+
+    #[test]
+    fn serve_campaign_smoke_sweeps_schemes_and_policies() {
+        let msg = serve(&args(
+            "--campaign --smoke --requests 60 --rate 30",
+            SERVE_VALUES,
+            SERVE_BOOLS,
+        ))
+        .unwrap();
+        for label in ["parallel-batch", "object-prob", "cluster-prob"] {
+            assert!(msg.contains(label), "missing scheme {label}: {msg}");
+        }
+        for label in ["batch", "sltf"] {
+            assert!(msg.contains(label), "missing policy {label}: {msg}");
+        }
+        assert!(msg.contains("audited"), "{msg}");
+        assert!(
+            msg.contains("BENCH_serve.json left untouched"),
+            "smoke must not rewrite the committed artifact: {msg}"
+        );
+    }
+
+    /// The virtual-time half of every campaign cell is a pure function
+    /// of (seed, shard count): only the wall-clock fields may differ
+    /// between two identical smoke runs.
+    #[test]
+    fn serve_campaign_virtual_time_is_deterministic() {
+        let run = || {
+            serve(&args(
+                "--campaign --smoke --requests 50 --rate 30 --shards 3 --policy batch --scheme pbp --json",
+                SERVE_VALUES,
+                SERVE_BOOLS,
+            ))
+            .unwrap()
+        };
+        let (a, b) = (run(), run());
+        for field in [
+            "served",
+            "lost",
+            "snapshots",
+            "avg_sojourn_s",
+            "p50_sojourn_s",
+            "p99_sojourn_s",
+            "mounts",
+            "events",
+        ] {
+            assert_eq!(
+                json_field(&a, field),
+                json_field(&b, field),
+                "{field} must replay bit-for-bit"
+            );
+        }
+        assert_eq!(json_field(&a, "served"), "50");
+        assert_eq!(json_field(&a, "lost"), "0");
+    }
+
+    #[test]
+    fn serve_campaign_honours_shard_and_snapshot_flags() {
+        let msg = serve(&args(
+            "--campaign --smoke --requests 40 --rate 30 --shards 2 --snapshot-every 10 --policy sltf --scheme opp --json",
+            SERVE_VALUES,
+            SERVE_BOOLS,
+        ))
+        .unwrap();
+        assert_eq!(json_field(&msg, "shards"), "2");
+        assert_eq!(json_field(&msg, "snapshots"), "4", "40 requests / 10");
+        assert_eq!(json_field(&msg, "requests_per_cell"), "40");
+    }
+
+    #[test]
+    fn serve_campaign_rejects_unknown_scheme() {
+        let err = serve(&args(
+            "--campaign --smoke --scheme bogus",
+            SERVE_VALUES,
+            SERVE_BOOLS,
+        ))
+        .unwrap_err();
+        assert!(err.0.contains("unknown scheme"), "{err}");
     }
 
     const FAULTS_VALUES: &[&str] = &[

@@ -6,6 +6,7 @@
 //! tapesim place    -w workload.json --scheme parallel-batch --m 4 -o placement.json
 //! tapesim simulate -w workload.json -p placement.json --samples 200
 //! tapesim serve    -w workload.json -p placement.json --request 0
+//! tapesim serve    --campaign --smoke
 //! tapesim audit    -w workload.json -p placement.json --samples 200
 //! tapesim inspect  -p placement.json
 //! ```
@@ -29,6 +30,15 @@ COMMANDS:
                -w WORKLOAD -p PLACEMENT --samples N --seed S --m M [--json]
   serve      serve one pre-defined request and show the decomposition
                -w WORKLOAD -p PLACEMENT --request RANK --m M [--trace]
+             or, with --campaign, run the long-running sharded service
+             under a sustained load campaign (per-library scheduler
+             actors, bounded ingestion, periodic metric snapshots,
+             audited; writes BENCH_serve.json unless --smoke)
+               --campaign [--requests N] [--rate PER_HOUR] [--seed S]
+               [--shards N] [--scheme all|pbp|opp|cpp]
+               [--policy all|fcfs|batch|sltf] [--m M] [--max-batch N]
+               [--channel-bound N] [--snapshot-every N]
+               [--smoke] [--check] [--json]
   audit      replay a sampled stream with tracing on and check the DES
              invariants (drive/robot exclusivity, mount pairing, ...)
                -w WORKLOAD -p PLACEMENT --samples N --seed S --m M
@@ -95,9 +105,29 @@ fn main() {
         )
         .map_err(Into::into)
         .and_then(|a| commands::simulate(&a)),
-        "serve" => Args::parse(rest, &["workload", "placement", "m", "request"], &["trace"])
-            .map_err(Into::into)
-            .and_then(|a| commands::serve(&a)),
+        "serve" => Args::parse(
+            rest,
+            &[
+                "workload",
+                "placement",
+                "m",
+                "request",
+                "scheme",
+                "policy",
+                "rate",
+                "requests",
+                "seed",
+                "shards",
+                "max-batch",
+                "channel-bound",
+                "snapshot-every",
+                "libraries",
+                "tapes",
+            ],
+            &["trace", "campaign", "smoke", "check", "json"],
+        )
+        .map_err(Into::into)
+        .and_then(|a| commands::serve(&a)),
         "audit" => Args::parse(
             rest,
             &["workload", "placement", "m", "samples", "seed"],

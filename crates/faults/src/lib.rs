@@ -276,6 +276,39 @@ impl FaultPlan {
     pub fn media_only(&self) -> bool {
         self.n_drive_failures() == 0 && self.n_jams() == 0
     }
+
+    /// A copy of the plan with every fault outside the `owned` libraries
+    /// erased: drive failures reset to never, jam windows and bad spots
+    /// cleared. `owned[lib]` says whether library `lib` is kept; indices
+    /// beyond `owned`'s length are dropped.
+    ///
+    /// This is how the serve runtime hands each library shard its slice
+    /// of one globally generated plan: the union of the restrictions over
+    /// a partition of the libraries is the full plan, so sharded runs see
+    /// exactly the faults the equivalent single-engine run sees — on the
+    /// hardware each shard actually owns.
+    pub fn restrict_to_libraries(&self, cfg: &SystemConfig, owned: &[bool]) -> FaultPlan {
+        let drives = cfg.library.drives.max(1) as usize;
+        let tapes = cfg.library.tapes.max(1) as usize;
+        let owns = |lib: usize| owned.get(lib).copied().unwrap_or(false);
+        let mut out = self.clone();
+        for (i, fail) in out.drive_fail.iter_mut().enumerate() {
+            if !owns(i / drives) {
+                *fail = SimTime::MAX;
+            }
+        }
+        for (lib, windows) in out.jams.iter_mut().enumerate() {
+            if !owns(lib) {
+                windows.clear();
+            }
+        }
+        for (i, spots) in out.spots.iter_mut().enumerate() {
+            if !owns(i / tapes) {
+                spots.clear();
+            }
+        }
+        out
+    }
 }
 
 /// Read-only view of a [`FaultPlan`] that the engines consult. All
@@ -418,6 +451,57 @@ mod tests {
         );
         assert_eq!(clock.spot_demand(0, Bytes::ZERO, Bytes::tb(1)), 0);
         assert!(!clock.degraded_at(SimTime::MAX));
+    }
+
+    #[test]
+    fn restrict_to_all_libraries_is_identity() {
+        let cfg = paper_table1();
+        let plan = FaultPlan::generate(
+            &FaultSpec {
+                horizon_hours: 48.0,
+                ..spec()
+            },
+            &cfg,
+        );
+        let all = vec![true; cfg.libraries as usize];
+        assert_eq!(plan.restrict_to_libraries(&cfg, &all), plan);
+
+        let zero = FaultPlan::zero(&cfg);
+        assert!(zero.restrict_to_libraries(&cfg, &all).is_zero());
+        assert!(zero
+            .restrict_to_libraries(&cfg, &vec![false; cfg.libraries as usize])
+            .is_zero());
+    }
+
+    #[test]
+    fn restriction_partitions_the_plan_across_shards() {
+        let cfg = paper_table1();
+        let plan = FaultPlan::generate(
+            &FaultSpec {
+                horizon_hours: 48.0,
+                ..spec()
+            },
+            &cfg,
+        );
+        let n_libs = cfg.libraries as usize;
+        assert!(plan.n_drive_failures() > 0 && plan.n_jams() > 0 && plan.n_spots() > 0);
+
+        // One shard per library: the per-shard fault counts must sum to
+        // the full plan's, with nothing duplicated or dropped.
+        let (mut fails, mut jams, mut spots) = (0, 0, 0);
+        for lib in 0..n_libs {
+            let mut owned = vec![false; n_libs];
+            owned[lib] = true;
+            let shard = plan.restrict_to_libraries(&cfg, &owned);
+            fails += shard.n_drive_failures();
+            jams += shard.n_jams();
+            spots += shard.n_spots();
+            // The restriction only ever erases, never invents.
+            assert!(shard.n_drive_failures() <= plan.n_drive_failures());
+        }
+        assert_eq!(fails, plan.n_drive_failures());
+        assert_eq!(jams, plan.n_jams());
+        assert_eq!(spots, plan.n_spots());
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod report;
 pub mod spans;
 
 pub use manifest::{digest, fnv1a64, RunManifest};
-pub use registry::{CounterId, GaugeId, Histogram, HistogramId, MetricsRegistry};
+pub use registry::{CounterId, GaugeId, Histogram, HistogramId, MetricsRegistry, RegistrySnapshot};
 pub use report::render_budget;
 pub use spans::{
     LibraryOverlap, PhaseTotals, ResourceBudget, SpanKind, SpanSecs, TimeAccountant, TimeBudget,

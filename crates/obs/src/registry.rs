@@ -338,6 +338,56 @@ impl MetricsRegistry {
         out.histograms.sort_by(|a, b| a.0.cmp(&b.0));
         out
     }
+
+    /// Freezes the registry into a canonically ordered, sequence-stamped
+    /// [`RegistrySnapshot`]. Two registries holding the same metrics in
+    /// different registration orders snapshot identically (same `seq`),
+    /// so periodic serve snapshots diff cleanly across runs and shard
+    /// interleavings.
+    pub fn snapshot(&self, seq: u64) -> RegistrySnapshot {
+        RegistrySnapshot {
+            seq,
+            registry: self.canonical(),
+        }
+    }
+}
+
+/// A point-in-time, canonically ordered view of a [`MetricsRegistry`]:
+/// what a long-running service publishes on its snapshot cadence. The
+/// canonical ordering (every family sorted by name) makes snapshots from
+/// equivalent runs comparable with `==` and their renders diffable line
+/// by line, regardless of metric registration order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// Monotonic snapshot sequence number within one run.
+    pub seq: u64,
+    /// The metrics, every family in canonical (name-sorted) order.
+    pub registry: MetricsRegistry,
+}
+
+impl RegistrySnapshot {
+    /// Renders the snapshot as stable `name value` lines — counters, then
+    /// gauges, then histograms (count/mean/min/max), each family sorted by
+    /// name. Equal snapshots render byte-identically.
+    pub fn render(&self) -> String {
+        let mut out = format!("# snapshot seq={}\n", self.seq);
+        for (name, v) in self.registry.counters() {
+            out.push_str(&format!("counter {name} {v}\n"));
+        }
+        for (name, v) in self.registry.gauges() {
+            out.push_str(&format!("gauge {name} {v:.6}\n"));
+        }
+        for (name, h) in self.registry.histograms() {
+            out.push_str(&format!(
+                "histogram {name} count={} mean={:.6} min={:.6} max={:.6}\n",
+                h.count(),
+                h.mean(),
+                h.min(),
+                h.max()
+            ));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -406,6 +456,52 @@ mod tests {
         assert_eq!(a.gauge_by_name("peak"), Some(1.5));
         let h = a.histogram_by_name("sojourn").map(Histogram::counts);
         assert_eq!(h, Some([1u64, 1, 0].as_slice()));
+    }
+
+    #[test]
+    fn snapshot_is_registration_order_independent() {
+        // Same metrics, registered in opposite orders within each family.
+        let mut a = MetricsRegistry::new();
+        let ca = a.counter("served");
+        let la = a.counter("lost");
+        let ga = a.gauge("depth");
+        let ha = a.histogram("sojourn", &[10.0]);
+        a.add(ca, 7);
+        a.add(la, 1);
+        a.set(ga, 3.0);
+        a.observe(ha, 4.0);
+
+        let mut b = MetricsRegistry::new();
+        let hb = b.histogram("sojourn", &[10.0]);
+        let gb = b.gauge("depth");
+        let lb = b.counter("lost");
+        let cb = b.counter("served");
+        b.observe(hb, 4.0);
+        b.set(gb, 3.0);
+        b.add(lb, 1);
+        b.add(cb, 7);
+
+        assert_ne!(a, b, "registration order differs");
+        assert_eq!(a.snapshot(2), b.snapshot(2), "snapshots are canonical");
+        assert_eq!(a.snapshot(2).render(), b.snapshot(2).render());
+        assert_ne!(a.snapshot(2), b.snapshot(3), "seq is part of identity");
+    }
+
+    #[test]
+    fn snapshot_render_is_stable() {
+        let mut reg = MetricsRegistry::new();
+        let z = reg.counter("zeta");
+        let a = reg.counter("alpha");
+        reg.add(z, 1);
+        reg.add(a, 2);
+        let h = reg.histogram("lat", &[1.0]);
+        reg.observe(h, 0.5);
+        let text = reg.snapshot(9).render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "# snapshot seq=9");
+        assert_eq!(lines[1], "counter alpha 2", "name-sorted, not reg-order");
+        assert_eq!(lines[2], "counter zeta 1");
+        assert!(lines[3].starts_with("histogram lat count=1"));
     }
 
     #[test]

@@ -474,6 +474,7 @@ impl BaselineSim<'_> {
             } else {
                 let r = &self.requests[req];
                 self.records.push(RequestRecord {
+                    request: req,
                     arrival: r.arrival,
                     first_start: r.first_start.unwrap_or(r.arrival),
                     finish: now,
@@ -494,6 +495,7 @@ impl World for BaselineSim<'_> {
                 let work = tape_jobs(self.placement, objects);
                 if work.is_empty() {
                     self.records.push(RequestRecord {
+                        request: i,
                         arrival,
                         first_start: arrival,
                         finish: arrival,
@@ -577,6 +579,7 @@ impl World for BaselineSim<'_> {
                     } else {
                         let r = &self.requests[req];
                         self.records.push(RequestRecord {
+                            request: req,
                             arrival: r.arrival,
                             first_start: r.first_start.unwrap_or(r.arrival),
                             finish: now,

@@ -65,7 +65,7 @@ use tapesim_placement::Placement;
 use tapesim_sim::catalog::{tape_jobs, TapeJob};
 use tapesim_sim::seek_order;
 use tapesim_sim::{Simulator, SwitchPolicy};
-use tapesim_workload::{ArrivalProcess, ArrivalSpec, Workload};
+use tapesim_workload::{ArrivalProcess, ArrivalSpec, RequestStream, Workload};
 
 /// How the engine feeds the trace auditor when auditing is on.
 ///
@@ -541,6 +541,10 @@ struct JobState<'a> {
 /// One outstanding request instance.
 #[derive(Debug)]
 struct ReqState {
+    /// Submission index of the arrival this request answers (the `i` of
+    /// [`Ev::Arrive`]); carried into its [`RequestRecord`] so external
+    /// collectors can join completions back to submissions.
+    index: usize,
     arrival: SimTime,
     /// Jobs not yet completed.
     outstanding: usize,
@@ -568,8 +572,10 @@ struct SchedSim<'a> {
     policy: &'a dyn SchedPolicy,
     switch_policy: SwitchPolicy,
     batch_cap: usize,
-    /// Precomputed arrival times and workload-request indices, in order.
-    arrivals: &'a [(SimTime, usize)],
+    /// Arrival times and workload-request indices in submission order.
+    /// Owned so the incremental [`ShardEngine`] can append while the
+    /// event loop runs; the batch gear fills it up front.
+    arrivals: Vec<(SimTime, usize)>,
     /// Per-request tape jobs, grouped once per run and indexed by
     /// workload-request rank. Arrivals resample the same few requests, so
     /// borrowing from here replaces a `tape_jobs` regrouping (hash set,
@@ -616,6 +622,10 @@ struct SchedSim<'a> {
     retries: u64,
     failovers_n: u64,
     lost_requests: u64,
+    /// Submission indices of terminally lost requests, in loss order —
+    /// the complement of `records` (together they partition the accepted
+    /// submissions), so collectors can account for every request.
+    lost_log: Vec<usize>,
     /// Per-drive victim-scan scratch for [`Self::try_dispatch`] (drives
     /// whose exchange cannot finish before their failure instant).
     /// Member so the allocation is reused across dispatches.
@@ -1073,9 +1083,11 @@ impl SchedSim<'_> {
         if self.requests[req].outstanding == 0 {
             if self.requests[req].lost {
                 self.lost_requests += 1;
+                self.lost_log.push(self.requests[req].index);
             } else {
                 let r = &self.requests[req];
                 self.records.push(RequestRecord {
+                    request: r.index,
                     arrival: r.arrival,
                     first_start: r.first_start.unwrap_or(r.arrival),
                     finish: now,
@@ -1099,6 +1111,7 @@ impl World for SchedSim<'_> {
                 if work.is_empty() {
                     // Nothing to stream: served instantaneously.
                     self.records.push(RequestRecord {
+                        request: i,
                         arrival,
                         first_start: arrival,
                         finish: arrival,
@@ -1107,6 +1120,7 @@ impl World for SchedSim<'_> {
                 }
                 let req = self.requests.len();
                 self.requests.push(ReqState {
+                    index: i,
                     arrival,
                     outstanding: work.len(),
                     first_start: None,
@@ -1188,9 +1202,11 @@ impl World for SchedSim<'_> {
                 if self.requests[req].outstanding == 0 {
                     if self.requests[req].lost {
                         self.lost_requests += 1;
+                        self.lost_log.push(self.requests[req].index);
                     } else {
                         let r = &self.requests[req];
                         self.records.push(RequestRecord {
+                            request: r.index,
                             arrival: r.arrival,
                             first_start: r.first_start.unwrap_or(r.arrival),
                             finish: now,
@@ -1207,8 +1223,377 @@ impl World for SchedSim<'_> {
     }
 }
 
-/// The concurrent shared-queue gear. Runs on a clone of `sim`'s mount
-/// state; the simulator itself is not mutated.
+/// Priority class of arrival events. Strictly below the default class
+/// (0) every runtime event uses, so an arrival stamped at `t` always
+/// fires before same-instant service events regardless of insertion
+/// order. The batch gear pre-schedules all arrivals (lowest sequence
+/// numbers — they won those ties already); pinning the class instead
+/// makes the order insertion-independent, which is what lets the
+/// incremental [`ShardEngine`] interleave submissions with event
+/// processing and still replay the batch gear bit for bit.
+const ARRIVAL_PRIORITY: i32 = -1;
+
+/// Everything one drained [`ShardEngine`] knows at shutdown: the run
+/// outcome plus the raw per-request ledger a collector needs to join
+/// shard-local completions back to global submissions.
+#[derive(Debug, Clone, Default)]
+pub struct ShardReport {
+    /// Metrics, audit reports and optional time budget — exactly what
+    /// the batch [`run_scheduled`] entry returns for the same stream.
+    pub outcome: SchedOutcome,
+    /// Per-request completion records in engine completion order
+    /// (nondecreasing finish time), each tagged with its submission
+    /// index ([`RequestRecord::request`]).
+    pub records: Vec<RequestRecord>,
+    /// Submission indices of terminally lost requests. Together with
+    /// `records` this partitions the accepted submissions: every index
+    /// in `0..submitted` appears in exactly one of the two.
+    pub lost: Vec<usize>,
+    /// Submissions accepted before [`ShardEngine::close`].
+    pub submitted: usize,
+    /// Submissions rejected after [`ShardEngine::close`].
+    pub rejected: u64,
+    /// The virtual instant the shard's event queue drained.
+    pub end: SimTime,
+}
+
+/// The concurrent scheduling engine as a long-lived, incrementally-fed
+/// actor: the shard-safe entry point the `tapesim-serve` runtime wraps
+/// one-per-library-shard, and the core the batch [`run_scheduled`] gear
+/// is expressed on top of (submit everything, then finish).
+///
+/// Lifecycle: [`ShardEngine::submit`] admissions (strictly increasing
+/// arrival times), [`ShardEngine::pump`] the virtual clock forward after
+/// each, [`ShardEngine::close`] to stop admissions (late submissions are
+/// rejected, in-flight batches still complete), [`ShardEngine::finish`]
+/// to drain, sweep stranded jobs and produce the [`ShardReport`].
+///
+/// # Determinism
+///
+/// Feeding the same `(arrival, request)` sequence produces bit-identical
+/// results no matter how submissions interleave with pumping: arrivals
+/// occupy their own event-priority class (see [`ARRIVAL_PRIORITY`]), and
+/// [`ShardEngine::pump`]'s watermark never runs past the last submitted
+/// arrival instant, so a later submission can never land behind the
+/// clock. `submit → pump(at) → submit → …` therefore replays
+/// `submit-all → finish` exactly — pinned by the engine tests and the
+/// serve-vs-batch equivalence tests.
+pub struct ShardEngine<'a> {
+    world: SchedSim<'a>,
+    sched: Scheduler<Ev>,
+    auditor: TraceAuditor,
+    closed: bool,
+    rejected: u64,
+}
+
+impl<'a> ShardEngine<'a> {
+    /// Builds an idle engine over `sim`'s mount state. `job_catalog`
+    /// maps workload-request ranks to their per-tape jobs — for a
+    /// library shard, pre-filtered to the tapes the shard owns (an empty
+    /// entry serves instantaneously). The simulator is never mutated.
+    pub fn new(
+        sim: &'a Simulator,
+        policy: &'a dyn SchedPolicy,
+        cfg: &SchedConfig,
+        plan: &'a FaultPlan,
+        alternates: &'a BTreeMap<ObjectId, Vec<ObjectId>>,
+        job_catalog: &'a [Vec<TapeJob>],
+    ) -> ShardEngine<'a> {
+        let placement = sim.placement();
+        let system = placement.config();
+        let n_drives = system.total_drives();
+        let n_libs = system.libraries as usize;
+        let d = system.library.drives as usize;
+        let switch_policy = sim.policy();
+        let switch_m: Vec<usize> = (0..n_libs)
+            .map(|lib| {
+                (0..d)
+                    .filter(|&bay| {
+                        let id = DriveId::new(tapesim_model::LibraryId(lib as u16), bay as u8);
+                        switch_policy.is_switch_drive(id, system)
+                    })
+                    .count()
+            })
+            .collect();
+
+        // Snapshot only the two mount-state fields dispatch reads (and a
+        // reverse index over them) instead of cloning the whole
+        // `MountState`.
+        let n_tapes = system.total_tapes();
+        let mounted: Vec<Option<TapeId>> = sim.state().mounted.clone();
+        let head: Vec<Bytes> = sim.state().head.clone();
+        let mut holder: Vec<Option<u32>> = vec![None; n_tapes];
+        for (drive, slot) in mounted.iter().enumerate() {
+            if let Some(tape) = slot {
+                holder[system.tape_index(*tape)] = Some(drive as u32);
+            }
+        }
+
+        let auditor = TraceAuditor::new().with_retry_cap(plan.spec().max_retries);
+        let mut world = SchedSim {
+            cfg: system,
+            placement,
+            policy,
+            switch_policy,
+            batch_cap: cfg.max_batch,
+            arrivals: Vec::new(),
+            job_catalog,
+            mounted,
+            head,
+            holder,
+            busy: vec![false; n_drives],
+            robots: vec![Resource::new(system.library.robot.arms.max(1) as usize); n_libs],
+            jobs: Vec::new(),
+            requests: Vec::new(),
+            pending: vec![VecDeque::new(); n_tapes],
+            claimed: vec![false; n_tapes],
+            outstanding_jobs: 0,
+            mounts: 0,
+            busy_time: SimTime::ZERO,
+            records: Vec::new(),
+            audit: Tap::new(cfg, &auditor, system),
+            clock: plan.clock(),
+            alternates,
+            dead: vec![false; n_drives],
+            switch_m,
+            retries: 0,
+            failovers_n: 0,
+            lost_requests: 0,
+            lost_log: Vec::new(),
+            blocked: vec![false; n_drives],
+            libs_hit: vec![false; n_libs],
+            cands: Vec::new(),
+            plan_scratch: Vec::new(),
+        };
+
+        // Trace prologue: carried-over mounts, so the transcript is
+        // self-contained for the auditor.
+        for drive in 0..n_drives {
+            if let Some(tape) = world.mounted[drive] {
+                world.audit.emit(
+                    SimTime::ZERO,
+                    TraceEvent::AssumeMounted {
+                        drive: world.drive_id(drive).into(),
+                        tape: tape.into(),
+                    },
+                );
+            }
+        }
+        // ... and the plan's jam windows, known up front, so the auditor
+        // can check exchanges against them.
+        for lib in 0..n_libs {
+            for &(start, finish) in world.clock.jams(lib) {
+                world.audit.emit(
+                    SimTime::ZERO,
+                    TraceEvent::RobotJammed {
+                        library: lib as u32,
+                        start,
+                        finish,
+                    },
+                );
+            }
+        }
+
+        ShardEngine {
+            world,
+            sched: Scheduler::new(),
+            auditor,
+            closed: false,
+            rejected: 0,
+        }
+    }
+
+    /// Admits one request: `at` is its arrival instant (submissions must
+    /// come in nondecreasing arrival order, and `at` must not precede a
+    /// watermark already pumped past), `request` its rank in the job
+    /// catalog. Returns whether the submission was accepted — after
+    /// [`ShardEngine::close`] it is rejected and only counted.
+    pub fn submit(&mut self, at: SimTime, request: usize) -> bool {
+        if self.closed {
+            self.rejected += 1;
+            return false;
+        }
+        let i = self.world.arrivals.len();
+        self.world.arrivals.push((at, request));
+        self.sched
+            .schedule_at_with_priority(at, ARRIVAL_PRIORITY, Ev::Arrive(i));
+        true
+    }
+
+    /// Processes every event stamped `<= watermark`. Safe — i.e. order
+    /// preserving — whenever `watermark` does not exceed the last
+    /// submitted arrival instant: arrival gaps are strictly positive, so
+    /// no future submission can be stamped at or before it.
+    pub fn pump(&mut self, watermark: SimTime) {
+        self.sched.run_bounded(&mut self.world, watermark, u64::MAX);
+    }
+
+    /// Stops admissions: subsequent [`ShardEngine::submit`] calls are
+    /// rejected (and counted), while everything already admitted — queued
+    /// or in flight — still runs to completion in [`ShardEngine::finish`].
+    pub fn close(&mut self) {
+        self.closed = true;
+    }
+
+    /// Whether [`ShardEngine::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Submissions accepted so far.
+    pub fn submitted(&self) -> usize {
+        self.world.arrivals.len()
+    }
+
+    /// Submissions rejected after close.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Requests fully served so far.
+    pub fn served_so_far(&self) -> u64 {
+        self.world.records.len() as u64
+    }
+
+    /// Completion records so far, in completion order (nondecreasing
+    /// finish time). Grows monotonically — live observers can consume
+    /// the suffix they have not seen yet.
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.world.records
+    }
+
+    /// Requests terminally lost so far.
+    pub fn lost_so_far(&self) -> u64 {
+        self.world.lost_requests
+    }
+
+    /// Jobs admitted but not yet completed.
+    pub fn outstanding_jobs(&self) -> usize {
+        self.world.outstanding_jobs
+    }
+
+    /// Tape exchanges performed so far.
+    pub fn mounts_so_far(&self) -> u64 {
+        self.world.mounts
+    }
+
+    /// DES events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.sched.events_processed()
+    }
+
+    /// The engine's virtual clock (time of the last dispatched event).
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Drains the event queue, surfaces unnoticed drive failures, sweeps
+    /// stranded jobs into counted losses, and closes the books: metrics,
+    /// audit reports, time budget and the submission ledger.
+    pub fn finish(self) -> ShardReport {
+        let ShardEngine {
+            mut world,
+            mut sched,
+            auditor,
+            rejected,
+            ..
+        } = self;
+        let n_drives = world.cfg.total_drives();
+        let end = sched.run(&mut world);
+
+        // Failures nobody dispatched past go unnoticed by the event
+        // loop; surface them now so the trace blames stranded jobs on
+        // something.
+        for drive in 0..n_drives {
+            let fail_at = world.clock.drive_fail_at(drive);
+            if !world.dead[drive] && fail_at < SimTime::MAX {
+                world.dead[drive] = true;
+                world.audit.emit(
+                    end,
+                    TraceEvent::DriveFailed {
+                        drive: world.drive_id(drive).into(),
+                        at: fail_at,
+                    },
+                );
+            }
+        }
+        // Jobs still queued when the system ran out of feasible drives
+        // are terminal losses, never a hang.
+        // Dense queues in ascending tape-index order — the same job
+        // order the old `BTreeMap::values()` flatten produced.
+        let stranded: Vec<usize> = world.pending.iter().flatten().copied().collect();
+        for job in stranded {
+            world
+                .audit
+                .emit(end, TraceEvent::JobLost { job: job as u32 });
+            world.outstanding_jobs -= 1;
+            let req = world.jobs[job].request;
+            world.requests[req].outstanding -= 1;
+            world.requests[req].lost = true;
+            if world.requests[req].outstanding == 0 {
+                world.lost_requests += 1;
+                world.lost_log.push(world.requests[req].index);
+            }
+        }
+        for queue in &mut world.pending {
+            queue.clear();
+        }
+        assert_eq!(
+            world.outstanding_jobs, 0,
+            "scheduler drained with unserved jobs — no eligible switch drive \
+             exists; check the policy/config (m >= 1 guarantees progress)"
+        );
+        debug_assert_eq!(
+            world.records.len() + world.lost_requests as usize,
+            world.arrivals.len()
+        );
+
+        let mut metrics = SchedMetrics::new(n_drives as u32);
+        for r in &world.records {
+            metrics.record(r);
+            if world.clock.degraded_at(r.arrival) {
+                metrics.record_degraded_sojourn(r);
+            }
+        }
+        metrics.add_mounts(world.mounts);
+        metrics.add_busy_time(world.busy_time);
+        let first = world.arrivals.first().map_or(SimTime::ZERO, |&(at, _)| at);
+        metrics.set_horizon_time(end.saturating_sub(first));
+        metrics.set_events(sched.events_processed());
+        metrics.add_retries(world.retries);
+        metrics.add_failovers(world.failovers_n);
+        metrics.add_lost(world.lost_requests);
+        if !world.clock.is_zero() {
+            let span = end.saturating_sub(first);
+            let mut healthy = SimTime::ZERO;
+            for drive in 0..n_drives {
+                let alive_until = world.clock.drive_fail_at(drive).min(end).max(first);
+                healthy += alive_until.saturating_sub(first);
+            }
+            metrics.set_availability(healthy, span);
+        }
+
+        let submitted = world.arrivals.len();
+        let (reports, budget) = world.audit.finish(&auditor, end);
+        ShardReport {
+            outcome: SchedOutcome {
+                metrics,
+                reports,
+                budget,
+            },
+            records: world.records,
+            lost: world.lost_log,
+            submitted,
+            rejected,
+            end,
+        }
+    }
+}
+
+/// The concurrent shared-queue gear: the batch entry, re-expressed as
+/// "submit the whole demand stream, then finish" on the incremental
+/// [`ShardEngine`]. Runs on a snapshot of `sim`'s mount state; the
+/// simulator itself is not mutated.
 fn run_concurrent(
     sim: &Simulator,
     workload: &Workload,
@@ -1218,46 +1603,6 @@ fn run_concurrent(
     alternates: &BTreeMap<ObjectId, Vec<ObjectId>>,
 ) -> SchedOutcome {
     let placement = sim.placement();
-    let system = placement.config();
-    let n_drives = system.total_drives();
-    let n_libs = system.libraries as usize;
-    let d = system.library.drives as usize;
-    let switch_policy = sim.policy();
-    let switch_m: Vec<usize> = (0..n_libs)
-        .map(|lib| {
-            (0..d)
-                .filter(|&bay| {
-                    let id = DriveId::new(tapesim_model::LibraryId(lib as u16), bay as u8);
-                    switch_policy.is_switch_drive(id, system)
-                })
-                .count()
-        })
-        .collect();
-
-    // Draw the demand stream exactly as the legacy loop does: arrival
-    // time, then request pick, per sample.
-    let mut stream = ArrivalProcess::new(cfg.arrivals);
-    let sampler = workload.request_sampler();
-    let mut pick_rng = ChaCha12Rng::seed_from_u64(cfg.arrivals.seed ^ 0x9A3E);
-    let arrivals: Vec<(SimTime, usize)> = (0..cfg.samples)
-        .map(|_| {
-            let at = SimTime::from_secs(stream.next_arrival());
-            (at, sampler.sample(&mut pick_rng))
-        })
-        .collect();
-
-    // Snapshot only the two mount-state fields dispatch reads (and a
-    // reverse index over them) instead of cloning the whole `MountState`.
-    let n_tapes = system.total_tapes();
-    let mounted: Vec<Option<TapeId>> = sim.state().mounted.clone();
-    let head: Vec<Bytes> = sim.state().head.clone();
-    let mut holder: Vec<Option<u32>> = vec![None; n_tapes];
-    for (drive, slot) in mounted.iter().enumerate() {
-        if let Some(tape) = slot {
-            holder[system.tape_index(*tape)] = Some(drive as u32);
-        }
-    }
-
     // Group every distinct request's objects into tape jobs once; the
     // arrival stream samples the same request ranks repeatedly, and the
     // grouping is a pure function of (placement, request).
@@ -1267,152 +1612,15 @@ fn run_concurrent(
         .map(|r| tape_jobs(placement, &r.objects))
         .collect();
 
-    let auditor = TraceAuditor::new().with_retry_cap(plan.spec().max_retries);
-    let mut world = SchedSim {
-        cfg: system,
-        placement,
-        policy,
-        switch_policy,
-        batch_cap: cfg.max_batch,
-        arrivals: &arrivals,
-        job_catalog: &job_catalog,
-        mounted,
-        head,
-        holder,
-        busy: vec![false; n_drives],
-        robots: vec![Resource::new(system.library.robot.arms.max(1) as usize); n_libs],
-        jobs: Vec::new(),
-        requests: Vec::new(),
-        pending: vec![VecDeque::new(); n_tapes],
-        claimed: vec![false; n_tapes],
-        outstanding_jobs: 0,
-        mounts: 0,
-        busy_time: SimTime::ZERO,
-        records: Vec::new(),
-        audit: Tap::new(cfg, &auditor, system),
-        clock: plan.clock(),
-        alternates,
-        dead: vec![false; n_drives],
-        switch_m,
-        retries: 0,
-        failovers_n: 0,
-        lost_requests: 0,
-        blocked: vec![false; n_drives],
-        libs_hit: vec![false; n_libs],
-        cands: Vec::new(),
-        plan_scratch: Vec::new(),
-    };
-
-    // Trace prologue: carried-over mounts, so the transcript is
-    // self-contained for the auditor.
-    for drive in 0..n_drives {
-        if let Some(tape) = world.mounted[drive] {
-            world.audit.emit(
-                SimTime::ZERO,
-                TraceEvent::AssumeMounted {
-                    drive: world.drive_id(drive).into(),
-                    tape: tape.into(),
-                },
-            );
-        }
+    // Draw the demand stream exactly as the legacy loop does: arrival
+    // time, then request pick, per sample.
+    let mut stream = RequestStream::new(cfg.arrivals, workload);
+    let mut engine = ShardEngine::new(sim, policy, cfg, plan, alternates, &job_catalog);
+    for _ in 0..cfg.samples {
+        let (at, ridx) = stream.next_request();
+        engine.submit(SimTime::from_secs(at), ridx);
     }
-    // ... and the plan's jam windows, known up front, so the auditor can
-    // check exchanges against them.
-    for lib in 0..n_libs {
-        for &(start, finish) in world.clock.jams(lib) {
-            world.audit.emit(
-                SimTime::ZERO,
-                TraceEvent::RobotJammed {
-                    library: lib as u32,
-                    start,
-                    finish,
-                },
-            );
-        }
-    }
-
-    let mut sched: Scheduler<Ev> = Scheduler::new();
-    for (i, &(at, _)) in arrivals.iter().enumerate() {
-        sched.schedule_at(at, Ev::Arrive(i));
-    }
-    let end = sched.run(&mut world);
-
-    // Failures nobody dispatched past go unnoticed by the event loop;
-    // surface them now so the trace blames stranded jobs on something.
-    for drive in 0..n_drives {
-        let fail_at = world.clock.drive_fail_at(drive);
-        if !world.dead[drive] && fail_at < SimTime::MAX {
-            world.dead[drive] = true;
-            world.audit.emit(
-                end,
-                TraceEvent::DriveFailed {
-                    drive: world.drive_id(drive).into(),
-                    at: fail_at,
-                },
-            );
-        }
-    }
-    // Jobs still queued when the system ran out of feasible drives are
-    // terminal losses, never a hang.
-    // Dense queues in ascending tape-index order — the same job order
-    // the old `BTreeMap::values()` flatten produced.
-    let stranded: Vec<usize> = world.pending.iter().flatten().copied().collect();
-    for job in stranded {
-        world
-            .audit
-            .emit(end, TraceEvent::JobLost { job: job as u32 });
-        world.outstanding_jobs -= 1;
-        let req = world.jobs[job].request;
-        world.requests[req].outstanding -= 1;
-        world.requests[req].lost = true;
-        if world.requests[req].outstanding == 0 {
-            world.lost_requests += 1;
-        }
-    }
-    for queue in &mut world.pending {
-        queue.clear();
-    }
-    assert_eq!(
-        world.outstanding_jobs, 0,
-        "scheduler drained with unserved jobs — no eligible switch drive \
-         exists; check the policy/config (m >= 1 guarantees progress)"
-    );
-    debug_assert_eq!(
-        world.records.len() + world.lost_requests as usize,
-        cfg.samples
-    );
-
-    let mut metrics = SchedMetrics::new(n_drives as u32);
-    for r in &world.records {
-        metrics.record(r);
-        if world.clock.degraded_at(r.arrival) {
-            metrics.record_degraded_sojourn(r);
-        }
-    }
-    metrics.add_mounts(world.mounts);
-    metrics.add_busy_time(world.busy_time);
-    let first = arrivals.first().map_or(SimTime::ZERO, |&(at, _)| at);
-    metrics.set_horizon_time(end.saturating_sub(first));
-    metrics.set_events(sched.events_processed());
-    metrics.add_retries(world.retries);
-    metrics.add_failovers(world.failovers_n);
-    metrics.add_lost(world.lost_requests);
-    if !plan.is_zero() {
-        let span = end.saturating_sub(first);
-        let mut healthy = SimTime::ZERO;
-        for drive in 0..n_drives {
-            let alive_until = world.clock.drive_fail_at(drive).min(end).max(first);
-            healthy += alive_until.saturating_sub(first);
-        }
-        metrics.set_availability(healthy, span);
-    }
-
-    let (reports, budget) = world.audit.finish(&auditor, end);
-    SchedOutcome {
-        metrics,
-        reports,
-        budget,
-    }
+    engine.finish().outcome
 }
 
 #[cfg(test)]
@@ -2146,5 +2354,130 @@ mod tests {
             "closure error {:.3e}",
             budget.sum_error()
         );
+    }
+
+    /// The serve runtime's determinism keystone: feeding the engine one
+    /// request at a time, pumping the clock after every admission, must
+    /// replay the batch gear (submit-all, then drain) bit for bit.
+    #[test]
+    fn shard_engine_incremental_matches_batch_bit_for_bit() {
+        let spec = ArrivalSpec {
+            per_hour: 30.0,
+            seed: 5,
+        };
+        for policy in [&BatchByTape as &dyn SchedPolicy, &SltfTape] {
+            let cfg = SchedConfig::new(spec, 30).with_audit(true);
+            let (mut batch_sim, w) = heavy_setup();
+            let batch = run_scheduled(&mut batch_sim, &w, policy, &cfg);
+
+            let (inc_sim, _) = heavy_setup();
+            let placement = inc_sim.placement();
+            let catalog: Vec<Vec<TapeJob>> = w
+                .requests()
+                .iter()
+                .map(|r| tape_jobs(placement, &r.objects))
+                .collect();
+            let plan = FaultPlan::zero(placement.config());
+            let alternates = BTreeMap::new();
+            let mut engine = ShardEngine::new(&inc_sim, policy, &cfg, &plan, &alternates, &catalog);
+            let mut stream = RequestStream::new(spec, &w);
+            for _ in 0..30 {
+                let (at, ridx) = stream.next_request();
+                let at = SimTime::from_secs(at);
+                assert!(engine.submit(at, ridx));
+                engine.pump(at);
+            }
+            engine.close();
+            let report = engine.finish();
+            let inc = &report.outcome;
+
+            assert_eq!(inc.metrics.served(), batch.metrics.served());
+            assert_eq!(
+                inc.metrics.avg_wait().to_bits(),
+                batch.metrics.avg_wait().to_bits()
+            );
+            assert_eq!(
+                inc.metrics.avg_service().to_bits(),
+                batch.metrics.avg_service().to_bits()
+            );
+            assert_eq!(
+                inc.metrics.avg_sojourn().to_bits(),
+                batch.metrics.avg_sojourn().to_bits()
+            );
+            assert_eq!(
+                inc.metrics.sojourn_percentile(99.0).to_bits(),
+                batch.metrics.sojourn_percentile(99.0).to_bits()
+            );
+            assert_eq!(
+                inc.metrics.utilisation().to_bits(),
+                batch.metrics.utilisation().to_bits()
+            );
+            assert_eq!(inc.metrics.mounts(), batch.metrics.mounts());
+            assert_eq!(inc.metrics.events(), batch.metrics.events());
+            assert!(inc.is_clean() && batch.is_clean());
+            assert_eq!(report.submitted, 30);
+            assert_eq!(report.records.len() + report.lost.len(), 30);
+            // Records carry their submission index and arrive in
+            // nondecreasing finish order — the collector join contract.
+            let mut seen = [false; 30];
+            for r in &report.records {
+                assert!(!std::mem::replace(&mut seen[r.request], true));
+            }
+            for pair in report.records.windows(2) {
+                assert!(pair[0].finish <= pair[1].finish);
+            }
+        }
+    }
+
+    /// Satellite: `close()` stops admissions (rejected + counted) while
+    /// everything already admitted still drains to completion.
+    #[test]
+    fn close_rejects_new_submissions_and_drains_in_flight() {
+        let spec = ArrivalSpec {
+            per_hour: 30.0,
+            seed: 11,
+        };
+        let (sim, w) = heavy_setup();
+        let placement = sim.placement();
+        let catalog: Vec<Vec<TapeJob>> = w
+            .requests()
+            .iter()
+            .map(|r| tape_jobs(placement, &r.objects))
+            .collect();
+        let plan = FaultPlan::zero(placement.config());
+        let alternates = BTreeMap::new();
+        let cfg = SchedConfig::new(spec, 20).with_audit(true);
+        let mut engine = ShardEngine::new(&sim, &BatchByTape, &cfg, &plan, &alternates, &catalog);
+        let mut stream = RequestStream::new(spec, &w);
+        let mut last = SimTime::ZERO;
+        for _ in 0..20 {
+            let (at, ridx) = stream.next_request();
+            last = SimTime::from_secs(at);
+            assert!(engine.submit(last, ridx));
+        }
+        engine.pump(last);
+        assert!(
+            engine.outstanding_jobs() > 0,
+            "heavy requests must still be in flight at the last arrival"
+        );
+
+        engine.close();
+        assert!(engine.is_closed());
+        let (at, ridx) = stream.next_request();
+        assert!(!engine.submit(SimTime::from_secs(at), ridx));
+        assert!(!engine.submit(last + SimTime::from_secs(3600.0), ridx));
+        assert_eq!(engine.rejected(), 2);
+        assert_eq!(engine.submitted(), 20);
+
+        let report = engine.finish();
+        assert_eq!(report.submitted, 20);
+        assert_eq!(report.rejected, 2);
+        assert_eq!(
+            report.records.len() + report.lost.len(),
+            20,
+            "every accepted submission is served or counted lost"
+        );
+        assert_eq!(report.outcome.metrics.served(), report.records.len() as u64);
+        assert!(report.outcome.is_clean());
     }
 }

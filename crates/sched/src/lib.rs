@@ -37,7 +37,11 @@ pub mod engine;
 pub mod metrics;
 pub mod policy;
 
-pub use engine::{run_scheduled, run_scheduled_faulty, AuditMode, SchedConfig, SchedOutcome};
-pub use metrics::SchedMetrics;
+pub use engine::{
+    run_scheduled, run_scheduled_faulty, AuditMode, SchedConfig, SchedOutcome, ShardEngine,
+    ShardReport,
+};
+pub use metrics::{RequestRecord, SchedMetrics};
 pub use policy::{BatchByTape, Fcfs, PolicyKind, SchedPolicy, SltfTape, TapeCandidate};
 pub use tapesim_obs::TimeBudget;
+pub use tapesim_sim::catalog::{tape_jobs, TapeJob};

@@ -14,12 +14,30 @@ use tapesim_des::SimTime;
 /// One served request: its arrival, first service instant and completion.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RequestRecord {
+    /// Submission index of the request within its run (the `i` of the
+    /// `i`-th accepted arrival). Lets external collectors — the serve
+    /// runtime's shard join — map a record back to the request it
+    /// answers; purely an identifier, never part of the metric bits.
+    pub request: usize,
     /// Arrival time.
     pub arrival: SimTime,
     /// When the first byte of the request started streaming.
     pub first_start: SimTime,
     /// When the last job of the request completed.
     pub finish: SimTime,
+}
+
+impl RequestRecord {
+    /// Seconds from arrival to first service — the metrics-boundary
+    /// conversion external aggregators (registries, histograms) consume.
+    pub fn wait_secs(&self) -> f64 {
+        (self.first_start - self.arrival).as_secs()
+    }
+
+    /// Seconds from arrival to completion.
+    pub fn sojourn_secs(&self) -> f64 {
+        (self.finish - self.arrival).as_secs()
+    }
 }
 
 /// Aggregated per-request metrics of one scheduled run.
@@ -54,7 +72,12 @@ impl SchedMetrics {
     }
 
     /// Records one served request from its timeline.
-    pub(crate) fn record(&mut self, r: &RequestRecord) {
+    ///
+    /// Public so external record collectors (the serve runtime's merge of
+    /// per-shard records) can rebuild the exact per-request accumulator
+    /// state: feeding the same records in the same order reproduces a
+    /// batch run's Welford/percentile bits.
+    pub fn record(&mut self, r: &RequestRecord) {
         let wait = (r.first_start - r.arrival).as_secs();
         let sojourn = (r.finish - r.arrival).as_secs();
         self.record_seconds(wait, sojourn - wait, sojourn);
@@ -108,8 +131,10 @@ impl SchedMetrics {
     }
 
     /// Records the sojourn of a request that arrived while the system
-    /// was degraded (a drive dead or a robot jammed).
-    pub(crate) fn record_degraded_sojourn(&mut self, r: &RequestRecord) {
+    /// was degraded (a drive dead or a robot jammed). Public for the same
+    /// reason as [`SchedMetrics::record`]: external collectors replay the
+    /// engine's exact recording sequence.
+    pub fn record_degraded_sojourn(&mut self, r: &RequestRecord) {
         self.degraded_samples.push((r.finish - r.arrival).as_secs());
     }
 
@@ -123,6 +148,24 @@ impl SchedMetrics {
         } else {
             (healthy.as_secs() / denom).clamp(0.0, 1.0)
         };
+    }
+
+    /// Folds another run's scheduler-level counters into `self`: mounts,
+    /// busy time, events, retries, failovers and losses add; the horizon
+    /// keeps the maximum (shards share one virtual time axis); the
+    /// availability keeps the minimum (the merged fleet is no healthier
+    /// than its least-healthy shard). The per-request accumulators are
+    /// *not* touched — rebuild those with [`SchedMetrics::record`] in a
+    /// deterministic record order.
+    pub fn merge_counters(&mut self, other: &SchedMetrics) {
+        self.mounts += other.mounts;
+        self.busy += other.busy;
+        self.horizon = self.horizon.max(other.horizon);
+        self.events += other.events;
+        self.retries += other.retries;
+        self.failovers += other.failovers;
+        self.lost += other.lost;
+        self.availability = self.availability.min(other.availability);
     }
 
     /// Number of requests served.
@@ -230,6 +273,7 @@ mod tests {
     fn record_decomposes_timeline() {
         let mut m = SchedMetrics::new(1);
         m.record(&RequestRecord {
+            request: 0,
             arrival: t(10.0),
             first_start: t(15.0),
             finish: t(40.0),
@@ -269,6 +313,7 @@ mod tests {
         assert_eq!(m.availability(), 1.0);
 
         m.record_degraded_sojourn(&RequestRecord {
+            request: 0,
             arrival: t(0.0),
             first_start: t(5.0),
             finish: t(30.0),

@@ -1,0 +1,694 @@
+//! The actor runtime: ingestion, library shards, collector, shutdown.
+//!
+//! See the crate docs for the topology. Everything here is
+//! deterministic in *virtual* time: thread interleavings only decide
+//! when work happens on the wall clock, never what the shards compute —
+//! each shard's event loop is a pure function of the submission
+//! subsequence it receives, and that subsequence is fixed by
+//! `(workload, seed, shard_count)`.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::thread;
+
+use tapesim_des::audit::AuditReport;
+use tapesim_des::SimTime;
+use tapesim_faults::FaultPlan;
+use tapesim_model::ObjectId;
+use tapesim_obs::{MetricsRegistry, RegistrySnapshot};
+use tapesim_sched::{
+    tape_jobs, PolicyKind, RequestRecord, SchedConfig, SchedMetrics, ShardEngine, ShardReport,
+    TapeJob,
+};
+use tapesim_sim::Simulator;
+use tapesim_workload::{ArrivalSpec, RequestStream, Workload};
+
+/// Sojourn histogram bucket upper edges, seconds: 1 min to 32 h in
+/// doublings. Fixed so every shard (and every run) shares one layout —
+/// the precondition for registry merging.
+const SOJOURN_BOUNDS: [f64; 12] = [
+    60.0, 300.0, 900.0, 1800.0, 3600.0, 7200.0, 14400.0, 28800.0, 57600.0, 115200.0, 230400.0,
+    460800.0,
+];
+
+/// Configuration of one service run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// The Poisson arrival stream (rate + seed).
+    pub arrivals: ArrivalSpec,
+    /// Number of requests to ingest before shutdown.
+    pub samples: usize,
+    /// Requested library shards. Clamped to `[1, libraries]` — a shard
+    /// with no library would idle forever.
+    pub shards: usize,
+    /// Largest number of jobs one mount may serve (0 = unlimited).
+    pub max_batch: usize,
+    /// Whether shards record and audit their event traces.
+    pub audit: bool,
+    /// Whether shards run the span accountant (`tapesim-obs` budgets).
+    pub obs: bool,
+    /// Capacity of each shard's submission channel. Full channel blocks
+    /// ingestion — backpressure, never loss.
+    pub channel_bound: usize,
+    /// Broadcast a snapshot tick every this many ingested requests
+    /// (0 = no periodic snapshots, final state only).
+    pub snapshot_every: usize,
+}
+
+impl ServeConfig {
+    /// A single-shard run of `samples` requests with default bounds and
+    /// no periodic snapshots.
+    pub fn new(arrivals: ArrivalSpec, samples: usize) -> ServeConfig {
+        ServeConfig {
+            arrivals,
+            samples,
+            shards: 1,
+            max_batch: 0,
+            audit: false,
+            obs: false,
+            channel_bound: 256,
+            snapshot_every: 0,
+        }
+    }
+
+    /// Sets the shard count (clamped to the library count at run time).
+    pub fn with_shards(mut self, shards: usize) -> ServeConfig {
+        self.shards = shards;
+        self
+    }
+
+    /// Caps batch size (0 = unlimited).
+    pub fn with_max_batch(mut self, max_batch: usize) -> ServeConfig {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Enables trace auditing in every shard.
+    pub fn with_audit(mut self, audit: bool) -> ServeConfig {
+        self.audit = audit;
+        self
+    }
+
+    /// Sets the per-shard submission channel capacity (min 1).
+    pub fn with_channel_bound(mut self, bound: usize) -> ServeConfig {
+        self.channel_bound = bound;
+        self
+    }
+
+    /// Sets the periodic snapshot cadence in ingested requests.
+    pub fn with_snapshot_every(mut self, every: usize) -> ServeConfig {
+        self.snapshot_every = every;
+        self
+    }
+
+    /// The per-shard engine config this service config induces.
+    fn sched_config(&self) -> SchedConfig {
+        let mut cfg = SchedConfig::new(self.arrivals, self.samples);
+        cfg.max_batch = self.max_batch;
+        cfg.audit = self.audit;
+        cfg.obs = self.obs;
+        cfg
+    }
+}
+
+/// Per-shard tail numbers for the final report.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardStats {
+    /// Shard index (owns libraries `lib % shards == shard`).
+    pub shard: usize,
+    /// Submissions this shard accepted (counts fan-out parts).
+    pub submitted: u64,
+    /// Requests this shard served to completion.
+    pub served: u64,
+    /// Requests this shard terminally lost.
+    pub lost: u64,
+    /// Submissions rejected after close (0 in a clean shutdown).
+    pub rejected: u64,
+    /// Tape exchanges this shard performed.
+    pub mounts: u64,
+    /// DES events this shard dispatched.
+    pub events: u64,
+    /// The shard's final virtual clock.
+    pub end: SimTime,
+}
+
+/// The final report of one service run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Merged per-request metrics: accumulators rebuilt from the joined
+    /// records in deterministic order, run counters folded across
+    /// shards ([`SchedMetrics::merge_counters`]). For a single shard
+    /// this is bit-identical to the equivalent batch run's metrics.
+    /// Note `metrics.lost()` counts shard-local losses (fan-out parts);
+    /// [`ServeReport::lost`] counts distinct lost requests.
+    pub metrics: SchedMetrics,
+    /// Joined per-request records keyed by global submission id.
+    /// Single shard: the engine's completion order, untouched. Multiple
+    /// shards: sorted by `(finish, id)` — a deterministic total order,
+    /// since the per-shard streams are only ordered within themselves.
+    pub records: Vec<RequestRecord>,
+    /// Final merged registry, canonical (name-sorted) form.
+    pub registry: MetricsRegistry,
+    /// Periodic snapshots, one per completed tick round, in tick order.
+    /// Deterministic: snapshot `k` merges every shard's registry state
+    /// after exactly the submissions that preceded tick `k`.
+    pub snapshots: Vec<RegistrySnapshot>,
+    /// Every shard's audit reports, concatenated in shard order.
+    pub reports: Vec<AuditReport>,
+    /// Per-shard tail numbers, in shard order.
+    pub per_shard: Vec<ShardStats>,
+    /// Distinct requests ingested.
+    pub submitted: u64,
+    /// Distinct requests served to completion (all fan-out parts done).
+    pub served: u64,
+    /// Distinct requests lost (at least one part terminally lost).
+    pub lost: u64,
+    /// Submissions rejected after close, summed over shards (0 in a
+    /// clean shutdown).
+    pub rejected: u64,
+    /// Effective shard count.
+    pub shards: usize,
+    /// Latest virtual instant any shard reached.
+    pub end: SimTime,
+}
+
+impl ServeReport {
+    /// Whether the run conserved requests (`submitted = served + lost`,
+    /// nothing rejected) and every audit came back clean.
+    pub fn is_clean(&self) -> bool {
+        self.submitted == self.served + self.lost
+            && self.rejected == 0
+            && self.reports.iter().all(AuditReport::is_clean)
+    }
+}
+
+/// What ingestion sends a shard.
+enum ShardMsg {
+    /// One admitted request part: global id, arrival instant, workload
+    /// rank (index into the shard's filtered catalog).
+    Submit { id: u64, at: SimTime, rank: usize },
+    /// Snapshot barrier `seq`: report your registry to the collector.
+    Tick { seq: u64 },
+}
+
+/// A shard's answer to a tick.
+struct Update {
+    shard: usize,
+    seq: u64,
+    registry: MetricsRegistry,
+}
+
+/// Everything a shard thread hands back at join time.
+struct ShardDone {
+    /// Global id of each local submission, in submission order: the
+    /// key that maps [`RequestRecord::request`] back to the service-
+    /// wide request.
+    ids: Vec<u64>,
+    report: ShardReport,
+    registry: MetricsRegistry,
+}
+
+/// Registry handles one shard updates through.
+struct Handles {
+    submitted: tapesim_obs::CounterId,
+    served: tapesim_obs::CounterId,
+    lost: tapesim_obs::CounterId,
+    mounts: tapesim_obs::CounterId,
+    events: tapesim_obs::CounterId,
+    depth: tapesim_obs::GaugeId,
+    sojourn: tapesim_obs::HistogramId,
+}
+
+impl Handles {
+    fn register(reg: &mut MetricsRegistry) -> Handles {
+        Handles {
+            submitted: reg.counter("serve.submitted"),
+            served: reg.counter("serve.served"),
+            lost: reg.counter("serve.lost"),
+            mounts: reg.counter("serve.mounts"),
+            events: reg.counter("serve.events"),
+            depth: reg.gauge("serve.queue_depth"),
+            sojourn: reg.histogram("serve.sojourn", &SOJOURN_BOUNDS),
+        }
+    }
+}
+
+/// Last-published values, so counter updates are deltas.
+#[derive(Default)]
+struct Tally {
+    served: u64,
+    lost: u64,
+    mounts: u64,
+    events: u64,
+    records: usize,
+}
+
+/// Publishes the engine's current totals into the registry: counters
+/// advance by their delta since the last refresh, the queue-depth gauge
+/// is overwritten, and every record not yet observed lands in the
+/// sojourn histogram.
+#[allow(clippy::too_many_arguments)]
+fn refresh_registry(
+    reg: &mut MetricsRegistry,
+    h: &Handles,
+    tally: &mut Tally,
+    served: u64,
+    lost: u64,
+    mounts: u64,
+    events: u64,
+    depth: usize,
+    records: &[RequestRecord],
+) {
+    reg.add(h.served, served.saturating_sub(tally.served));
+    reg.add(h.lost, lost.saturating_sub(tally.lost));
+    reg.add(h.mounts, mounts.saturating_sub(tally.mounts));
+    reg.add(h.events, events.saturating_sub(tally.events));
+    reg.set(h.depth, depth as f64);
+    for r in records.iter().skip(tally.records) {
+        reg.observe(h.sojourn, r.sojourn_secs());
+    }
+    tally.served = served;
+    tally.lost = lost;
+    tally.mounts = mounts;
+    tally.events = events;
+    tally.records = records.len();
+}
+
+/// One library-shard actor: pull messages until ingestion hangs up,
+/// then drain and report.
+#[allow(clippy::too_many_arguments)]
+fn shard_actor(
+    shard: usize,
+    sim: &Simulator,
+    kind: PolicyKind,
+    cfg: &SchedConfig,
+    plan: &FaultPlan,
+    alternates: &BTreeMap<ObjectId, Vec<ObjectId>>,
+    catalog: &[Vec<TapeJob>],
+    rx: Receiver<ShardMsg>,
+    tx: Sender<Update>,
+) -> ShardDone {
+    let policy = kind.build();
+    let mut engine = ShardEngine::new(sim, policy.as_ref(), cfg, plan, alternates, catalog);
+    let mut ids: Vec<u64> = Vec::new();
+    let mut reg = MetricsRegistry::new();
+    let handles = Handles::register(&mut reg);
+    let mut tally = Tally::default();
+
+    for msg in rx.iter() {
+        match msg {
+            ShardMsg::Submit { id, at, rank } => {
+                if engine.submit(at, rank) {
+                    ids.push(id);
+                    reg.inc(handles.submitted);
+                }
+                // Advance the shard's virtual clock through this
+                // arrival; the next submission is strictly later, so
+                // this never reorders events.
+                engine.pump(at);
+            }
+            ShardMsg::Tick { seq } => {
+                refresh_registry(
+                    &mut reg,
+                    &handles,
+                    &mut tally,
+                    engine.served_so_far(),
+                    engine.lost_so_far(),
+                    engine.mounts_so_far(),
+                    engine.events_processed(),
+                    engine.outstanding_jobs(),
+                    engine.records(),
+                );
+                // A vanished collector only costs us snapshots, never
+                // correctness; keep serving.
+                if tx
+                    .send(Update {
+                        shard,
+                        seq,
+                        registry: reg.clone(),
+                    })
+                    .is_err()
+                {
+                    continue;
+                }
+            }
+        }
+    }
+
+    // Ingestion hung up: stop admissions, finish in-flight work.
+    engine.close();
+    let report = engine.finish();
+    refresh_registry(
+        &mut reg,
+        &handles,
+        &mut tally,
+        report.records.len() as u64,
+        report.lost.len() as u64,
+        report.outcome.metrics.mounts(),
+        report.outcome.metrics.events(),
+        0,
+        &report.records,
+    );
+    ShardDone {
+        ids,
+        report,
+        registry: reg,
+    }
+}
+
+/// The collector: assemble one merged snapshot per completed tick
+/// round. Shard channels are FIFO and every shard answers every tick in
+/// order, so rounds complete in `seq` order and each round's merge
+/// (ascending shard index, via `BTreeMap`) is deterministic.
+fn collector_loop(rx: Receiver<Update>, nshards: usize) -> Vec<RegistrySnapshot> {
+    let mut pending: BTreeMap<u64, BTreeMap<usize, MetricsRegistry>> = BTreeMap::new();
+    let mut snapshots = Vec::new();
+    for up in rx.iter() {
+        let slot = pending.entry(up.seq).or_default();
+        slot.insert(up.shard, up.registry);
+        if slot.len() == nshards {
+            if let Some(round) = pending.remove(&up.seq) {
+                let mut merged = MetricsRegistry::new();
+                for reg in round.values() {
+                    merged.merge(reg);
+                }
+                snapshots.push(merged.snapshot(up.seq));
+            }
+        }
+    }
+    snapshots
+}
+
+/// One joined request across its fan-out parts.
+struct Join {
+    arrival: SimTime,
+    first_start: SimTime,
+    finish: SimTime,
+    parts: u32,
+    lost: bool,
+}
+
+/// Runs the service end to end: ingest `cfg.samples` requests from the
+/// canonical demand stream, serve them across per-library shards, and
+/// join everything into one deterministic [`ServeReport`].
+///
+/// `plan` is the *global* fault plan; each shard sees only the faults
+/// on the libraries it owns ([`FaultPlan::restrict_to_libraries`]).
+/// `alternates` maps objects to replica copies for failover, exactly as
+/// in [`tapesim_sched::run_scheduled_faulty`].
+pub fn serve_run(
+    sim: &Simulator,
+    workload: &Workload,
+    kind: PolicyKind,
+    cfg: &ServeConfig,
+    plan: &FaultPlan,
+    alternates: &BTreeMap<ObjectId, Vec<ObjectId>>,
+) -> ServeReport {
+    let placement = sim.placement();
+    let system = placement.config();
+    let n_libs = (system.libraries as usize).max(1);
+    let nshards = cfg.shards.max(1).min(n_libs);
+    let sched_cfg = cfg.sched_config();
+
+    // The global job catalog, then each shard's filtered view: shard s
+    // owns the libraries congruent to s, and sees only jobs on them.
+    let catalog: Vec<Vec<TapeJob>> = workload
+        .requests()
+        .iter()
+        .map(|r| tape_jobs(placement, &r.objects))
+        .collect();
+    let shard_catalogs: Vec<Vec<Vec<TapeJob>>> = (0..nshards)
+        .map(|s| {
+            catalog
+                .iter()
+                .map(|jobs| {
+                    jobs.iter()
+                        .filter(|j| j.tape.library.idx() % nshards == s)
+                        .cloned()
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    // Fan-out per workload rank: every shard holding work for it, or a
+    // deterministic fallback shard (which serves the empty request
+    // instantaneously) so each request reaches at least one actor.
+    let fanouts: Vec<Vec<usize>> = catalog
+        .iter()
+        .enumerate()
+        .map(|(rank, _)| {
+            let targets: Vec<usize> = shard_catalogs
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.get(rank).is_some_and(|jobs| !jobs.is_empty()))
+                .map(|(s, _)| s)
+                .collect();
+            if targets.is_empty() {
+                vec![rank % nshards]
+            } else {
+                targets
+            }
+        })
+        .collect();
+    let shard_plans: Vec<FaultPlan> = (0..nshards)
+        .map(|s| {
+            let owned: Vec<bool> = (0..n_libs).map(|lib| lib % nshards == s).collect();
+            plan.restrict_to_libraries(system, &owned)
+        })
+        .collect();
+
+    let bound = cfg.channel_bound.max(1);
+    let (shard_txs, shard_rxs): (Vec<SyncSender<ShardMsg>>, Vec<Receiver<ShardMsg>>) =
+        (0..nshards).map(|_| sync_channel(bound)).unzip();
+    let (coll_tx, coll_rx) = channel::<Update>();
+
+    let mut submitted = 0u64;
+    let (dones, snapshots) = thread::scope(|scope| {
+        let mut shard_handles = Vec::new();
+        for (shard, ((rx, shard_catalog), shard_plan)) in shard_rxs
+            .into_iter()
+            .zip(shard_catalogs.iter())
+            .zip(shard_plans.iter())
+            .enumerate()
+        {
+            let tx = coll_tx.clone();
+            let sched_cfg = &sched_cfg;
+            shard_handles.push(scope.spawn(move || {
+                shard_actor(
+                    shard,
+                    sim,
+                    kind,
+                    sched_cfg,
+                    shard_plan,
+                    alternates,
+                    shard_catalog,
+                    rx,
+                    tx,
+                )
+            }));
+        }
+        // The collector's channel closes when the last shard exits (the
+        // shards hold the only sender clones once this one is dropped).
+        drop(coll_tx);
+        let collector = scope.spawn(move || collector_loop(coll_rx, nshards));
+
+        // Ingestion, on this thread: the canonical demand stream,
+        // fanned out with backpressure. A full shard channel blocks the
+        // send — ingestion slows to the slowest shard instead of
+        // buffering unboundedly or dropping.
+        let mut stream = RequestStream::new(cfg.arrivals, workload);
+        let mut seq = 0u64;
+        for id in 0..cfg.samples as u64 {
+            let (at_secs, rank) = stream.next_request();
+            let at = SimTime::from_secs(at_secs);
+            let targets = fanouts.get(rank).map_or(&[] as &[usize], Vec::as_slice);
+            let mut sent = false;
+            for (s, tx) in shard_txs.iter().enumerate() {
+                if targets.contains(&s) && tx.send(ShardMsg::Submit { id, at, rank }).is_ok() {
+                    sent = true;
+                }
+            }
+            if sent {
+                submitted += 1;
+            }
+            if cfg.snapshot_every > 0 && (id + 1) % cfg.snapshot_every as u64 == 0 {
+                seq += 1;
+                for tx in &shard_txs {
+                    if tx.send(ShardMsg::Tick { seq }).is_err() {
+                        continue;
+                    }
+                }
+            }
+        }
+        // Hang up: every shard drains its queue, finishes in-flight
+        // batches and returns its books.
+        drop(shard_txs);
+
+        let mut dones = Vec::new();
+        for handle in shard_handles {
+            match handle.join() {
+                Ok(done) => dones.push(done),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        let snapshots = match collector.join() {
+            Ok(snapshots) => snapshots,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (dones, snapshots)
+    });
+
+    assemble(sim, plan, cfg, nshards, submitted, dones, snapshots)
+}
+
+/// Joins the per-shard books into the final report. Pure and
+/// single-threaded: everything deterministic about the run funnels
+/// through here.
+fn assemble(
+    sim: &Simulator,
+    plan: &FaultPlan,
+    cfg: &ServeConfig,
+    nshards: usize,
+    submitted: u64,
+    dones: Vec<ShardDone>,
+    snapshots: Vec<RegistrySnapshot>,
+) -> ServeReport {
+    let system = sim.placement().config();
+    let clock = plan.clock();
+
+    // Expected fan-out per global id: how many shards accepted it.
+    let mut expected: BTreeMap<u64, u32> = BTreeMap::new();
+    for done in &dones {
+        for &id in &done.ids {
+            *expected.entry(id).or_insert(0) += 1;
+        }
+    }
+
+    // Join records (and losses) by global id.
+    let mut joined: BTreeMap<u64, Join> = BTreeMap::new();
+    for done in &dones {
+        for r in &done.report.records {
+            let Some(&id) = done.ids.get(r.request) else {
+                continue;
+            };
+            let entry = joined.entry(id).or_insert(Join {
+                arrival: r.arrival,
+                first_start: r.first_start,
+                finish: r.finish,
+                parts: 0,
+                lost: false,
+            });
+            entry.first_start = entry.first_start.min(r.first_start);
+            entry.finish = entry.finish.max(r.finish);
+            entry.parts += 1;
+        }
+        for &local in &done.report.lost {
+            if let Some(&id) = done.ids.get(local) {
+                joined
+                    .entry(id)
+                    .or_insert(Join {
+                        arrival: SimTime::ZERO,
+                        first_start: SimTime::ZERO,
+                        finish: SimTime::ZERO,
+                        parts: 0,
+                        lost: true,
+                    })
+                    .lost = true;
+            }
+        }
+    }
+
+    let mut lost = 0u64;
+    let mut records: Vec<RequestRecord> = Vec::new();
+    if let (1, Some(done)) = (dones.len(), dones.first()) {
+        // Single shard: the engine's completion order IS the batch
+        // engine's record stream — pass it through untouched so the
+        // rebuilt metrics reproduce the batch bits.
+        lost = done.report.lost.len() as u64;
+        records.extend(done.report.records.iter().map(|r| RequestRecord {
+            request: done.ids.get(r.request).map_or(r.request, |&id| id as usize),
+            ..*r
+        }));
+    } else {
+        for (&id, join) in &joined {
+            if join.lost {
+                lost += 1;
+                continue;
+            }
+            if expected.get(&id).copied() == Some(join.parts) {
+                records.push(RequestRecord {
+                    request: id as usize,
+                    arrival: join.arrival,
+                    first_start: join.first_start,
+                    finish: join.finish,
+                });
+            }
+        }
+        // Per-shard streams are each nondecreasing in finish but
+        // mutually unordered; `(finish, id)` is the canonical total
+        // order the merged accumulators are fed in.
+        records.sort_by(|a, b| a.finish.cmp(&b.finish).then(a.request.cmp(&b.request)));
+    }
+
+    let mut metrics = SchedMetrics::new(system.total_drives() as u32);
+    for r in &records {
+        metrics.record(r);
+        if clock.degraded_at(r.arrival) {
+            metrics.record_degraded_sojourn(r);
+        }
+    }
+
+    let mut registry = MetricsRegistry::new();
+    let mut reports = Vec::new();
+    let mut per_shard = Vec::new();
+    let mut rejected = 0u64;
+    let mut end = SimTime::ZERO;
+    for (shard, done) in dones.into_iter().enumerate() {
+        metrics.merge_counters(&done.report.outcome.metrics);
+        registry.merge(&done.registry);
+        rejected += done.report.rejected;
+        end = end.max(done.report.end);
+        per_shard.push(ShardStats {
+            shard,
+            submitted: done.report.submitted as u64,
+            served: done.report.records.len() as u64,
+            lost: done.report.lost.len() as u64,
+            rejected: done.report.rejected,
+            mounts: done.report.outcome.metrics.mounts(),
+            events: done.report.outcome.metrics.events(),
+            end: done.report.end,
+        });
+        reports.extend(done.report.outcome.reports);
+    }
+
+    let served = records.len() as u64;
+    ServeReport {
+        metrics,
+        records,
+        registry: registry.canonical(),
+        snapshots,
+        reports,
+        per_shard,
+        submitted,
+        served,
+        lost,
+        rejected,
+        shards: nshards,
+        end,
+    }
+    .checked(cfg)
+}
+
+impl ServeReport {
+    /// Debug-time conservation check: every ingested request is served
+    /// or lost, never silently vanished.
+    fn checked(self, cfg: &ServeConfig) -> ServeReport {
+        debug_assert_eq!(
+            self.submitted,
+            self.served + self.lost,
+            "request conservation violated (samples={})",
+            cfg.samples
+        );
+        self
+    }
+}

@@ -24,6 +24,7 @@ pub mod object;
 pub mod replicate;
 pub mod request;
 pub mod sampler;
+pub mod stream;
 pub mod stripe;
 pub mod workload;
 
@@ -34,5 +35,6 @@ pub use object::{ObjectRecord, ObjectSizeSpec};
 pub use replicate::{replicate_workload, ReplicaMap, ReplicationSpec};
 pub use request::{Request, RequestSpec};
 pub use sampler::RequestSampler;
+pub use stream::RequestStream;
 pub use stripe::{stripe_workload, StripeMap, StripeSpec};
 pub use workload::{Workload, WorkloadSpec};

@@ -13,15 +13,16 @@
 //!   sneak into a DES; all clock math must stay behind the newtype.
 //! * **L2 — determinism**: no `std::time::Instant`, `SystemTime` or
 //!   `thread_rng` in the deterministic crates (`des`, `sim`, `core`,
-//!   `sched`, `faults`, `obs`). The simulator must be a pure function of
-//!   (config, placement, workload, seed); wall-clock reads or OS entropy
-//!   silently break replayability.
+//!   `sched`, `faults`, `obs`, `serve`). The simulator must be a pure
+//!   function of (config, placement, workload, seed); wall-clock reads
+//!   or OS entropy silently break replayability.
 //! * **L3 — iteration order**: no iteration over `HashMap`/`HashSet` in
 //!   simulation-order-sensitive code. Unordered iteration reorders
 //!   tie-broken events between runs and platforms; use `Vec`, `BTreeMap`
 //!   or sort before iterating.
 //! * **L4 — no panic shortcuts**: no `.unwrap()`/`.expect(...)` in
-//!   non-test code of the `des`/`sim`/`sched`/`faults`/`obs` hot paths.
+//!   non-test code of the `des`/`sim`/`sched`/`faults`/`obs`/`serve`
+//!   hot paths.
 //! * **L5 — no dropped results**: no `let _ = f(...)` in non-test code
 //!   of the hot paths — a discarded call result is almost always a
 //!   swallowed `Result` or an audit-relevant value.
@@ -46,8 +47,8 @@
 //!   `unimplemented!` and no direct slice indexing in any function
 //!   reachable (over the intra-workspace call graph, matched by name —
 //!   a deliberate over-approximation) from the engine entry points
-//!   (`run_queued*`, `run_scheduled*`, and the sched/faults `dispatch*`
-//!   loops).
+//!   (`run_queued*`, `run_scheduled*`, the sched/faults `dispatch*`
+//!   loops, and the serve crate's `serve_run`).
 //!
 //! Findings can be suppressed via `xtask/lint.allow`: one
 //! `RULE path-substring` pair per line, `#` comments allowed. An
@@ -332,8 +333,8 @@ fn crate_of(rel: &str) -> Option<&str> {
     Some(name)
 }
 
-const DETERMINISTIC: &[&str] = &["des", "sim", "core", "sched", "faults", "obs"];
-const HOT_PATH: &[&str] = &["des", "sim", "sched", "faults", "obs"];
+const DETERMINISTIC: &[&str] = &["des", "sim", "core", "sched", "faults", "obs", "serve"];
+const HOT_PATH: &[&str] = &["des", "sim", "sched", "faults", "obs", "serve"];
 /// Crates whose public APIs must use `SimTime` / `model::units` newtypes.
 const UNIT_CRATES: &[&str] = &["model", "core", "des", "sim", "sched"];
 /// The sanctioned conversion boundaries: these files *define* the
@@ -805,6 +806,7 @@ fn is_root(krate: &str, name: &str) -> bool {
     name.starts_with("run_queued")
         || name.starts_with("run_scheduled")
         || (matches!(krate, "sched" | "faults") && name.starts_with("dispatch"))
+        || (krate == "serve" && name.starts_with("serve_run"))
 }
 
 /// Builds the graph, BFS-marks reachability from the engine roots, and
