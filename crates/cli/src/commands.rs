@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::time::Instant;
-use tapesim_faults::{FaultPlan, FaultSpec};
+use tapesim_faults::{ChaosPlan, ChaosSpec, FaultPlan, FaultSpec};
 use tapesim_model::specs::{lto3_drive, lto3_tape, stk_l80_library};
 use tapesim_model::{Bytes, SystemConfig};
 use tapesim_placement::{
@@ -17,7 +17,7 @@ use tapesim_placement::{
     PlacementPolicy, TapeRole,
 };
 use tapesim_sched::{run_scheduled, run_scheduled_faulty, AuditMode, PolicyKind, SchedConfig};
-use tapesim_serve::{serve_run, ServeConfig};
+use tapesim_serve::{serve_run, supervisor_run, HealthPolicy, ServeConfig, SuperviseConfig};
 use tapesim_sim::Simulator;
 use tapesim_workload::{
     replicate_workload, ArrivalSpec, ObjectSizeSpec, ReplicationSpec, RequestSpec, Workload,
@@ -181,6 +181,9 @@ pub fn simulate(args: &Args) -> Result<String, CommandError> {
 /// `--campaign`, run the long-running sharded service under a sustained
 /// load campaign (see [`campaign`]).
 pub fn serve(args: &Args) -> Result<String, CommandError> {
+    if args.has("chaos") {
+        return chaos_campaign(args);
+    }
     if args.has("campaign") {
         return campaign(args);
     }
@@ -501,6 +504,328 @@ fn campaign(args: &Args) -> Result<String, CommandError> {
             c.p50_sojourn_s,
             c.p99_sojourn_s,
             c.mounts,
+        ));
+    }
+    for note in &notes {
+        out.push_str(&format!("{note}\n"));
+    }
+    Ok(out)
+}
+
+/// One cell of the `tapesim serve --chaos` sweep: one scheme × policy
+/// under a nonzero hardware fault plan *and* a seeded chaos plan (shard
+/// kills + stalls), supervised. Virtual-time figures and the whole
+/// shed/lost/restart ledger are deterministic; `wall_s` and
+/// `requests_per_sec` are wall-clock.
+#[derive(Debug, Serialize, Deserialize)]
+struct ChaosCell {
+    scheme: String,
+    policy: String,
+    requests: u64,
+    served: u64,
+    lost: u64,
+    shed: u64,
+    rejected: u64,
+    restarts: u64,
+    failures: usize,
+    availability: f64,
+    wall_s: f64,
+    requests_per_sec: f64,
+    avg_sojourn_s: f64,
+    p99_sojourn_s: f64,
+    snapshots: usize,
+}
+
+/// The `BENCH_serve_faults.json` artifact: availability and tail
+/// latency of the supervised service under sustained load with both
+/// hardware faults and process chaos injected.
+#[derive(Debug, Serialize, Deserialize)]
+struct ChaosBench {
+    bench: String,
+    requests_per_cell: usize,
+    total_requests: u64,
+    rate_per_hour: f64,
+    shards: usize,
+    channel_bound: usize,
+    snapshot_every: usize,
+    fault_seed: u64,
+    intensity: f64,
+    chaos_seed: u64,
+    kills_planned: usize,
+    stalls_planned: usize,
+    cells: Vec<ChaosCell>,
+}
+
+fn chaos_bench_path() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_serve_faults.json")
+}
+
+/// `--check`: the availability-regression gate. Fails if any cell's
+/// availability dropped more than 0.05 (absolute) below the committed
+/// `BENCH_serve_faults.json`, or its sustained requests/sec fell more
+/// than 30% — the same convention as the throughput gate.
+fn chaos_check(current: &ChaosBench) -> Result<String, CommandError> {
+    let path = chaos_bench_path();
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        CommandError(format!(
+            "serve --chaos --check: cannot read committed BENCH_serve_faults.json: {e}"
+        ))
+    })?;
+    let committed: ChaosBench = serde_json::from_str(&text).map_err(|e| {
+        CommandError(format!(
+            "serve --chaos --check: cannot parse committed BENCH_serve_faults.json: {e}"
+        ))
+    })?;
+    let mut failures = Vec::new();
+    for old in &committed.cells {
+        let Some(new) = current
+            .cells
+            .iter()
+            .find(|c| c.scheme == old.scheme && c.policy == old.policy)
+        else {
+            failures.push(format!(
+                "cell {}/{} missing from this run",
+                old.scheme, old.policy
+            ));
+            continue;
+        };
+        if new.availability < old.availability - 0.05 {
+            failures.push(format!(
+                "{}/{}: availability {:.3} is more than 0.05 below the committed {:.3}",
+                old.scheme, old.policy, new.availability, old.availability
+            ));
+        }
+        let floor = old.requests_per_sec * 0.7;
+        if new.requests_per_sec < floor {
+            failures.push(format!(
+                "{}/{}: {:.0} requests/s is more than 30% below the committed {:.0}",
+                old.scheme, old.policy, new.requests_per_sec, old.requests_per_sec
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(
+            "serve --chaos --check: no cell regressed (availability −0.05 / throughput −30%)"
+                .to_string(),
+        )
+    } else {
+        Err(CommandError(format!(
+            "serve --chaos --check FAILED:\n{}",
+            failures.join("\n")
+        )))
+    }
+}
+
+/// `tapesim serve --chaos` — the degraded-mode load harness: the same
+/// sustained campaign as `serve --campaign`, but run under
+/// [`tapesim_serve::supervisor_run`] with a **nonzero** hardware fault
+/// plan (drive failures, robot jams, media bad spots, scaled by
+/// `--intensity`) and a seeded [`ChaosPlan`] of shard kills and stalls.
+/// Dead shards restart from their submission logs; a default
+/// [`HealthPolicy`] sheds at admission if the cell goes queue-unstable.
+/// Every cell must close its conservation ledger
+/// (`submitted = served + lost + shed + rejected`) and audit clean, or
+/// the exit is non-zero.
+///
+/// Writes `BENCH_serve_faults.json` unless `--smoke`; `--check` gates
+/// availability (−0.05 absolute) and throughput (−30%) against the
+/// committed artifact.
+fn chaos_campaign(args: &Args) -> Result<String, CommandError> {
+    let smoke = args.has("smoke");
+    let check = args.has("check");
+    let workload = match args.get("workload") {
+        Some(path) => read_workload(path)?,
+        None => campaign_workload(),
+    };
+    let system = system_from(args)?;
+    let m: u8 = args.get_or("m", 4)?;
+    let requests: usize = args.get_or("requests", if smoke { 6_000 } else { 40_000 })?;
+    let rate: f64 = args.get_or("rate", 12.0)?;
+    let seed: u64 = args.get_or("seed", 0xD15Cu64)?;
+    let shards: usize = args.get_or("shards", system.libraries as usize)?;
+    let channel_bound: usize = args.get_or("channel-bound", 256)?;
+    let snapshot_every: usize = args.get_or("snapshot-every", (requests / 8).max(1))?;
+    let max_batch: usize = args.get_or("max-batch", 0)?;
+    let fault_seed: u64 = args.get_or("fault-seed", 23u64)?;
+    let intensity: f64 = args.get_or("intensity", 1.0)?;
+    let chaos_seed: u64 = args.get_or("chaos-seed", seed)?;
+    let spec = ArrivalSpec {
+        per_hour: rate,
+        seed,
+    };
+    // The fault horizon covers the whole campaign span, and the rates
+    // are span-relative (so the *count* of faults per run is stable
+    // whatever `--requests` is): at intensity 1 expect ~4 failures per
+    // drive and ~8 robot jams over the whole campaign.
+    let span_hours = requests as f64 / rate.max(f64::EPSILON);
+    let fault_spec = FaultSpec {
+        horizon_hours: span_hours,
+        drive_mtbf_hours: span_hours / 4.0,
+        jams_per_hour: 8.0 / span_hours.max(f64::EPSILON),
+        ..FaultSpec::moderate(fault_seed)
+    }
+    .scaled(intensity);
+    let plan = FaultPlan::generate(&fault_spec, &system);
+    // Chaos events land inside each shard's actual traffic (~1/shards
+    // of the stream): a couple of kills and one stall expected per
+    // shard, capped-exponential restart backoff.
+    let horizon = (requests / shards.max(1)).max(1) as u64;
+    let chaos = ChaosPlan::generate(&ChaosSpec::moderate(chaos_seed, horizon), shards.max(1));
+    let sup = SuperviseConfig::new()
+        .with_watchdog_ms(2_000)
+        .with_health(HealthPolicy::default());
+    let no_alternates: BTreeMap<_, _> = BTreeMap::new();
+
+    let schemes = parse_schemes(args)?;
+    let policies = match args.get("policy") {
+        Some(_) => parse_policies(args)?,
+        None => vec![PolicyKind::BatchByTape, PolicyKind::SltfTape],
+    };
+
+    let cfg = ServeConfig::new(spec, requests)
+        .with_shards(shards)
+        .with_max_batch(max_batch)
+        .with_audit(true)
+        .with_channel_bound(channel_bound)
+        .with_snapshot_every(snapshot_every);
+
+    let mut cells = Vec::new();
+    let mut dirty = Vec::new();
+    let mut total = 0u64;
+    let mut effective_shards = shards.max(1);
+    for scheme in schemes {
+        let policy = placement_for(scheme, m);
+        let placement = policy
+            .place(&workload, &system)
+            .map_err(|e| CommandError(format!("{} failed: {e}", policy.display_name())))?;
+        for &kind in &policies {
+            let sim = Simulator::with_natural_policy(placement.clone(), m);
+            let t = Instant::now();
+            let report = supervisor_run(
+                &sim,
+                &workload,
+                kind,
+                &cfg,
+                &plan,
+                &no_alternates,
+                &chaos,
+                &sup,
+            );
+            let wall = t.elapsed().as_secs_f64();
+            for audit in report.reports.iter().filter(|r| !r.is_clean()) {
+                dirty.push(format!("{scheme}/{}: {audit}", kind.label()));
+            }
+            if report.submitted != report.served + report.lost + report.shed + report.rejected {
+                dirty.push(format!(
+                    "{scheme}/{}: conservation ledger does not close \
+                     ({} submitted, {} served, {} lost, {} shed, {} rejected)",
+                    kind.label(),
+                    report.submitted,
+                    report.served,
+                    report.lost,
+                    report.shed,
+                    report.rejected
+                ));
+            }
+            total += report.submitted;
+            effective_shards = report.shards;
+            cells.push(ChaosCell {
+                scheme: scheme.to_string(),
+                policy: kind.label().to_string(),
+                requests: report.submitted,
+                served: report.served,
+                lost: report.lost,
+                shed: report.shed,
+                rejected: report.rejected,
+                restarts: report.restarts,
+                failures: report.failures.len(),
+                availability: report.metrics.availability(),
+                wall_s: wall,
+                requests_per_sec: if wall > 0.0 {
+                    report.served as f64 / wall
+                } else {
+                    0.0
+                },
+                avg_sojourn_s: report.metrics.avg_sojourn(),
+                p99_sojourn_s: report.metrics.sojourn_percentile(99.0),
+                snapshots: report.snapshots.len(),
+            });
+        }
+    }
+    if !dirty.is_empty() {
+        return Err(CommandError(format!(
+            "serve --chaos campaign FAILED:\n{}",
+            dirty.join("\n")
+        )));
+    }
+
+    let bench = ChaosBench {
+        bench: "serve-faults".to_string(),
+        requests_per_cell: requests,
+        total_requests: total,
+        rate_per_hour: rate,
+        shards: effective_shards,
+        channel_bound,
+        snapshot_every,
+        fault_seed,
+        intensity,
+        chaos_seed,
+        kills_planned: chaos.n_kills(),
+        stalls_planned: chaos.n_stalls(),
+        cells,
+    };
+
+    let mut notes = Vec::new();
+    if check {
+        notes.push(chaos_check(&bench)?);
+    }
+    if smoke {
+        notes.push("smoke mode: BENCH_serve_faults.json left untouched".to_string());
+    } else {
+        let path = chaos_bench_path();
+        let pretty = serde_json::to_string_pretty(&bench)?;
+        std::fs::write(&path, pretty + "\n")?;
+        notes.push(format!("wrote {}", path.display()));
+    }
+
+    if args.has("json") {
+        return Ok(serde_json::to_string_pretty(&bench)?);
+    }
+    let mut out = format!(
+        "serve chaos campaign: {} requests/cell at {rate}/h across {} shards \
+         (seed {seed}, fault seed {fault_seed} ×{intensity}, chaos seed {chaos_seed}: \
+         {} kills + {} stalls planned) — {total} total, supervised, audited\n\
+         {:<15} {:<6} {:>8} {:>8} {:>5} {:>5} {:>6} {:>6} {:>11} {:>12}\n",
+        requests,
+        effective_shards,
+        bench.kills_planned,
+        bench.stalls_planned,
+        "scheme",
+        "policy",
+        "served",
+        "lost",
+        "shed",
+        "rest.",
+        "avail",
+        "req/s",
+        "avg sojourn",
+        "p99 sojourn",
+    );
+    for c in &bench.cells {
+        out.push_str(&format!(
+            "{:<15} {:<6} {:>8} {:>8} {:>5} {:>5} {:>6.3} {:>6.0} {:>10.1}s {:>11.1}s\n",
+            c.scheme,
+            c.policy,
+            c.served,
+            c.lost,
+            c.shed,
+            c.restarts,
+            c.availability,
+            c.requests_per_sec,
+            c.avg_sojourn_s,
+            c.p99_sojourn_s,
         ));
     }
     for note in &notes {

@@ -7,6 +7,7 @@
 //! tapesim simulate -w workload.json -p placement.json --samples 200
 //! tapesim serve    -w workload.json -p placement.json --request 0
 //! tapesim serve    --campaign --smoke
+//! tapesim serve    --chaos --smoke
 //! tapesim audit    -w workload.json -p placement.json --samples 200
 //! tapesim inspect  -p placement.json
 //! ```
@@ -39,6 +40,14 @@ COMMANDS:
                [--policy all|fcfs|batch|sltf] [--m M] [--max-batch N]
                [--channel-bound N] [--snapshot-every N]
                [--smoke] [--check] [--json]
+             or, with --chaos, run the campaign supervised under a
+             nonzero hardware fault plan plus seeded shard kills and
+             stalls: dead shards restart from checkpoint replay, a
+             health ladder sheds at admission when overloaded, and
+             every request is accounted (served + lost + shed +
+             rejected; writes BENCH_serve_faults.json unless --smoke)
+               --chaos [--chaos-seed S] [--fault-seed S] [--intensity X]
+               [plus all --campaign flags] [--smoke] [--check] [--json]
   audit      replay a sampled stream with tracing on and check the DES
              invariants (drive/robot exclusivity, mount pairing, ...)
                -w WORKLOAD -p PLACEMENT --samples N --seed S --m M
@@ -123,8 +132,11 @@ fn main() {
                 "snapshot-every",
                 "libraries",
                 "tapes",
+                "chaos-seed",
+                "fault-seed",
+                "intensity",
             ],
-            &["trace", "campaign", "smoke", "check", "json"],
+            &["trace", "campaign", "chaos", "smoke", "check", "json"],
         )
         .map_err(Into::into)
         .and_then(|a| commands::serve(&a)),

@@ -200,7 +200,8 @@ impl Samples {
         let lo = rank.floor() as usize;
         let hi = rank.ceil() as usize;
         let frac = rank - lo as f64;
-        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        let at = |i: usize| sorted.get(i).copied().unwrap_or(f64::NAN);
+        at(lo) * (1.0 - frac) + at(hi) * frac
     }
 
     /// Appends all of `other`'s observations.

@@ -24,6 +24,10 @@ use serde::{Deserialize, Serialize};
 use tapesim_des::SimTime;
 use tapesim_model::{Bytes, SystemConfig};
 
+pub mod chaos;
+
+pub use chaos::{ChaosEvent, ChaosKind, ChaosPlan, ChaosSpec};
+
 /// Seed-domain separator for fault-plan generation (cf. `^ 0x6A1` for
 /// arrivals and `^ 0x9A3E` for request picks).
 const FAULT_SEED_SALT: u64 = 0xFA07;

@@ -366,11 +366,32 @@ pub struct RegistrySnapshot {
 }
 
 impl RegistrySnapshot {
+    /// The service health state encoded in this snapshot's
+    /// `serve.health` gauge (0 = healthy, 1 = degraded, 2+ =
+    /// overloaded), as a stable lowercase word — `None` when the run
+    /// carried no health state machine.
+    pub fn health(&self) -> Option<&'static str> {
+        self.registry.gauge_by_name("serve.health").map(|v| {
+            if v >= 2.0 {
+                "overloaded"
+            } else if v >= 1.0 {
+                "degraded"
+            } else {
+                "healthy"
+            }
+        })
+    }
+
     /// Renders the snapshot as stable `name value` lines — counters, then
     /// gauges, then histograms (count/mean/min/max), each family sorted by
-    /// name. Equal snapshots render byte-identically.
+    /// name. Equal snapshots render byte-identically. Degraded-mode runs
+    /// (a `serve.health` gauge is present) lead with a `# health` line so
+    /// the live view shows the state machine without parsing gauges.
     pub fn render(&self) -> String {
         let mut out = format!("# snapshot seq={}\n", self.seq);
+        if let Some(state) = self.health() {
+            out.push_str(&format!("# health {state}\n"));
+        }
         for (name, v) in self.registry.counters() {
             out.push_str(&format!("counter {name} {v}\n"));
         }
@@ -502,6 +523,28 @@ mod tests {
         assert_eq!(lines[1], "counter alpha 2", "name-sorted, not reg-order");
         assert_eq!(lines[2], "counter zeta 1");
         assert!(lines[3].starts_with("histogram lat count=1"));
+    }
+
+    #[test]
+    fn degraded_mode_render_leads_with_health_state() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("serve.served");
+        reg.add(c, 3);
+        // No health gauge: no health line, exactly as before.
+        let snap = reg.snapshot(1);
+        assert_eq!(snap.health(), None);
+        assert!(!snap.render().contains("# health"));
+        // With the gauge: a stable `# health <state>` second line.
+        let g = reg.gauge("serve.health");
+        for (value, state) in [(0.0, "healthy"), (1.0, "degraded"), (2.0, "overloaded")] {
+            reg.set(g, value);
+            let snap = reg.snapshot(2);
+            assert_eq!(snap.health(), Some(state));
+            let text = snap.render();
+            let lines: Vec<&str> = text.lines().collect();
+            assert_eq!(lines[0], "# snapshot seq=2");
+            assert_eq!(lines[1], format!("# health {state}"));
+        }
     }
 
     #[test]

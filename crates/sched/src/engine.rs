@@ -1257,6 +1257,54 @@ pub struct ShardReport {
     pub end: SimTime,
 }
 
+/// A consistent cut of a [`ShardEngine`]'s input: everything needed to
+/// rebuild the engine's exact state by deterministic replay.
+///
+/// The engine's whole state is a pure function of its construction
+/// inputs plus the submission sequence (see the determinism notes on
+/// [`ShardEngine`]), so the checkpoint *is* the submission log — no
+/// event queue, no mount state, no accumulators need serialising.
+/// [`ShardEngine::restore`] replays it through a fresh engine and lands
+/// on bit-identical records, metrics and audit state. This is what lets
+/// the serve supervisor restart a crashed shard from `(seed, shards,
+/// checkpoint)` and provably converge with an uncrashed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineCheckpoint {
+    /// Accepted submissions in order: `(arrival, request rank)`.
+    arrivals: Vec<(SimTime, usize)>,
+    /// Highest watermark pumped; replay pumps back to it.
+    watermark: SimTime,
+}
+
+impl EngineCheckpoint {
+    /// Builds a checkpoint from an externally kept submission log (the
+    /// serve supervisor's per-shard log), pumped through the last
+    /// arrival instant — exactly the state of an engine that was fed
+    /// `submit(at, rank); pump(at)` per entry.
+    pub fn from_arrivals(arrivals: Vec<(SimTime, usize)>) -> EngineCheckpoint {
+        let watermark = arrivals.last().map_or(SimTime::ZERO, |&(at, _)| at);
+        EngineCheckpoint {
+            arrivals,
+            watermark,
+        }
+    }
+
+    /// The logged submissions, in acceptance order.
+    pub fn arrivals(&self) -> &[(SimTime, usize)] {
+        &self.arrivals
+    }
+
+    /// Number of logged submissions.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the checkpoint is empty (a fresh engine).
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+}
+
 /// The concurrent scheduling engine as a long-lived, incrementally-fed
 /// actor: the shard-safe entry point the `tapesim-serve` runtime wraps
 /// one-per-library-shard, and the core the batch [`run_scheduled`] gear
@@ -1284,6 +1332,7 @@ pub struct ShardEngine<'a> {
     auditor: TraceAuditor,
     closed: bool,
     rejected: u64,
+    watermark: SimTime,
 }
 
 impl<'a> ShardEngine<'a> {
@@ -1400,6 +1449,40 @@ impl<'a> ShardEngine<'a> {
             auditor,
             closed: false,
             rejected: 0,
+            watermark: SimTime::ZERO,
+        }
+    }
+
+    /// Rebuilds an engine from a [`EngineCheckpoint`] by replaying its
+    /// submission log through a fresh engine: bit-identical state to
+    /// the engine the checkpoint was cut from (same records, metrics,
+    /// audit transcript — pinned by tests). Construction arguments must
+    /// match the original engine's.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore(
+        sim: &'a Simulator,
+        policy: &'a dyn SchedPolicy,
+        cfg: &SchedConfig,
+        plan: &'a FaultPlan,
+        alternates: &'a BTreeMap<ObjectId, Vec<ObjectId>>,
+        job_catalog: &'a [Vec<TapeJob>],
+        checkpoint: &EngineCheckpoint,
+    ) -> ShardEngine<'a> {
+        let mut engine = ShardEngine::new(sim, policy, cfg, plan, alternates, job_catalog);
+        for &(at, rank) in &checkpoint.arrivals {
+            engine.submit(at, rank);
+        }
+        engine.pump(checkpoint.watermark);
+        engine
+    }
+
+    /// Cuts a checkpoint of everything submitted and pumped so far.
+    /// Cheap (clones the submission log) and valid at any quiescent
+    /// point — the serve supervisor cuts one at every snapshot barrier.
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        EngineCheckpoint {
+            arrivals: self.world.arrivals.clone(),
+            watermark: self.watermark,
         }
     }
 
@@ -1425,6 +1508,7 @@ impl<'a> ShardEngine<'a> {
     /// submitted arrival instant: arrival gaps are strictly positive, so
     /// no future submission can be stamped at or before it.
     pub fn pump(&mut self, watermark: SimTime) {
+        self.watermark = self.watermark.max(watermark);
         self.sched.run_bounded(&mut self.world, watermark, u64::MAX);
     }
 
@@ -1674,6 +1758,81 @@ mod tests {
         let cfg = paper_table1();
         let p = ParallelBatchPlacement::with_m(4).place(&w, &cfg).unwrap();
         (Simulator::with_natural_policy(p, 4), w)
+    }
+
+    #[test]
+    fn checkpoint_restore_replays_bit_identically() {
+        let spec = ArrivalSpec {
+            per_hour: 20.0,
+            seed: 11,
+        };
+        let (sim, w) = heavy_setup();
+        let cfg = SchedConfig::new(spec, 40).with_audit(true);
+        let plan = FaultPlan::zero(sim.placement().config());
+        let alternates = BTreeMap::new();
+        let catalog: Vec<Vec<TapeJob>> = w
+            .requests()
+            .iter()
+            .map(|r| tape_jobs(sim.placement(), &r.objects))
+            .collect();
+        let policy = BatchByTape;
+        let mut stream = RequestStream::new(spec, &w);
+        let draws: Vec<(SimTime, usize)> = (0..40)
+            .map(|_| {
+                let (at, r) = stream.next_request();
+                (SimTime::from_secs(at), r)
+            })
+            .collect();
+
+        // The uncrashed reference: submit/pump the whole stream.
+        let mut continuous = ShardEngine::new(&sim, &policy, &cfg, &plan, &alternates, &catalog);
+        for &(at, r) in &draws {
+            continuous.submit(at, r);
+            continuous.pump(at);
+        }
+        let base = continuous.finish();
+
+        // Crash after 17 submissions, restore from the checkpoint, feed
+        // the remainder: every book must close on the same bits.
+        let mut first = ShardEngine::new(&sim, &policy, &cfg, &plan, &alternates, &catalog);
+        for &(at, r) in draws.iter().take(17) {
+            first.submit(at, r);
+            first.pump(at);
+        }
+        let ckpt = first.checkpoint();
+        assert_eq!(ckpt.len(), 17);
+        assert!(!ckpt.is_empty());
+        drop(first); // the "crash": engine state is gone, checkpoint survives
+
+        let mut restored =
+            ShardEngine::restore(&sim, &policy, &cfg, &plan, &alternates, &catalog, &ckpt);
+        assert_eq!(restored.submitted(), 17);
+        for &(at, r) in draws.iter().skip(17) {
+            restored.submit(at, r);
+            restored.pump(at);
+        }
+        let redo = restored.finish();
+
+        assert_eq!(base.records, redo.records);
+        assert_eq!(base.submitted, redo.submitted);
+        assert_eq!(base.lost, redo.lost);
+        assert_eq!(base.end, redo.end);
+        assert_eq!(
+            base.outcome.metrics.avg_sojourn().to_bits(),
+            redo.outcome.metrics.avg_sojourn().to_bits()
+        );
+        assert_eq!(
+            base.outcome.metrics.avg_wait().to_bits(),
+            redo.outcome.metrics.avg_wait().to_bits()
+        );
+        assert_eq!(base.outcome.metrics.mounts(), redo.outcome.metrics.mounts());
+        assert_eq!(base.outcome.metrics.events(), redo.outcome.metrics.events());
+        assert_eq!(base.outcome.reports.len(), redo.outcome.reports.len());
+        assert!(redo.outcome.is_clean());
+
+        // The supervisor's log-built checkpoint is the engine-cut one.
+        let log: Vec<(SimTime, usize)> = draws.iter().take(17).copied().collect();
+        assert_eq!(EngineCheckpoint::from_arrivals(log), ckpt);
     }
 
     #[test]

@@ -38,8 +38,8 @@ pub mod metrics;
 pub mod policy;
 
 pub use engine::{
-    run_scheduled, run_scheduled_faulty, AuditMode, SchedConfig, SchedOutcome, ShardEngine,
-    ShardReport,
+    run_scheduled, run_scheduled_faulty, AuditMode, EngineCheckpoint, SchedConfig, SchedOutcome,
+    ShardEngine, ShardReport,
 };
 pub use metrics::{RequestRecord, SchedMetrics};
 pub use policy::{BatchByTape, Fcfs, PolicyKind, SchedPolicy, SltfTape, TapeCandidate};

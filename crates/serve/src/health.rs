@@ -1,0 +1,198 @@
+//! The service health state machine: `Healthy → Degraded → Overloaded`,
+//! derived from the deterministic snapshot stream.
+//!
+//! Health is a function of *virtual-time* metrics only — queue depth,
+//! p99 sojourn, lost-rate — read off the merged registry at each
+//! snapshot barrier. Because that registry is a pure function of the
+//! submission subsequences (never of wall-clock interleavings), the
+//! entire health trace of a run replays bit-identically from
+//! `(seed, shards, chaos-seed)`.
+//!
+//! Transitions are *laddered*: one level per snapshot in either
+//! direction. A single pathological snapshot therefore degrades the
+//! service before it sheds, and recovery likewise passes back through
+//! `Degraded` — no flapping straight between the extremes.
+
+use tapesim_obs::MetricsRegistry;
+
+/// The admission-control state of the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Health {
+    /// All signals under their degraded thresholds: admit everything.
+    Healthy,
+    /// At least one signal crossed its degraded threshold: keep
+    /// admitting, but the dashboards show it and the next step is shed.
+    Degraded,
+    /// At least one signal crossed its overload threshold: shed new
+    /// requests at admission (counted, never silently dropped) until
+    /// the signals recede.
+    Overloaded,
+}
+
+impl Health {
+    /// The value stamped into the `serve.health` gauge.
+    pub fn gauge_value(self) -> f64 {
+        match self {
+            Health::Healthy => 0.0,
+            Health::Degraded => 1.0,
+            Health::Overloaded => 2.0,
+        }
+    }
+
+    /// Stable lowercase name, for renders and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Health::Healthy => "healthy",
+            Health::Degraded => "degraded",
+            Health::Overloaded => "overloaded",
+        }
+    }
+
+    /// One ladder step from `self` toward `target`.
+    fn toward(self, target: Health) -> Health {
+        match (self, target) {
+            (a, b) if a == b => a,
+            (Health::Healthy, _) => Health::Degraded,
+            (Health::Overloaded, _) => Health::Degraded,
+            (Health::Degraded, t) => t,
+        }
+    }
+}
+
+/// Thresholds the health classifier reads against the merged registry.
+///
+/// Each signal has a degraded and an overloaded threshold; the
+/// classified state is the worst over all signals. A signal absent from
+/// the registry (or an empty histogram) never triggers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthPolicy {
+    /// `serve.queue_depth` (summed outstanding jobs) degraded edge.
+    pub degraded_depth: f64,
+    /// `serve.queue_depth` overload edge.
+    pub overloaded_depth: f64,
+    /// `serve.sojourn` p99 degraded edge, seconds.
+    pub degraded_p99_secs: f64,
+    /// `serve.sojourn` p99 overload edge, seconds.
+    pub overloaded_p99_secs: f64,
+    /// `serve.lost / serve.submitted` degraded edge.
+    pub degraded_lost_rate: f64,
+    /// Lost-rate overload edge.
+    pub overloaded_lost_rate: f64,
+}
+
+impl Default for HealthPolicy {
+    /// Edges tuned to the bench cells: a healthy cell idles well under
+    /// depth 64 and p99 4 h; a queue-unstable one blows through both.
+    fn default() -> HealthPolicy {
+        HealthPolicy {
+            degraded_depth: 64.0,
+            overloaded_depth: 256.0,
+            degraded_p99_secs: 14_400.0,
+            overloaded_p99_secs: 57_600.0,
+            degraded_lost_rate: 0.02,
+            overloaded_lost_rate: 0.10,
+        }
+    }
+}
+
+impl HealthPolicy {
+    /// The raw (un-laddered) state `reg`'s signals map to.
+    pub fn classify(&self, reg: &MetricsRegistry) -> Health {
+        let depth = reg.gauge_by_name("serve.queue_depth").unwrap_or(0.0);
+        // NaN (empty histogram) compares false against every edge.
+        let p99 = reg
+            .histogram_by_name("serve.sojourn")
+            .map_or(f64::NAN, |h| h.percentile(99.0));
+        let submitted = reg.counter_by_name("serve.submitted").unwrap_or(0);
+        let lost = reg.counter_by_name("serve.lost").unwrap_or(0);
+        let lost_rate = if submitted > 0 {
+            lost as f64 / submitted as f64
+        } else {
+            0.0
+        };
+        if depth >= self.overloaded_depth
+            || p99 >= self.overloaded_p99_secs
+            || lost_rate >= self.overloaded_lost_rate
+        {
+            Health::Overloaded
+        } else if depth >= self.degraded_depth
+            || p99 >= self.degraded_p99_secs
+            || lost_rate >= self.degraded_lost_rate
+        {
+            Health::Degraded
+        } else {
+            Health::Healthy
+        }
+    }
+
+    /// One snapshot's transition: ladder `current` a single level
+    /// toward [`HealthPolicy::classify`]'s target.
+    pub fn step(&self, current: Health, reg: &MetricsRegistry) -> Health {
+        current.toward(self.classify(reg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg(depth: f64, lost: u64, submitted: u64) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        let d = reg.gauge("serve.queue_depth");
+        reg.set(d, depth);
+        let l = reg.counter("serve.lost");
+        reg.add(l, lost);
+        let s = reg.counter("serve.submitted");
+        reg.add(s, submitted);
+        reg
+    }
+
+    #[test]
+    fn classify_is_worst_signal() {
+        let policy = HealthPolicy::default();
+        assert_eq!(policy.classify(&reg(0.0, 0, 100)), Health::Healthy);
+        assert_eq!(policy.classify(&reg(64.0, 0, 100)), Health::Degraded);
+        assert_eq!(policy.classify(&reg(256.0, 0, 100)), Health::Overloaded);
+        // Lost-rate alone can overload a shallow queue.
+        assert_eq!(policy.classify(&reg(0.0, 10, 100)), Health::Overloaded);
+        assert_eq!(policy.classify(&reg(0.0, 2, 100)), Health::Degraded);
+        // No traffic at all: healthy, not a 0/0 panic.
+        assert_eq!(policy.classify(&reg(0.0, 0, 0)), Health::Healthy);
+        // A registry with none of the signals is healthy.
+        assert_eq!(policy.classify(&MetricsRegistry::new()), Health::Healthy);
+    }
+
+    #[test]
+    fn transitions_are_laddered_one_level_per_snapshot() {
+        let policy = HealthPolicy::default();
+        let hot = reg(1000.0, 0, 100);
+        let cold = reg(0.0, 0, 100);
+        // Up: Healthy → Degraded → Overloaded, never a direct jump.
+        let d = policy.step(Health::Healthy, &hot);
+        assert_eq!(d, Health::Degraded);
+        assert_eq!(policy.step(d, &hot), Health::Overloaded);
+        // Down mirrors it.
+        let d = policy.step(Health::Overloaded, &cold);
+        assert_eq!(d, Health::Degraded);
+        assert_eq!(policy.step(d, &cold), Health::Healthy);
+        // Fixed points hold.
+        assert_eq!(
+            policy.step(Health::Degraded, &reg(64.0, 0, 100)),
+            Health::Degraded
+        );
+        assert_eq!(policy.step(Health::Healthy, &cold), Health::Healthy);
+        assert_eq!(policy.step(Health::Overloaded, &hot), Health::Overloaded);
+    }
+
+    #[test]
+    fn gauge_values_and_names_are_stable() {
+        assert_eq!(Health::Healthy.gauge_value(), 0.0);
+        assert_eq!(Health::Degraded.gauge_value(), 1.0);
+        assert_eq!(Health::Overloaded.gauge_value(), 2.0);
+        assert_eq!(Health::Healthy.name(), "healthy");
+        assert_eq!(Health::Degraded.name(), "degraded");
+        assert_eq!(Health::Overloaded.name(), "overloaded");
+        assert!(Health::Healthy < Health::Degraded);
+        assert!(Health::Degraded < Health::Overloaded);
+    }
+}

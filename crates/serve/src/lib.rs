@@ -29,16 +29,36 @@
 //!   drain in-flight work ([`ShardEngine::close`] → `finish`), and the
 //!   main thread joins everything into one [`ServeReport`].
 //!
+//! # Supervision ([`supervisor_run`])
+//!
+//! The supervised runtime layers self-healing on top: a supervisor
+//! owns every shard's submission channel and accepted-submission log,
+//! injects seeded [`tapesim_faults::ChaosPlan`] kills/stalls as
+//! in-band poison messages, detects death via channel disconnect and
+//! liveness-tick acknowledgements, and restarts dead shards from a
+//! [`tapesim_sched::EngineCheckpoint`] replay after capped-exponential
+//! backoff. A [`HealthPolicy`] over the deterministic snapshot stream
+//! (`Healthy → Degraded → Overloaded`) sheds at admission when the
+//! service is queue-unstable — every shed counted, conservation
+//! generalized to `submitted = served + lost + shed + rejected`.
+//!
 //! # Determinism
 //!
 //! A single-shard run reproduces the equivalent `tapesim sched` batch
 //! run bit for bit (same records, same metric bits), and a multi-shard
 //! run is a pure function of `(seed, shard_count)`: same inputs, same
 //! merged canonical registry, same snapshot sequence, same joined
-//! records. Both are pinned by tests in this crate.
+//! records. A supervised run with an empty chaos plan is bit-identical
+//! to the unsupervised path, and a chaotic one replays identically
+//! from `(seed, shards, chaos-seed)`. All pinned by tests in this
+//! crate.
 //!
 //! [`ShardEngine::close`]: tapesim_sched::ShardEngine::close
 
+pub mod health;
 pub mod runtime;
+pub mod supervisor;
 
-pub use runtime::{serve_run, ServeConfig, ServeReport, ShardStats};
+pub use health::{Health, HealthPolicy};
+pub use runtime::{serve_run, FailureReason, ServeConfig, ServeReport, ShardFailure, ShardStats};
+pub use supervisor::{supervisor_run, SuperviseConfig};

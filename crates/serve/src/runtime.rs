@@ -7,7 +7,7 @@
 //! subsequence it receives, and that subsequence is fixed by
 //! `(workload, seed, shard_count)`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::thread;
 
@@ -23,10 +23,12 @@ use tapesim_sched::{
 use tapesim_sim::Simulator;
 use tapesim_workload::{ArrivalSpec, RequestStream, Workload};
 
+use crate::health::Health;
+
 /// Sojourn histogram bucket upper edges, seconds: 1 min to 32 h in
 /// doublings. Fixed so every shard (and every run) shares one layout —
 /// the precondition for registry merging.
-const SOJOURN_BOUNDS: [f64; 12] = [
+pub(crate) const SOJOURN_BOUNDS: [f64; 12] = [
     60.0, 300.0, 900.0, 1800.0, 3600.0, 7200.0, 14400.0, 28800.0, 57600.0, 115200.0, 230400.0,
     460800.0,
 ];
@@ -132,6 +134,36 @@ pub struct ShardStats {
     pub end: SimTime,
 }
 
+/// How a supervised shard died (or was declared dead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureReason {
+    /// An injected `ChaosKind::Kill` — the actor returned without a
+    /// drain or report.
+    Killed,
+    /// The shard stopped acknowledging liveness ticks (injected stall,
+    /// or a genuine wedge surfaced by the watchdog).
+    Stalled,
+    /// The shard thread panicked (its channel disconnected mid-run).
+    Panicked,
+    /// The shard never returned its books inside the drain watchdog,
+    /// even after a recovery restart.
+    Unresponsive,
+}
+
+/// One shard failure the supervisor detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// Which shard failed.
+    pub shard: usize,
+    /// The shard's incarnation (0 = original spawn) when it failed.
+    pub generation: u64,
+    /// Why the supervisor declared it dead.
+    pub reason: FailureReason,
+    /// The global ingestion draw at which the failure was detected
+    /// (`cfg.samples` when detected during drain).
+    pub at_draw: u64,
+}
+
 /// The final report of one service run.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
@@ -166,6 +198,17 @@ pub struct ServeReport {
     /// Submissions rejected after close, summed over shards (0 in a
     /// clean shutdown).
     pub rejected: u64,
+    /// Distinct requests shed under supervision: admission-control
+    /// sheds while `Overloaded`, plus requests with a part dropped into
+    /// a dead shard's restart window. Always 0 without a supervisor.
+    pub shed: u64,
+    /// Shard restarts the supervisor performed (0 without one).
+    pub restarts: u64,
+    /// Every shard failure the supervisor detected, in detection order.
+    pub failures: Vec<ShardFailure>,
+    /// Health state at each snapshot barrier, `(seq, health)` — empty
+    /// unless a health policy was active.
+    pub health_trace: Vec<(u64, Health)>,
     /// Effective shard count.
     pub shards: usize,
     /// Latest virtual instant any shard reached.
@@ -173,11 +216,11 @@ pub struct ServeReport {
 }
 
 impl ServeReport {
-    /// Whether the run conserved requests (`submitted = served + lost`,
-    /// nothing rejected) and every audit came back clean.
+    /// Whether the run conserved requests — every ingested request is
+    /// served, lost, shed or rejected, never silently vanished — and
+    /// every audit came back clean.
     pub fn is_clean(&self) -> bool {
-        self.submitted == self.served + self.lost
-            && self.rejected == 0
+        self.submitted == self.served + self.lost + self.shed + self.rejected
             && self.reports.iter().all(AuditReport::is_clean)
     }
 }
@@ -199,18 +242,38 @@ struct Update {
 }
 
 /// Everything a shard thread hands back at join time.
-struct ShardDone {
+pub(crate) struct ShardDone {
     /// Global id of each local submission, in submission order: the
     /// key that maps [`RequestRecord::request`] back to the service-
     /// wide request.
-    ids: Vec<u64>,
-    report: ShardReport,
-    registry: MetricsRegistry,
+    pub(crate) ids: Vec<u64>,
+    pub(crate) report: ShardReport,
+    pub(crate) registry: MetricsRegistry,
+}
+
+/// What supervision adds on top of the fault-free books: the shed
+/// ledgers and the failure/restart/health history. `Default` is the
+/// unsupervised (serve_run) case and leaves the assembled report
+/// bit-identical to PR 7's.
+#[derive(Default)]
+pub(crate) struct SupExtra {
+    /// Global ids shed at admission (health `Overloaded`): never sent
+    /// to any shard.
+    pub(crate) shed_admission: BTreeSet<u64>,
+    /// Global ids with at least one fan-out part dropped into a dead
+    /// shard's restart window (or an unrecoverable shard's log).
+    pub(crate) shed_parts: BTreeSet<u64>,
+    /// Shard restarts performed.
+    pub(crate) restarts: u64,
+    /// Failures detected, in detection order.
+    pub(crate) failures: Vec<ShardFailure>,
+    /// Health state per snapshot barrier.
+    pub(crate) health_trace: Vec<(u64, Health)>,
 }
 
 /// Registry handles one shard updates through.
-struct Handles {
-    submitted: tapesim_obs::CounterId,
+pub(crate) struct Handles {
+    pub(crate) submitted: tapesim_obs::CounterId,
     served: tapesim_obs::CounterId,
     lost: tapesim_obs::CounterId,
     mounts: tapesim_obs::CounterId,
@@ -220,7 +283,7 @@ struct Handles {
 }
 
 impl Handles {
-    fn register(reg: &mut MetricsRegistry) -> Handles {
+    pub(crate) fn register(reg: &mut MetricsRegistry) -> Handles {
         Handles {
             submitted: reg.counter("serve.submitted"),
             served: reg.counter("serve.served"),
@@ -235,7 +298,7 @@ impl Handles {
 
 /// Last-published values, so counter updates are deltas.
 #[derive(Default)]
-struct Tally {
+pub(crate) struct Tally {
     served: u64,
     lost: u64,
     mounts: u64,
@@ -248,7 +311,7 @@ struct Tally {
 /// is overwritten, and every record not yet observed lands in the
 /// sojourn histogram.
 #[allow(clippy::too_many_arguments)]
-fn refresh_registry(
+pub(crate) fn refresh_registry(
     reg: &mut MetricsRegistry,
     h: &Handles,
     tally: &mut Tally,
@@ -388,22 +451,25 @@ struct Join {
     lost: bool,
 }
 
-/// Runs the service end to end: ingest `cfg.samples` requests from the
-/// canonical demand stream, serve them across per-library shards, and
-/// join everything into one deterministic [`ServeReport`].
-///
-/// `plan` is the *global* fault plan; each shard sees only the faults
-/// on the libraries it owns ([`FaultPlan::restrict_to_libraries`]).
-/// `alternates` maps objects to replica copies for failover, exactly as
-/// in [`tapesim_sched::run_scheduled_faulty`].
-pub fn serve_run(
+/// The sharded topology `(cfg, plan)` induce over the simulator:
+/// effective shard count, per-shard catalog slices, per-shard
+/// restricted fault plans, and the fan-out of every workload rank.
+/// Shared by [`serve_run`] and the supervisor so the two runtimes
+/// cannot drift.
+pub(crate) struct Topology {
+    pub(crate) nshards: usize,
+    pub(crate) sched_cfg: SchedConfig,
+    pub(crate) shard_catalogs: Vec<Vec<Vec<TapeJob>>>,
+    pub(crate) fanouts: Vec<Vec<usize>>,
+    pub(crate) shard_plans: Vec<FaultPlan>,
+}
+
+pub(crate) fn topology(
     sim: &Simulator,
     workload: &Workload,
-    kind: PolicyKind,
     cfg: &ServeConfig,
     plan: &FaultPlan,
-    alternates: &BTreeMap<ObjectId, Vec<ObjectId>>,
-) -> ServeReport {
+) -> Topology {
     let placement = sim.placement();
     let system = placement.config();
     let n_libs = (system.libraries as usize).max(1);
@@ -457,6 +523,38 @@ pub fn serve_run(
         })
         .collect();
 
+    Topology {
+        nshards,
+        sched_cfg,
+        shard_catalogs,
+        fanouts,
+        shard_plans,
+    }
+}
+
+/// Runs the service end to end: ingest `cfg.samples` requests from the
+/// canonical demand stream, serve them across per-library shards, and
+/// join everything into one deterministic [`ServeReport`].
+///
+/// `plan` is the *global* fault plan; each shard sees only the faults
+/// on the libraries it owns ([`FaultPlan::restrict_to_libraries`]).
+/// `alternates` maps objects to replica copies for failover, exactly as
+/// in [`tapesim_sched::run_scheduled_faulty`].
+pub fn serve_run(
+    sim: &Simulator,
+    workload: &Workload,
+    kind: PolicyKind,
+    cfg: &ServeConfig,
+    plan: &FaultPlan,
+    alternates: &BTreeMap<ObjectId, Vec<ObjectId>>,
+) -> ServeReport {
+    let topo = topology(sim, workload, cfg, plan);
+    let nshards = topo.nshards;
+    let sched_cfg = &topo.sched_cfg;
+    let shard_catalogs = &topo.shard_catalogs;
+    let fanouts = &topo.fanouts;
+    let shard_plans = &topo.shard_plans;
+
     let bound = cfg.channel_bound.max(1);
     let (shard_txs, shard_rxs): (Vec<SyncSender<ShardMsg>>, Vec<Receiver<ShardMsg>>) =
         (0..nshards).map(|_| sync_channel(bound)).unzip();
@@ -472,7 +570,6 @@ pub fn serve_run(
             .enumerate()
         {
             let tx = coll_tx.clone();
-            let sched_cfg = &sched_cfg;
             shard_handles.push(scope.spawn(move || {
                 shard_actor(
                     shard,
@@ -525,9 +622,9 @@ pub fn serve_run(
         drop(shard_txs);
 
         let mut dones = Vec::new();
-        for handle in shard_handles {
+        for (shard, handle) in shard_handles.into_iter().enumerate() {
             match handle.join() {
-                Ok(done) => dones.push(done),
+                Ok(done) => dones.push((shard, done)),
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
@@ -538,27 +635,48 @@ pub fn serve_run(
         (dones, snapshots)
     });
 
-    assemble(sim, plan, cfg, nshards, submitted, dones, snapshots)
+    assemble(
+        sim,
+        plan,
+        cfg,
+        nshards,
+        submitted,
+        dones,
+        snapshots,
+        SupExtra::default(),
+    )
 }
 
 /// Joins the per-shard books into the final report. Pure and
 /// single-threaded: everything deterministic about the run funnels
-/// through here.
-fn assemble(
+/// through here. `dones` carries explicit shard indices because a
+/// supervised run may lose a shard's books entirely; `extra` is the
+/// supervisor's shed/failure ledger ([`SupExtra::default`] for the
+/// unsupervised path).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble(
     sim: &Simulator,
     plan: &FaultPlan,
     cfg: &ServeConfig,
     nshards: usize,
     submitted: u64,
-    dones: Vec<ShardDone>,
+    dones: Vec<(usize, ShardDone)>,
     snapshots: Vec<RegistrySnapshot>,
+    extra: SupExtra,
 ) -> ServeReport {
     let system = sim.placement().config();
     let clock = plan.clock();
 
+    // Every id with any shed part: classified shed unless it is lost.
+    let shed_ids: BTreeSet<u64> = extra
+        .shed_admission
+        .union(&extra.shed_parts)
+        .copied()
+        .collect();
+
     // Expected fan-out per global id: how many shards accepted it.
     let mut expected: BTreeMap<u64, u32> = BTreeMap::new();
-    for done in &dones {
+    for (_, done) in &dones {
         for &id in &done.ids {
             *expected.entry(id).or_insert(0) += 1;
         }
@@ -566,7 +684,7 @@ fn assemble(
 
     // Join records (and losses) by global id.
     let mut joined: BTreeMap<u64, Join> = BTreeMap::new();
-    for done in &dones {
+    for (_, done) in &dones {
         for r in &done.report.records {
             let Some(&id) = done.ids.get(r.request) else {
                 continue;
@@ -599,11 +717,12 @@ fn assemble(
     }
 
     let mut lost = 0u64;
+    let mut shed = 0u64;
     let mut records: Vec<RequestRecord> = Vec::new();
-    if let (1, Some(done)) = (dones.len(), dones.first()) {
-        // Single shard: the engine's completion order IS the batch
-        // engine's record stream — pass it through untouched so the
-        // rebuilt metrics reproduce the batch bits.
+    if let (1, true, Some((_, done))) = (dones.len(), shed_ids.is_empty(), dones.first()) {
+        // Single shard, nothing shed: the engine's completion order IS
+        // the batch engine's record stream — pass it through untouched
+        // so the rebuilt metrics reproduce the batch bits.
         lost = done.report.lost.len() as u64;
         records.extend(done.report.records.iter().map(|r| RequestRecord {
             request: done.ids.get(r.request).map_or(r.request, |&id| id as usize),
@@ -615,6 +734,12 @@ fn assemble(
                 lost += 1;
                 continue;
             }
+            if shed_ids.contains(&id) {
+                // A part was shed: the request cannot be complete, and
+                // the supervisor already promised to count it.
+                shed += 1;
+                continue;
+            }
             if expected.get(&id).copied() == Some(join.parts) {
                 records.push(RequestRecord {
                     request: id as usize,
@@ -622,6 +747,17 @@ fn assemble(
                     first_start: join.first_start,
                     finish: join.finish,
                 });
+            } else {
+                // Incomplete without a recorded shed or loss (a shard's
+                // books vanished): count it shed so conservation holds.
+                shed += 1;
+            }
+        }
+        // Sheds that never reached a surviving shard at all: admission
+        // sheds and requests whose every part was dropped.
+        for &id in &shed_ids {
+            if !joined.contains_key(&id) {
+                shed += 1;
             }
         }
         // Per-shard streams are each nondecreasing in finish but
@@ -643,7 +779,7 @@ fn assemble(
     let mut per_shard = Vec::new();
     let mut rejected = 0u64;
     let mut end = SimTime::ZERO;
-    for (shard, done) in dones.into_iter().enumerate() {
+    for (shard, done) in dones.into_iter() {
         metrics.merge_counters(&done.report.outcome.metrics);
         registry.merge(&done.registry);
         rejected += done.report.rejected;
@@ -673,6 +809,10 @@ fn assemble(
         served,
         lost,
         rejected,
+        shed,
+        restarts: extra.restarts,
+        failures: extra.failures,
+        health_trace: extra.health_trace,
         shards: nshards,
         end,
     }
@@ -680,15 +820,96 @@ fn assemble(
 }
 
 impl ServeReport {
-    /// Debug-time conservation check: every ingested request is served
-    /// or lost, never silently vanished.
+    /// Debug-time conservation check: every ingested request is served,
+    /// lost, shed or rejected, never silently vanished.
     fn checked(self, cfg: &ServeConfig) -> ServeReport {
         debug_assert_eq!(
             self.submitted,
-            self.served + self.lost,
+            self.served + self.lost + self.shed + self.rejected,
             "request conservation violated (samples={})",
             cfg.samples
         );
         self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A report whose only nonzero legs are the ones a test sets: the
+    /// conservation identity `submitted = served + lost + shed +
+    /// rejected` is exercised one leg at a time.
+    fn base(submitted: u64) -> ServeReport {
+        ServeReport {
+            metrics: SchedMetrics::default(),
+            records: Vec::new(),
+            registry: MetricsRegistry::new(),
+            snapshots: Vec::new(),
+            reports: Vec::new(),
+            per_shard: Vec::new(),
+            submitted,
+            served: 0,
+            lost: 0,
+            rejected: 0,
+            shed: 0,
+            restarts: 0,
+            failures: Vec::new(),
+            health_trace: Vec::new(),
+            shards: 1,
+            end: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn conservation_closes_on_the_served_leg() {
+        let mut r = base(7);
+        r.served = 7;
+        assert!(r.is_clean());
+        r.served = 6;
+        assert!(!r.is_clean(), "a vanished request must not audit clean");
+    }
+
+    #[test]
+    fn conservation_closes_on_the_lost_leg() {
+        let mut r = base(5);
+        r.served = 3;
+        r.lost = 2;
+        assert!(r.is_clean());
+        r.lost = 3;
+        assert!(!r.is_clean(), "a double-counted loss must not audit clean");
+    }
+
+    #[test]
+    fn conservation_closes_on_the_shed_leg() {
+        let mut r = base(9);
+        r.served = 4;
+        r.shed = 5;
+        assert!(r.is_clean());
+        r.shed = 0;
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn conservation_closes_on_the_rejected_leg() {
+        let mut r = base(4);
+        r.served = 1;
+        r.rejected = 3;
+        assert!(
+            r.is_clean(),
+            "post-close rejections are an accounted leg, not a failure"
+        );
+        r.rejected = 2;
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn conservation_closes_with_every_leg_nonzero() {
+        let mut r = base(10);
+        r.served = 4;
+        r.lost = 2;
+        r.shed = 3;
+        r.rejected = 1;
+        assert!(r.is_clean());
     }
 }

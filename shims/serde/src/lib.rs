@@ -10,7 +10,7 @@
 //! Only what the workspace needs is implemented: primitives, `String`,
 //! `Option`, `Vec`, 2/3-tuples, and the derive for plain structs, tuple
 //! structs and fieldless-or-struct-variant enums with an optional
-//! `#[serde(default = "path")]` field attribute.
+//! `#[serde(default)]` / `#[serde(default = "path")]` field attribute.
 
 pub mod value;
 

@@ -4,7 +4,8 @@
 //! parses the item's token stream by hand and emits the impl as a source
 //! string. It supports exactly the shapes this workspace derives:
 //!
-//! * structs with named fields (optional `#[serde(default = "path")]`),
+//! * structs with named fields (optional `#[serde(default)]` /
+//!   `#[serde(default = "path")]`),
 //! * tuple structs (single-field ones serialize transparently),
 //! * enums whose variants are unit or struct-like.
 //!
@@ -70,6 +71,9 @@ fn serde_default_of(group: &proc_macro::Group) -> Option<String> {
                                 return Some(s.trim_matches('"').to_string());
                             }
                         }
+                        // Bare `#[serde(default)]`: the field's
+                        // `Default` value stands in when missing.
+                        return Some("::std::default::Default::default".to_string());
                     }
                 }
                 i += 1;

@@ -27,8 +27,9 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use tapesim_experiments::figures::quick_settings;
 use tapesim_experiments::Scheme;
-use tapesim_faults::{FaultPlan, FaultSpec};
+use tapesim_faults::{ChaosPlan, ChaosSpec, FaultPlan, FaultSpec};
 use tapesim_sched::{run_scheduled, run_scheduled_faulty, BatchByTape, Fcfs, SchedConfig};
+use tapesim_serve::{supervisor_run, ServeConfig, SuperviseConfig};
 use tapesim_sim::queue::ArrivalSpec;
 use tapesim_sim::Simulator;
 
@@ -48,6 +49,14 @@ struct Fingerprint {
     faults: u64,
     losses: u64,
     failovers: u64,
+    /// Supervised-runtime legs (`serve-chaos` mode only; default 0 so
+    /// the pre-supervision snapshots parse unchanged).
+    #[serde(default)]
+    shed: u64,
+    #[serde(default)]
+    restarts: u64,
+    #[serde(default)]
+    shard_failures: u64,
 }
 
 /// Short scheme tag used in snapshot file names.
@@ -74,6 +83,9 @@ fn fingerprint(scheme: Scheme, mode: &str) -> Fingerprint {
         s.samples,
     )
     .with_audit(true);
+    if mode == "serve-chaos" {
+        return serve_chaos_fingerprint(scheme, sim, &w, &system);
+    }
     let out = match mode {
         "queued" => run_scheduled(&mut sim, &w, &Fcfs, &cfg),
         "sched" => run_scheduled(&mut sim, &w, &BatchByTape, &cfg),
@@ -96,12 +108,94 @@ fn fingerprint(scheme: Scheme, mode: &str) -> Fingerprint {
         faults: 0,
         losses: 0,
         failovers: 0,
+        shed: 0,
+        restarts: 0,
+        shard_failures: 0,
     };
     assert!(
         !out.reports.is_empty(),
         "auditing was on; the golden fingerprint needs audit reports"
     );
     for r in &out.reports {
+        fp.entries += r.entries as u64;
+        fp.jobs += r.jobs as u64;
+        fp.transfers += r.transfers as u64;
+        fp.exchanges += r.exchanges as u64;
+        fp.faults += r.faults as u64;
+        fp.losses += r.losses as u64;
+        fp.failovers += r.failovers as u64;
+    }
+    fp
+}
+
+/// The `serve-chaos` cell: a faulty multi-shard **supervised** serve run
+/// — hardware faults plus seeded shard kills and stalls, shards
+/// restarted from checkpoint replay. The fingerprint additionally pins
+/// the supervision ledger (shed, restarts, failures); determinism of
+/// the underlying runtime makes the shape stable across machines.
+fn serve_chaos_fingerprint(
+    scheme: Scheme,
+    sim: Simulator,
+    w: &tapesim_workload::Workload,
+    system: &tapesim_model::SystemConfig,
+) -> Fingerprint {
+    let s = quick_settings();
+    let shards = system.libraries as usize;
+    let cfg = ServeConfig::new(
+        ArrivalSpec {
+            per_hour: 16.0,
+            seed: s.sim_seed,
+        },
+        s.samples,
+    )
+    .with_shards(shards)
+    .with_audit(true)
+    .with_channel_bound(4)
+    .with_snapshot_every((s.samples / 4).max(1));
+    let plan = FaultPlan::generate(&FaultSpec::moderate(29), system);
+    let chaos = ChaosPlan::generate(
+        &ChaosSpec {
+            seed: 7,
+            kills_per_shard: 1.5,
+            stalls_per_shard: 1.0,
+            horizon_submissions: (s.samples / shards.max(1)).max(1) as u64,
+            restart_base_draws: 1,
+            restart_cap_draws: 4,
+        },
+        shards,
+    );
+    let report = supervisor_run(
+        &sim,
+        w,
+        tapesim_sched::PolicyKind::BatchByTape,
+        &cfg,
+        &plan,
+        &BTreeMap::new(),
+        &chaos,
+        &SuperviseConfig::new().with_watchdog_ms(1_000),
+    );
+    assert!(
+        !report.reports.is_empty(),
+        "auditing was on; the golden fingerprint needs audit reports"
+    );
+    let mut fp = Fingerprint {
+        scheme: tag(scheme).to_string(),
+        mode: "serve-chaos".to_string(),
+        served: report.served,
+        events: report.metrics.events(),
+        clean: report.is_clean(),
+        entries: 0,
+        jobs: 0,
+        transfers: 0,
+        exchanges: 0,
+        faults: 0,
+        losses: 0,
+        failovers: 0,
+        shed: report.shed,
+        restarts: report.restarts,
+        shard_failures: report.failures.len() as u64,
+    };
+    for r in &report.reports {
         fp.entries += r.entries as u64;
         fp.jobs += r.jobs as u64;
         fp.transfers += r.transfers as u64;
@@ -173,4 +267,9 @@ fn golden_sched_traces_match() {
 #[test]
 fn golden_faulty_traces_match() {
     run_mode("faults-smoke");
+}
+
+#[test]
+fn golden_supervised_chaos_traces_match() {
+    run_mode("serve-chaos");
 }

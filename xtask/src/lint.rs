@@ -48,7 +48,7 @@
 //!   reachable (over the intra-workspace call graph, matched by name —
 //!   a deliberate over-approximation) from the engine entry points
 //!   (`run_queued*`, `run_scheduled*`, the sched/faults `dispatch*`
-//!   loops, and the serve crate's `serve_run`).
+//!   loops, and the serve crate's `serve_run` and `supervisor_run`).
 //!
 //! Findings can be suppressed via `xtask/lint.allow`: one
 //! `RULE path-substring` pair per line, `#` comments allowed. An
@@ -807,6 +807,7 @@ fn is_root(krate: &str, name: &str) -> bool {
         || name.starts_with("run_scheduled")
         || (matches!(krate, "sched" | "faults") && name.starts_with("dispatch"))
         || (krate == "serve" && name.starts_with("serve_run"))
+        || (krate == "serve" && name.starts_with("supervisor_run"))
 }
 
 /// Builds the graph, BFS-marks reachability from the engine roots, and
