@@ -28,11 +28,14 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::Instant;
 use tapesim_faults::{FaultPlan, FaultSpec};
-use tapesim_model::specs::paper_table1;
+use tapesim_model::specs::{paper_table1, paper_table1_with_libraries};
 use tapesim_model::Bytes;
 use tapesim_placement::{ParallelBatchPlacement, PlacementPolicy};
 use tapesim_sched::baseline::run_scheduled_baseline;
-use tapesim_sched::{run_scheduled, run_scheduled_faulty, BatchByTape, Fcfs, SchedConfig};
+use tapesim_sched::{
+    run_scheduled, run_scheduled_faulty, run_scheduled_parallel, BatchByTape, Fcfs, ParallelConfig,
+    SchedConfig,
+};
 use tapesim_sim::queue::ArrivalSpec;
 use tapesim_sim::Simulator;
 use tapesim_workload::{ObjectSizeSpec, RequestSpec, Workload, WorkloadSpec};
@@ -109,9 +112,25 @@ struct Report {
     /// layer existed.
     #[serde(default)]
     obs_overhead_pct: f64,
+    /// Headline for the conservative-window engine: events/sec of the
+    /// fastest `sched_parallel_8lib_*` row over the single-threaded
+    /// `sched_mono_8lib` row, measured in this same run. On machines with
+    /// fewer hardware threads than partitions this is an honest (small or
+    /// sub-1.0) number — see `threads_available`.
+    #[serde(default)]
+    parallel_speedup: f64,
+    /// `std::thread::available_parallelism()` on the measuring machine —
+    /// the context required to read `parallel_speedup`.
+    #[serde(default)]
+    threads_available: usize,
 }
 
 const RATE_PER_HOUR: f64 = 24.0;
+
+/// The committed `sched` row's allocation count before the pooled event
+/// queue and flat catalog build landed — the ceiling the bench check
+/// enforces against.
+const PRE_POOLING_SCHED_ALLOCS: u64 = 1325;
 
 /// Same workload as the sched bench, so the two artifacts line up.
 fn workload() -> Workload {
@@ -133,7 +152,7 @@ fn workload() -> Workload {
 /// One engine under measurement: a named run closure over a fresh
 /// simulator, plus the best-of-N accumulators.
 struct Probe<'a> {
-    engine: &'static str,
+    engine: String,
     run: Box<dyn FnMut(Simulator) -> (u64, u64) + 'a>,
     best: f64,
     best_allocs: u64,
@@ -148,9 +167,9 @@ struct Probe<'a> {
 }
 
 impl<'a> Probe<'a> {
-    fn new(engine: &'static str, run: impl FnMut(Simulator) -> (u64, u64) + 'a) -> Probe<'a> {
+    fn new(engine: impl Into<String>, run: impl FnMut(Simulator) -> (u64, u64) + 'a) -> Probe<'a> {
         Probe {
-            engine,
+            engine: engine.into(),
             run: Box::new(run),
             best: f64::INFINITY,
             best_allocs: 0,
@@ -238,7 +257,7 @@ fn measure_all(
                 p.best * 1e3
             );
             EngineRow {
-                engine: p.engine.to_string(),
+                engine: p.engine.clone(),
                 served: p.served,
                 events: p.events,
                 events_per_sec,
@@ -274,6 +293,17 @@ fn check_regression(current: &Report) {
         }
     };
     let mut failures = Vec::new();
+    // The pooled queue and flat catalog build must keep the scheduler's
+    // allocation count strictly below the pre-pooling artifact (1325
+    // allocations at 400 requests; smoke runs allocate less still).
+    match current.engines.iter().find(|r| r.engine == "sched") {
+        Some(row) if row.allocs >= PRE_POOLING_SCHED_ALLOCS => failures.push(format!(
+            "sched: {} allocs regressed to the pre-pooling level ({})",
+            row.allocs, PRE_POOLING_SCHED_ALLOCS
+        )),
+        Some(_) => {}
+        None => failures.push("engine 'sched' missing from this run".to_string()),
+    }
     for old in &committed.engines {
         // The frozen baseline engine is the comparison anchor, not a
         // regression target of its own.
@@ -394,14 +424,103 @@ fn main() {
          {obs_overhead_pct:.1}%"
     );
 
+    assert!(
+        sched.allocs < PRE_POOLING_SCHED_ALLOCS,
+        "sched row allocated {} times — the pooled queue and flat catalog \
+         build must stay below the pre-pooling {PRE_POOLING_SCHED_ALLOCS}",
+        sched.allocs
+    );
+
+    // ---- parallel section: the conservative time-window engine over
+    // 1/2/4/8-library systems × thread counts, each against the
+    // single-threaded monolithic gear on the same config. The merged
+    // outcome is bit-identical (pinned by the sched test walls); here we
+    // only cross-check served/events and measure throughput.
+    let threads_available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Shared by reference so the per-thread-count `move` closures copy
+    // the borrow, not the workload.
+    let (w, cfg) = (&w, &cfg);
+    let mut parallel_rows: Vec<EngineRow> = Vec::new();
+    let mut mono_8lib_eps = 0.0;
+    let mut best_8lib_eps = 0.0;
+    for nlibs in [1u16, 2, 4, 8] {
+        let system_n = paper_table1_with_libraries(nlibs);
+        let placement_n = ParallelBatchPlacement::with_m(4)
+            .place(w, &system_n)
+            .expect("placement");
+        let fresh = || Simulator::with_natural_policy(placement_n.clone(), 4);
+        let mut probes = vec![Probe::new(format!("sched_mono_{nlibs}lib"), |mut sim| {
+            let out =
+                run_scheduled_parallel(&mut sim, w, &BatchByTape, cfg, &ParallelConfig::off());
+            (out.metrics.served(), out.metrics.events())
+        })];
+        for threads in [1usize, 2, 4, 8] {
+            if threads > nlibs as usize {
+                break;
+            }
+            let par = ParallelConfig::on().with_threads(threads);
+            probes.push(Probe::new(
+                format!("sched_parallel_{nlibs}lib_{threads}t"),
+                move |mut sim| {
+                    let out = run_scheduled_parallel(&mut sim, w, &BatchByTape, cfg, &par);
+                    (out.metrics.served(), out.metrics.events())
+                },
+            ));
+        }
+        let rows = measure_all(&mut probes, iterations, fresh);
+        let mono = &rows[0];
+        for row in &rows[1..] {
+            assert_eq!(
+                (row.served, row.events),
+                (mono.served, mono.events),
+                "{} diverged from the monolithic gear — the window merge \
+                 must be bit-identical",
+                row.engine
+            );
+        }
+        if nlibs == 8 {
+            mono_8lib_eps = mono.events_per_sec;
+            best_8lib_eps = rows[1..]
+                .iter()
+                .map(|r| r.events_per_sec)
+                .fold(0.0, f64::max);
+        }
+        parallel_rows.extend(rows);
+    }
+    let parallel_speedup = if mono_8lib_eps > 0.0 {
+        best_8lib_eps / mono_8lib_eps
+    } else {
+        0.0
+    };
+    println!(
+        "parallel speedup at 8 libraries (best threads / single-threaded, same run): \
+         {parallel_speedup:.2}x on {threads_available} hardware threads"
+    );
+    if threads_available >= 8 {
+        assert!(
+            parallel_speedup >= 10.0,
+            "8-library parallel run reached only {parallel_speedup:.2}x on \
+             {threads_available} hardware threads (target ≥10x)"
+        );
+    } else {
+        println!(
+            "parallel ≥10x gate skipped: {threads_available} hardware thread(s) \
+             cannot exercise an 8-partition run"
+        );
+    }
+
+    let mut engines = vec![queued, sched, sched_obs, sched_baseline, faults];
+    engines.extend(parallel_rows);
     let report = Report {
         bench: "perf".to_string(),
         samples,
         rate_per_hour: RATE_PER_HOUR,
         iterations,
-        engines: vec![queued, sched, sched_obs, sched_baseline, faults],
+        engines,
         speedup_vs_baseline: speedup,
         obs_overhead_pct,
+        parallel_speedup,
+        threads_available,
     };
 
     if check {

@@ -16,7 +16,10 @@ use tapesim_placement::{
     ClusterProbabilityPlacement, ObjectProbabilityPlacement, ParallelBatchPlacement, Placement,
     PlacementPolicy, TapeRole,
 };
-use tapesim_sched::{run_scheduled, run_scheduled_faulty, AuditMode, PolicyKind, SchedConfig};
+use tapesim_sched::{
+    run_scheduled, run_scheduled_faulty_parallel, run_scheduled_parallel, AuditMode,
+    ParallelConfig, PolicyKind, SchedConfig,
+};
 use tapesim_serve::{serve_run, supervisor_run, HealthPolicy, ServeConfig, SuperviseConfig};
 use tapesim_sim::Simulator;
 use tapesim_workload::{
@@ -361,7 +364,7 @@ fn campaign(args: &Args) -> Result<String, CommandError> {
     let requests: usize = args.get_or("requests", if smoke { 10_000 } else { 175_000 })?;
     let rate: f64 = args.get_or("rate", 12.0)?;
     let seed: u64 = args.get_or("seed", 0xD15Cu64)?;
-    let shards: usize = args.get_or("shards", system.libraries as usize)?;
+    let shards: usize = serve_shards(args, system.libraries as usize)?;
     let channel_bound: usize = args.get_or("channel-bound", 256)?;
     let snapshot_every: usize = args.get_or("snapshot-every", (requests / 8).max(1))?;
     let max_batch: usize = args.get_or("max-batch", 0)?;
@@ -644,7 +647,7 @@ fn chaos_campaign(args: &Args) -> Result<String, CommandError> {
     let requests: usize = args.get_or("requests", if smoke { 6_000 } else { 40_000 })?;
     let rate: f64 = args.get_or("rate", 12.0)?;
     let seed: u64 = args.get_or("seed", 0xD15Cu64)?;
-    let shards: usize = args.get_or("shards", system.libraries as usize)?;
+    let shards: usize = serve_shards(args, system.libraries as usize)?;
     let channel_bound: usize = args.get_or("channel-bound", 256)?;
     let snapshot_every: usize = args.get_or("snapshot-every", (requests / 8).max(1))?;
     let max_batch: usize = args.get_or("max-batch", 0)?;
@@ -943,6 +946,40 @@ fn parse_policies(args: &Args) -> Result<Vec<PolicyKind>, CommandError> {
     }
 }
 
+/// The shard-thread count for `serve` campaigns: `--shards` wins, then
+/// `--threads`, then one shard per library. `--parallel off` collapses
+/// the service to a single shard thread — the sequential fallback.
+fn serve_shards(args: &Args, libraries: usize) -> Result<usize, CommandError> {
+    let par = parallel_config_from(args)?;
+    let default = if args.get("parallel") == Some("off") {
+        1
+    } else if par.threads > 0 {
+        par.threads
+    } else {
+        libraries
+    };
+    args.get_or("shards", default).map_err(Into::into)
+}
+
+/// Resolves the `--parallel on|off` / `--threads N` knobs shared by
+/// `sched` and `faults`. The flags override the `TAPESIM_PARALLEL` /
+/// `TAPESIM_THREADS` environment, which remains the default.
+fn parallel_config_from(args: &Args) -> Result<ParallelConfig, CommandError> {
+    let mut par = ParallelConfig::from_env();
+    match args.get("parallel") {
+        None => {}
+        Some("on") => par.enabled = true,
+        Some("off") => par.enabled = false,
+        Some(other) => {
+            return Err(CommandError(format!(
+                "flag --parallel: expected on|off, got '{other}'"
+            )))
+        }
+    }
+    par.threads = args.get_or("threads", par.threads)?;
+    Ok(par)
+}
+
 /// Builds the placement policy for a canonical scheme name.
 fn placement_for(scheme: &str, m: u8) -> Box<dyn PlacementPolicy> {
     match scheme {
@@ -970,6 +1007,7 @@ pub fn sched(args: &Args) -> Result<String, CommandError> {
     let max_batch: usize = args.get_or("max-batch", 0)?;
     let audit = !args.has("no-audit");
     let audit_mode = parse_audit_mode(args)?;
+    let par = parallel_config_from(args)?;
     let spec = ArrivalSpec {
         per_hour: rate,
         seed,
@@ -991,7 +1029,8 @@ pub fn sched(args: &Args) -> Result<String, CommandError> {
                 .with_max_batch(max_batch)
                 .with_audit(audit)
                 .with_audit_mode(audit_mode);
-            let out = run_scheduled(&mut sim, &workload, kind.build().as_ref(), &cfg);
+            let out =
+                run_scheduled_parallel(&mut sim, &workload, kind.build().as_ref(), &cfg, &par);
             for report in out.reports.iter().filter(|r| !r.is_clean()) {
                 dirty.push(format!("{scheme}/{}: {report}", kind.label()));
             }
@@ -1241,6 +1280,7 @@ pub fn faults(args: &Args) -> Result<String, CommandError> {
     let fault_seed: u64 = args.get_or("fault-seed", 41u64)?;
     let intensity: f64 = args.get_or("intensity", 1.0)?;
     let audit_mode = parse_audit_mode(args)?;
+    let par = parallel_config_from(args)?;
     let replicate_gb: u64 = args.get_or("replicate-gb", if smoke { 4096 } else { 0 })?;
     let spec = ArrivalSpec {
         per_hour: rate,
@@ -1284,13 +1324,14 @@ pub fn faults(args: &Args) -> Result<String, CommandError> {
                 .with_max_batch(max_batch)
                 .with_audit(true)
                 .with_audit_mode(audit_mode);
-            let out = run_scheduled_faulty(
+            let out = run_scheduled_faulty_parallel(
                 &mut sim,
                 &workload,
                 kind.build().as_ref(),
                 &cfg,
                 &plan,
                 &alternates,
+                &par,
             );
             for report in out.reports.iter().filter(|r| !r.is_clean()) {
                 dirty.push(format!("{scheme}/{}: {report}", kind.label()));

@@ -39,6 +39,8 @@ COMMANDS:
                [--shards N] [--scheme all|pbp|opp|cpp]
                [--policy all|fcfs|batch|sltf] [--m M] [--max-batch N]
                [--channel-bound N] [--snapshot-every N]
+               [--parallel on|off] [--threads N]  (shard-thread count:
+               --shards, then --threads, then one per library; off = 1)
                [--smoke] [--check] [--json]
              or, with --chaos, run the campaign supervised under a
              nonzero hardware fault plan plus seeded shard kills and
@@ -56,6 +58,9 @@ COMMANDS:
                -w WORKLOAD --scheme all|pbp|opp|cpp --policy all|fcfs|batch|sltf
                --rate PER_HOUR --samples N --seed S --m M --max-batch N
                [--smoke] [--json] [--no-audit] [--audit-mode streaming|batch]
+               [--parallel on|off] [--threads N]  (default: TAPESIM_PARALLEL /
+               TAPESIM_THREADS; multi-library runs execute one partition per
+               library under conservative time windows, bit-identical)
   faults     rerun the scheduler sweep under a seeded fault plan (drive
              failures, robot jams, media bad spots) with retry, replica
              failover and availability metrics; always audited
@@ -63,7 +68,7 @@ COMMANDS:
                --rate PER_HOUR --samples N --seed S --fault-seed S
                --intensity X --mtbf-hours H --jams-per-hour R
                --spots-per-tape R --replicate-gb GB [--smoke] [--json]
-               [--audit-mode streaming|batch]
+               [--audit-mode streaming|batch] [--parallel on|off] [--threads N]
   report     explain a run at resource granularity: per-drive/per-arm span
              time budgets (seek/rewind/transfer/load/unload/exchange/idle/
              failed, summing to the makespan), job-phase means, robot-
@@ -135,6 +140,8 @@ fn main() {
                 "chaos-seed",
                 "fault-seed",
                 "intensity",
+                "parallel",
+                "threads",
             ],
             &["trace", "campaign", "chaos", "smoke", "check", "json"],
         )
@@ -161,6 +168,8 @@ fn main() {
                 "libraries",
                 "tapes",
                 "audit-mode",
+                "parallel",
+                "threads",
             ],
             &["json", "smoke", "no-audit"],
         )
@@ -186,6 +195,8 @@ fn main() {
                 "spots-per-tape",
                 "replicate-gb",
                 "audit-mode",
+                "parallel",
+                "threads",
             ],
             &["json", "smoke"],
         )

@@ -1,0 +1,353 @@
+//! Conservative time-window execution of partitioned simulations.
+//!
+//! A simulation whose state splits into partitions that exchange no
+//! events can run each partition's event loop on its own thread, as long
+//! as *external* injections (the one shared input stream, e.g. request
+//! arrivals) are delivered before any partition's clock reaches them.
+//! This module provides the machinery for that protocol:
+//!
+//! * [`window_barriers`] derives the window schedule from the sorted
+//!   injection times — each barrier is the *arrival-insertion horizon*:
+//!   the earliest injection instant not yet delivered. Every event
+//!   strictly below the barrier is safe to execute, because nothing that
+//!   could still be injected can precede it (this is the conservative
+//!   lookahead: the gap from the last delivered injection to the next
+//!   pending one).
+//! * [`WindowPartition`] is what a partition must implement: deliver its
+//!   own injections below a barrier, then execute events below it.
+//! * [`run_windowed`] drives all partitions through the barrier
+//!   schedule on scoped threads, with a full synchronization barrier
+//!   between rounds, and returns a [`WindowTrace`] recording, per round,
+//!   the window bound and the furthest any partition's clock advanced —
+//!   the evidence the barrier-correctness tests check.
+//!
+//! The round barrier is what keeps the protocol *conservative*: no
+//! partition starts round `r + 1` until every partition finished round
+//! `r`, so a future extension in which partitions do exchange events
+//! (cross-library failover, work stealing) only has to deliver them at
+//! the round boundary. With today's isolated partitions the rounds are
+//! independent, and the schedule being static is what makes the whole
+//! run deterministic regardless of thread count.
+
+use crate::time::SimTime;
+use std::sync::Barrier;
+
+/// One partition of a windowed simulation.
+///
+/// Implementations own their slice of the injection stream; the runner
+/// only tells them how far time may advance.
+pub trait WindowPartition: Send {
+    /// Delivers every pending injection stamped strictly below `barrier`
+    /// and executes every event strictly below it. After this returns,
+    /// [`WindowPartition::clock`] must be `< barrier` (or unchanged if
+    /// the partition had nothing to do).
+    fn advance(&mut self, barrier: SimTime);
+
+    /// Runs the partition to completion: all injections delivered, the
+    /// event queue drained. Called once, after the last window.
+    fn drain(&mut self);
+
+    /// The partition's current virtual clock: the timestamp of the last
+    /// executed event ([`SimTime::ZERO`] before any).
+    fn clock(&self) -> SimTime;
+}
+
+/// One synchronization round of a windowed run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowRound {
+    /// The exclusive upper bound partitions were allowed to execute to.
+    pub barrier: SimTime,
+    /// The furthest any partition's clock stood after the round.
+    pub max_clock: SimTime,
+}
+
+/// What [`run_windowed`] observed: the per-round barrier ledger.
+#[derive(Debug, Clone, Default)]
+pub struct WindowTrace {
+    /// One entry per synchronization round, in execution order. The
+    /// final drain (no barrier) is not recorded here.
+    pub rounds: Vec<WindowRound>,
+}
+
+impl WindowTrace {
+    /// Whether every round respected its window: no partition's clock
+    /// reached or passed the barrier while the barrier was active.
+    pub fn is_conservative(&self) -> bool {
+        self.rounds.iter().all(|r| r.max_clock < r.barrier)
+    }
+}
+
+/// Derives the window schedule from the sorted injection times: chunks
+/// of `chunk` injections per round, each round's barrier being the first
+/// injection instant of the *next* chunk (the arrival-insertion
+/// horizon). The final chunk needs no barrier — after the last injection
+/// is delivered nothing external remains and partitions simply drain.
+///
+/// A barrier must sit *strictly* above every injection delivered before
+/// it — otherwise a partition executing right up to the barrier could
+/// pass an undelivered same-instant injection. When the stream repeats a
+/// timestamp across a chunk edge, the chunk is grown until the boundary
+/// strictly increases.
+///
+/// `times` must be sorted ascending (as any arrival stream is); `chunk`
+/// is clamped to at least 1.
+pub fn window_barriers(times: &[SimTime], chunk: usize) -> Vec<SimTime> {
+    let chunk = chunk.max(1);
+    let mut barriers = Vec::with_capacity(times.len() / chunk);
+    let mut next = chunk;
+    while let (Some(&prev), Some(&cur)) = (times.get(next - 1), times.get(next)) {
+        debug_assert!(prev <= cur, "injection times must be sorted");
+        if cur == prev {
+            next += 1;
+            continue;
+        }
+        barriers.push(cur);
+        next += chunk;
+    }
+    barriers
+}
+
+/// Runs `parts` through the barrier schedule on `threads` OS threads
+/// (clamped to the partition count), then drains them. Partitions are
+/// assigned to threads round-robin; every thread processes its
+/// partitions in index order within a round, and a full thread barrier
+/// separates rounds. Returns the per-round [`WindowTrace`].
+///
+/// Determinism: each partition's execution is a pure function of its
+/// own injections — the thread count and round boundaries only change
+/// *when* work happens on the wall clock, never what is computed.
+pub fn run_windowed<P: WindowPartition>(
+    parts: &mut [P],
+    barriers: &[SimTime],
+    threads: usize,
+) -> WindowTrace {
+    let nparts = parts.len();
+    let mut trace = WindowTrace {
+        rounds: Vec::with_capacity(barriers.len()),
+    };
+    if nparts == 0 {
+        return trace;
+    }
+    let threads = threads.clamp(1, nparts);
+
+    if threads == 1 {
+        // Sequential execution of the same protocol: identical results,
+        // no thread machinery. This is also the shape the equivalence
+        // tests pin the threaded path against.
+        for &barrier in barriers {
+            let mut max_clock = SimTime::ZERO;
+            for p in parts.iter_mut() {
+                p.advance(barrier);
+                max_clock = max_clock.max(p.clock());
+            }
+            trace.rounds.push(WindowRound { barrier, max_clock });
+        }
+        for p in parts.iter_mut() {
+            p.drain();
+        }
+        return trace;
+    }
+
+    // Round-robin ownership: thread t runs partitions t, t+threads, ….
+    // Each group is a disjoint &mut slice-of-slices view built once.
+    let mut groups: Vec<Vec<&mut P>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, p) in parts.iter_mut().enumerate() {
+        if let Some(group) = groups.get_mut(i % threads) {
+            group.push(p);
+        }
+    }
+    let sync = Barrier::new(threads);
+    let clocks: Vec<Vec<SimTime>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for group in groups.into_iter() {
+            let sync = &sync;
+            handles.push(scope.spawn(move || {
+                let mut group = group;
+                // Per-round high-water mark of this group's clocks,
+                // reported back for the global trace.
+                let mut highs = Vec::with_capacity(barriers.len());
+                for &barrier in barriers {
+                    let mut max_clock = SimTime::ZERO;
+                    for p in group.iter_mut() {
+                        p.advance(barrier);
+                        max_clock = max_clock.max(p.clock());
+                    }
+                    highs.push(max_clock);
+                    // No thread enters the next window until every
+                    // thread finished this one — the conservative
+                    // synchronization point.
+                    sync.wait();
+                }
+                for p in group.iter_mut() {
+                    p.drain();
+                }
+                highs
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(highs) => highs,
+                // A worker panic is the partition's own bug; surface it
+                // on the caller's thread with the original payload.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    for (round, &barrier) in barriers.iter().enumerate() {
+        let max_clock = clocks
+            .iter()
+            .filter_map(|highs| highs.get(round).copied())
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        trace.rounds.push(WindowRound { barrier, max_clock });
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{Scheduler, World};
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// A toy partition: injections are (time, value) pairs; each handled
+    /// event records itself and schedules an echo 0.25s later.
+    struct Echo {
+        injections: Vec<(SimTime, u32)>,
+        cursor: usize,
+        submitted_high: SimTime,
+        sched: Scheduler<u32>,
+        world: EchoWorld,
+    }
+
+    #[derive(Default)]
+    struct EchoWorld {
+        seen: Vec<(SimTime, u32)>,
+    }
+
+    impl World for EchoWorld {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+            self.seen.push((now, ev));
+            if ev < 100 {
+                sched.schedule_in(SimTime::from_secs(0.25), ev + 100);
+            }
+        }
+    }
+
+    impl Echo {
+        fn new(injections: Vec<(SimTime, u32)>) -> Echo {
+            Echo {
+                injections,
+                cursor: 0,
+                submitted_high: SimTime::ZERO,
+                sched: Scheduler::new(),
+                world: EchoWorld::default(),
+            }
+        }
+    }
+
+    impl WindowPartition for Echo {
+        fn advance(&mut self, barrier: SimTime) {
+            while let Some(&(at, v)) = self.injections.get(self.cursor) {
+                if at >= barrier {
+                    break;
+                }
+                self.sched.schedule_at(at, v);
+                self.submitted_high = self.submitted_high.max(at);
+                self.cursor += 1;
+            }
+            self.sched
+                .run_bounded(&mut self.world, self.submitted_high, u64::MAX);
+        }
+
+        fn drain(&mut self) {
+            while let Some(&(at, v)) = self.injections.get(self.cursor) {
+                self.sched.schedule_at(at, v);
+                self.cursor += 1;
+            }
+            self.sched.run(&mut self.world);
+        }
+
+        fn clock(&self) -> SimTime {
+            self.sched.now()
+        }
+    }
+
+    fn fixture(nparts: usize, n: usize) -> (Vec<Echo>, Vec<SimTime>) {
+        // A strictly increasing global injection stream, fanned out
+        // round-robin to partitions.
+        let times: Vec<SimTime> = (0..n).map(|i| t(1.0 + i as f64 * 0.7)).collect();
+        let mut parts: Vec<Vec<(SimTime, u32)>> = vec![Vec::new(); nparts];
+        for (i, &at) in times.iter().enumerate() {
+            parts[i % nparts].push((at, i as u32));
+        }
+        (parts.into_iter().map(Echo::new).collect(), times)
+    }
+
+    #[test]
+    fn windows_are_conservative_and_complete() {
+        let (mut parts, times) = fixture(3, 20);
+        let barriers = window_barriers(&times, 4);
+        assert_eq!(barriers.len(), 4, "20 injections / chunk 4 = 4 barriers");
+        let trace = run_windowed(&mut parts, &barriers, 3);
+        assert_eq!(trace.rounds.len(), barriers.len());
+        assert!(trace.is_conservative(), "{:?}", trace.rounds);
+        let handled: usize = parts.iter().map(|p| p.world.seen.len()).sum();
+        // Every injection plus one echo each.
+        assert_eq!(handled, 40);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let runs: Vec<Vec<Vec<(SimTime, u32)>>> = [1usize, 2, 3, 8]
+            .iter()
+            .map(|&threads| {
+                let (mut parts, times) = fixture(3, 17);
+                let barriers = window_barriers(&times, 5);
+                run_windowed(&mut parts, &barriers, threads);
+                parts.into_iter().map(|p| p.world.seen).collect()
+            })
+            .collect();
+        for other in &runs[1..] {
+            assert_eq!(&runs[0], other, "results depend on thread count");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_chunk_schedules() {
+        assert!(window_barriers(&[], 4).is_empty());
+        let times = vec![t(1.0), t(2.0)];
+        assert!(
+            window_barriers(&times, 2).is_empty(),
+            "one chunk needs no barrier"
+        );
+        assert_eq!(window_barriers(&times, 1), vec![t(2.0)]);
+        // chunk 0 is clamped to 1 rather than looping forever.
+        assert_eq!(window_barriers(&times, 0), vec![t(2.0)]);
+
+        let mut none: Vec<Echo> = Vec::new();
+        let trace = run_windowed(&mut none, &[t(1.0)], 4);
+        assert!(trace.rounds.is_empty());
+    }
+
+    #[test]
+    fn repeated_timestamps_never_become_barriers() {
+        // A chunk edge landing inside a run of equal times must slide
+        // past it: executing up to a barrier equal to a delivered time
+        // would let a partition pass an undelivered same-instant
+        // injection.
+        let times = vec![t(1.0), t(2.0), t(2.0), t(2.0), t(3.0), t(3.0), t(4.0)];
+        let barriers = window_barriers(&times, 2);
+        assert_eq!(barriers, vec![t(3.0), t(4.0)], "{barriers:?}");
+        for w in barriers.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // An all-equal stream yields no safe interior barrier at all.
+        assert!(window_barriers(&[t(5.0); 6], 2).is_empty());
+    }
+}

@@ -47,8 +47,15 @@ impl<E> Default for Scheduler<E> {
 impl<E> Scheduler<E> {
     /// Creates a scheduler with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates a scheduler whose event pool holds `capacity` pending events
+    /// before reallocating. Sizing this to the expected concurrent-event
+    /// high-water mark makes steady-state execution allocation-free.
+    pub fn with_capacity(capacity: usize) -> Self {
         Scheduler {
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(capacity),
             now: SimTime::ZERO,
             events_processed: 0,
         }
@@ -168,7 +175,7 @@ impl<E> Scheduler<E> {
     /// Counters ([`Scheduler::events_processed`]) are preserved so that a
     /// sequence of sub-simulations can be accounted together.
     pub fn reset_clock(&mut self) {
-        self.queue = EventQueue::new();
+        self.queue.clear();
         self.now = SimTime::ZERO;
     }
 }

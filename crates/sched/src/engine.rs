@@ -267,12 +267,13 @@ pub fn run_scheduled(
     policy: &dyn SchedPolicy,
     cfg: &SchedConfig,
 ) -> SchedOutcome {
-    if policy.sequential() {
-        run_sequential(sim, workload, cfg)
-    } else {
-        let plan = FaultPlan::zero(sim.placement().config());
-        run_concurrent(sim, workload, policy, cfg, &plan, &BTreeMap::new())
-    }
+    crate::parallel::run_scheduled_parallel(
+        sim,
+        workload,
+        policy,
+        cfg,
+        &crate::parallel::ParallelConfig::from_env(),
+    )
 }
 
 /// [`run_scheduled`] with fault injection: drives fail per `plan`, robot
@@ -299,19 +300,25 @@ pub fn run_scheduled_faulty(
     plan: &FaultPlan,
     alternates: &BTreeMap<ObjectId, Vec<ObjectId>>,
 ) -> SchedOutcome {
-    if policy.sequential() && plan.is_zero() {
-        run_sequential(sim, workload, cfg)
-    } else if policy.sequential() && plan.media_only() {
-        run_sequential_faulty(sim, workload, cfg, plan, alternates)
-    } else {
-        run_concurrent(sim, workload, policy, cfg, plan, alternates)
-    }
+    crate::parallel::run_scheduled_faulty_parallel(
+        sim,
+        workload,
+        policy,
+        cfg,
+        plan,
+        alternates,
+        &crate::parallel::ParallelConfig::from_env(),
+    )
 }
 
 /// The legacy single-server FCFS loop, re-expressed. Arithmetic, RNG
 /// draws and accumulator push order are copied verbatim from
 /// `sim::queue::run_queued` — the bit-for-bit regression baseline.
-fn run_sequential(sim: &mut Simulator, workload: &Workload, cfg: &SchedConfig) -> SchedOutcome {
+pub(crate) fn run_sequential(
+    sim: &mut Simulator,
+    workload: &Workload,
+    cfg: &SchedConfig,
+) -> SchedOutcome {
     let mut stream = ArrivalProcess::new(cfg.arrivals);
     let sampler = workload.request_sampler();
     let mut pick_rng = ChaCha12Rng::seed_from_u64(cfg.arrivals.seed ^ 0x9A3E);
@@ -392,7 +399,7 @@ fn observe_request_trace(acct: &mut Option<Box<TimeAccountant>>, start: f64, tra
 /// Media-retry penalties are response-time surcharges with no trace
 /// events behind them in this gear, so in an observed run they surface
 /// as server idle time, not `Transfer` — documented in DESIGN §12.
-fn run_sequential_faulty(
+pub(crate) fn run_sequential_faulty(
     sim: &mut Simulator,
     workload: &Workload,
     cfg: &SchedConfig,
@@ -550,8 +557,31 @@ struct ReqState {
     outstanding: usize,
     /// When its first byte started streaming.
     first_start: Option<SimTime>,
+    /// Merge key of the planning event that set `first_start`: the event
+    /// instant, its priority class and the library it planned in. The
+    /// parallel merge uses it to decide which partition's `first_start`
+    /// the monolithic engine would have kept (see `crate::parallel`).
+    first_plan: Option<OpKey>,
     /// At least one of its jobs was terminally lost.
     lost: bool,
+}
+
+/// Where in the monolithic event order an order-sensitive operation
+/// (busy-time delta, first-plan) happened: the event's timestamp, its
+/// priority class ([`ARRIVAL_PRIORITY`] for arrivals, 0 otherwise) and
+/// the library whose dispatch performed it. Within one `(time, class)`
+/// tie the monolithic engine visits libraries in ascending order, so
+/// comparing keys lexicographically reproduces its operation order
+/// across per-library partitions (the lockstep argument, DESIGN §16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct OpKey {
+    /// Timestamp of the event performing the operation.
+    pub at: SimTime,
+    /// Priority class of that event (arrivals fire before same-time
+    /// service events).
+    pub class: i8,
+    /// Library whose dispatch performed the operation.
+    pub lib: u16,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -640,9 +670,27 @@ struct SchedSim<'a> {
     /// every job's service order instead of the ~10 vectors per job the
     /// allocating [`seek_order::plan`] costs.
     plan_scratch: Vec<Extent>,
+    /// Priority class of the event currently being handled (the
+    /// [`ARRIVAL_PRIORITY`] of arrivals, 0 otherwise) — the class half of
+    /// the [`OpKey`]s stamped on order-sensitive operations.
+    event_class: i8,
+    /// Order-sensitive busy-time deltas, keyed for the parallel merge.
+    /// `None` outside partitioned runs, so the single-engine paths pay
+    /// nothing.
+    busy_log: Option<Vec<(OpKey, SimTime)>>,
 }
 
 impl SchedSim<'_> {
+    /// The merge key of an order-sensitive operation performed at `now`
+    /// by `drive`'s library, under the event class currently in flight.
+    fn op_key(&self, now: SimTime, drive: usize) -> OpKey {
+        OpKey {
+            at: now,
+            class: self.event_class,
+            lib: (drive / self.cfg.library.drives as usize) as u16,
+        }
+    }
+
     fn drive_id(&self, idx: usize) -> DriveId {
         let d = self.cfg.library.drives as usize;
         DriveId::new(tapesim_model::LibraryId((idx / d) as u16), (idx % d) as u8)
@@ -781,6 +829,9 @@ impl SchedSim<'_> {
                 self.retries += granted_total as u64;
             }
             let req = self.jobs[job].request;
+            if self.requests[req].first_start.is_none() {
+                self.requests[req].first_plan = Some(self.op_key(now, drive));
+            }
             self.requests[req].first_start.get_or_insert(t);
             sched.schedule_at(finish, Ev::JobDone { drive, job });
             t = finish;
@@ -790,6 +841,10 @@ impl SchedSim<'_> {
         }
         self.busy[drive] = true;
         self.busy_time += t - now;
+        let key = self.op_key(now, drive);
+        if let Some(log) = self.busy_log.as_mut() {
+            log.push((key, t - now));
+        }
         // Scheduled after the last JobDone at the same instant, so
         // completions are recorded before the drive re-dispatches.
         sched.schedule_at(t, Ev::BatchDone { drive });
@@ -1101,6 +1156,10 @@ impl World for SchedSim<'_> {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        self.event_class = match ev {
+            Ev::Arrive(_) => ARRIVAL_PRIORITY as i8,
+            _ => 0,
+        };
         match ev {
             Ev::Arrive(i) => {
                 let (arrival, ridx) = self.arrivals[i];
@@ -1124,6 +1183,7 @@ impl World for SchedSim<'_> {
                     arrival,
                     outstanding: work.len(),
                     first_start: None,
+                    first_plan: None,
                     lost: false,
                 });
                 self.libs_hit.fill(false);
@@ -1255,6 +1315,25 @@ pub struct ShardReport {
     pub rejected: u64,
     /// The virtual instant the shard's event queue drained.
     pub end: SimTime,
+    /// Order-sensitive operation logs for the parallel merge. Present
+    /// only when [`ShardEngine::enable_merge_log`] was called; `None`
+    /// in every single-engine and serve path.
+    pub merge: Option<MergeOps>,
+}
+
+/// The order-sensitive operations a partition performed, each tagged
+/// with the [`OpKey`] placing it in the monolithic event order. The
+/// parallel merge k-way-merges these across partitions to reproduce the
+/// single engine's float fold order bit for bit (see `crate::parallel`).
+#[derive(Debug, Clone, Default)]
+pub struct MergeOps {
+    /// Busy-time deltas in partition event order (already sorted by key
+    /// within a partition).
+    pub busy: Vec<(OpKey, SimTime)>,
+    /// Per local submission index: the key of the planning event that
+    /// set the request's `first_start`. Requests served without planning
+    /// (empty local work) have no entry.
+    pub first_plans: Vec<(usize, OpKey)>,
 }
 
 /// A consistent cut of a [`ShardEngine`]'s input: everything needed to
@@ -1348,6 +1427,23 @@ impl<'a> ShardEngine<'a> {
         alternates: &'a BTreeMap<ObjectId, Vec<ObjectId>>,
         job_catalog: &'a [Vec<TapeJob>],
     ) -> ShardEngine<'a> {
+        ShardEngine::new_owned(sim, policy, cfg, plan, alternates, job_catalog, None)
+    }
+
+    /// [`ShardEngine::new`] for a single-library partition: the trace
+    /// prologue (carried-over mounts) covers only `owned`'s drives, so
+    /// the per-partition traces of a parallel run concatenate to exactly
+    /// the monolithic trace — same entry counts, same audit verdicts.
+    /// `None` keeps the full-fleet prologue.
+    pub(crate) fn new_owned(
+        sim: &'a Simulator,
+        policy: &'a dyn SchedPolicy,
+        cfg: &SchedConfig,
+        plan: &'a FaultPlan,
+        alternates: &'a BTreeMap<ObjectId, Vec<ObjectId>>,
+        job_catalog: &'a [Vec<TapeJob>],
+        owned: Option<usize>,
+    ) -> ShardEngine<'a> {
         let placement = sim.placement();
         let system = placement.config();
         let n_drives = system.total_drives();
@@ -1413,11 +1509,16 @@ impl<'a> ShardEngine<'a> {
             libs_hit: vec![false; n_libs],
             cands: Vec::new(),
             plan_scratch: Vec::new(),
+            event_class: 0,
+            busy_log: None,
         };
 
         // Trace prologue: carried-over mounts, so the transcript is
         // self-contained for the auditor.
         for drive in 0..n_drives {
+            if owned.is_some_and(|lib| drive / d != lib) {
+                continue;
+            }
             if let Some(tape) = world.mounted[drive] {
                 world.audit.emit(
                     SimTime::ZERO,
@@ -1522,6 +1623,14 @@ impl<'a> ShardEngine<'a> {
     /// Whether [`ShardEngine::close`] was called.
     pub fn is_closed(&self) -> bool {
         self.closed
+    }
+
+    /// Turns on the order-sensitive operation log consumed by the
+    /// parallel merge; [`ShardEngine::finish`] will then carry
+    /// [`MergeOps`] in its report. Call before the first submission —
+    /// deltas performed earlier are not recorded.
+    pub fn enable_merge_log(&mut self) {
+        self.world.busy_log.get_or_insert_with(Vec::new);
     }
 
     /// Submissions accepted so far.
@@ -1658,6 +1767,14 @@ impl<'a> ShardEngine<'a> {
         }
 
         let submitted = world.arrivals.len();
+        let merge = world.busy_log.take().map(|busy| MergeOps {
+            busy,
+            first_plans: world
+                .requests
+                .iter()
+                .filter_map(|r| r.first_plan.map(|k| (r.index, k)))
+                .collect(),
+        });
         let (reports, budget) = world.audit.finish(&auditor, end);
         ShardReport {
             outcome: SchedOutcome {
@@ -1670,6 +1787,7 @@ impl<'a> ShardEngine<'a> {
             submitted,
             rejected,
             end,
+            merge,
         }
     }
 }
@@ -1678,7 +1796,7 @@ impl<'a> ShardEngine<'a> {
 /// "submit the whole demand stream, then finish" on the incremental
 /// [`ShardEngine`]. Runs on a snapshot of `sim`'s mount state; the
 /// simulator itself is not mutated.
-fn run_concurrent(
+pub(crate) fn run_concurrent(
     sim: &Simulator,
     workload: &Workload,
     policy: &dyn SchedPolicy,

@@ -5,7 +5,6 @@
 //! information. Given a request, the corresponding tapes are identified
 //! based on the object indexing database."
 
-use std::collections::BTreeMap;
 use tapesim_model::tape::Extent;
 use tapesim_model::{Bytes, ObjectId, TapeId};
 use tapesim_placement::Placement;
@@ -36,26 +35,41 @@ impl TapeJob {
 /// Duplicate object ids in `objects` are served once (a restore does not
 /// read the same object twice).
 pub fn tape_jobs(placement: &Placement, objects: &[ObjectId]) -> Vec<TapeJob> {
-    let mut seen = std::collections::HashSet::with_capacity(objects.len());
-    let mut by_tape: BTreeMap<TapeId, Vec<Extent>> = BTreeMap::new();
+    // Flat sort-and-group instead of a HashSet + BTreeMap-of-Vecs: this
+    // runs once per request template at engine setup, and the per-node /
+    // per-bucket allocations of the map-based version dominated the
+    // scheduler's allocation profile (`BENCH_perf.json` `sched.allocs`).
+    // The stable sort keeps equal (tape, offset) pairs — duplicate
+    // requests for the same object — in first-occurrence order, so
+    // `dedup_by` retains exactly the occurrence the old HashSet kept.
+    let mut pairs: Vec<(TapeId, Extent)> = Vec::with_capacity(objects.len());
     for &o in objects {
-        if !seen.insert(o) {
-            continue;
-        }
         let loc = placement.locate(o);
-        by_tape.entry(loc.tape).or_default().push(Extent {
-            object: o,
-            offset: loc.offset,
-            size: loc.size,
-        });
+        pairs.push((
+            loc.tape,
+            Extent {
+                object: o,
+                offset: loc.offset,
+                size: loc.size,
+            },
+        ));
     }
-    let mut jobs: Vec<TapeJob> = by_tape
-        .into_iter()
-        .map(|(tape, mut extents)| {
-            extents.sort_by_key(|e| e.offset);
-            TapeJob { tape, extents }
+    pairs.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.offset.cmp(&b.1.offset)));
+    pairs.dedup_by(|a, b| a.0 == b.0 && a.1.object == b.1.object);
+
+    // Count the groups first so the jobs vec is sized in one allocation
+    // — collecting straight from `chunk_by` (no size hint) grows by
+    // doubling, and this function's allocations are gated by the perf
+    // bench.
+    let groups = pairs.chunk_by(|a, b| a.0 == b.0).count();
+    let mut jobs: Vec<TapeJob> = Vec::with_capacity(groups);
+    jobs.extend(pairs.chunk_by(|a, b| a.0 == b.0).filter_map(|group| {
+        let tape = group.first()?.0;
+        Some(TapeJob {
+            tape,
+            extents: group.iter().map(|p| p.1).collect(),
         })
-        .collect();
+    }));
     jobs.sort_by(|a, b| b.bytes().cmp(&a.bytes()).then(a.tape.cmp(&b.tape)));
     jobs
 }

@@ -808,6 +808,12 @@ fn is_root(krate: &str, name: &str) -> bool {
         || (matches!(krate, "sched" | "faults") && name.starts_with("dispatch"))
         || (krate == "serve" && name.starts_with("serve_run"))
         || (krate == "serve" && name.starts_with("supervisor_run"))
+        // The parallel gears: the window runner (des) and the
+        // partitioned scheduler entry (sched). `run_scheduled_parallel`
+        // and `run_scheduled_faulty_parallel` are already covered by the
+        // `run_scheduled` prefix above.
+        || (krate == "des" && name.starts_with("run_windowed"))
+        || (krate == "sched" && name.starts_with("run_partitioned"))
 }
 
 /// Builds the graph, BFS-marks reachability from the engine roots, and
@@ -1466,6 +1472,25 @@ mod tests {
     }
 
     #[test]
+    fn l7_fires_on_summing_partition_metrics_in_thread_completion_order() {
+        // The parallel-merge anti-pattern: partition busy-time deltas
+        // come off worker threads in completion order, and a float sum
+        // over that order changes bits run to run. The real merge
+        // replays the deltas by sorted OpKey instead.
+        let fx = Fixture::new();
+        fx.write(
+            "crates/sched/src/bad_merge.rs",
+            "pub fn merged_busy(done: std::sync::mpsc::Receiver<f64>) -> f64 {\n\
+             \x20   done.into_iter().par_bridge().sum::<f64>()\n\
+             }\n",
+        );
+        let findings = fx.scan(&Allowlist::default());
+        assert_eq!(rules_of(&findings), vec!["L7"]);
+        assert_eq!(findings[0].line, 2);
+        assert!(findings[0].note.contains("order-unstable"));
+    }
+
+    #[test]
     fn l8_fires_on_raw_unit_params_and_returns() {
         let fx = Fixture::new();
         fx.write(
@@ -1647,6 +1672,34 @@ mod tests {
         let findings = fx2.scan(&Allowlist::default());
         assert_eq!(rules_of(&findings), vec!["L10"]);
         assert!(findings[0].note.contains("run_queued_fx -> helper"));
+    }
+
+    #[test]
+    fn l10_treats_parallel_entry_points_as_roots() {
+        // The window runner (des) and the partitioned scheduler entry
+        // (sched) are engine roots: panics reachable from them must be
+        // flagged even though nothing in the scanned set calls them.
+        let fx = Fixture::new();
+        fx.write(
+            "crates/des/src/windowed.rs",
+            "pub fn run_windowed(n: usize) -> usize {\n\
+             \x20   step(n)\n\
+             }\n\
+             fn step(n: usize) -> usize {\n\
+             \x20   if n > 3 { panic!(\"past the barrier\") }\n\
+             \x20   n\n\
+             }\n",
+        );
+        fx.write(
+            "crates/sched/src/partitioned.rs",
+            "pub fn run_partitioned(xs: &[u32], n: usize) -> u32 {\n\
+             \x20   xs[n]\n\
+             }\n",
+        );
+        let findings = fx.scan(&Allowlist::default());
+        assert_eq!(rules_of(&findings), vec!["L10", "L10"]);
+        assert!(findings[0].note.contains("run_windowed -> step"));
+        assert!(findings[1].note.contains("run_partitioned"));
     }
 
     #[test]
