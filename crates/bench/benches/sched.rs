@@ -1,7 +1,10 @@
 //! Scheduler throughput bench: runs a fixed, deterministic scheduling
-//! scenario under every policy and records wall-clock throughput
-//! (scheduler events per second) plus p50/p99 request sojourn into
-//! `BENCH_sched.json` at the workspace root.
+//! scenario under every policy × seek policy (the greedy sweep and the
+//! exact LTSP DP) and records wall-clock throughput (scheduler events
+//! per second) plus p50/p99 request sojourn into `BENCH_sched.json` at
+//! the workspace root. The greedy rows are the pre-policy rows,
+//! metric-bit unchanged; the exact rows measure what optimal in-tape
+//! sequencing buys each scheduling policy.
 //!
 //! Not a Criterion bench: the point is a machine-readable artifact the CI
 //! and later sessions can diff, not a statistical report. Run with
@@ -14,12 +17,14 @@ use tapesim_model::Bytes;
 use tapesim_placement::{ParallelBatchPlacement, PlacementPolicy};
 use tapesim_sched::{run_scheduled, PolicyKind, SchedConfig};
 use tapesim_sim::queue::ArrivalSpec;
-use tapesim_sim::Simulator;
+use tapesim_sim::{SeekPolicy, Simulator};
 use tapesim_workload::{ObjectSizeSpec, RequestSpec, Workload, WorkloadSpec};
 
 #[derive(Serialize)]
 struct PolicyRow {
     policy: &'static str,
+    /// In-tape service-order planner ("greedy" = pre-policy default).
+    seek: &'static str,
     served: u64,
     mounts: u64,
     events: u64,
@@ -75,49 +80,56 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    for kind in PolicyKind::ALL {
-        let policy = kind.build();
-        // Best-of-N wall time: the scenario is deterministic, so the
-        // fastest iteration is the least-noisy estimate.
-        let mut best = f64::INFINITY;
-        let mut metrics = None;
-        for _ in 0..ITERATIONS {
-            let mut sim = Simulator::with_natural_policy(placement.clone(), 4);
-            let t = Instant::now();
-            let out = run_scheduled(&mut sim, &w, policy.as_ref(), &cfg);
-            let secs = t.elapsed().as_secs_f64();
-            if secs < best {
-                best = secs;
+    // Greedy first keeps the pre-policy rows in their historical slots;
+    // the exact-DP sweep appends its rows after them.
+    for seek in [SeekPolicy::Greedy, SeekPolicy::ExactDp] {
+        let cfg = cfg.with_seek(seek);
+        for kind in PolicyKind::ALL {
+            let policy = kind.build();
+            // Best-of-N wall time: the scenario is deterministic, so the
+            // fastest iteration is the least-noisy estimate.
+            let mut best = f64::INFINITY;
+            let mut metrics = None;
+            for _ in 0..ITERATIONS {
+                let mut sim = Simulator::with_natural_policy(placement.clone(), 4);
+                let t = Instant::now();
+                let out = run_scheduled(&mut sim, &w, policy.as_ref(), &cfg);
+                let secs = t.elapsed().as_secs_f64();
+                if secs < best {
+                    best = secs;
+                }
+                metrics = Some(out.metrics);
             }
-            metrics = Some(out.metrics);
+            let m = metrics.expect("at least one iteration");
+            let events_per_sec = if best > 0.0 {
+                m.events() as f64 / best
+            } else {
+                0.0
+            };
+            println!(
+                "{:6} {:7}  {:8} requests  {:>12.0} events/s  p50 sojourn {:>9.1}s  p99 {:>9.1}s  wall {:.2}ms",
+                kind.label(),
+                seek.label(),
+                m.served(),
+                events_per_sec,
+                m.sojourn_percentile(50.0),
+                m.sojourn_percentile(99.0),
+                best * 1e3
+            );
+            rows.push(PolicyRow {
+                policy: kind.label(),
+                seek: seek.label(),
+                served: m.served(),
+                mounts: m.mounts(),
+                events: m.events(),
+                events_per_sec,
+                p50_sojourn_s: m.sojourn_percentile(50.0),
+                p99_sojourn_s: m.sojourn_percentile(99.0),
+                p50_wait_s: m.wait_percentile(50.0),
+                p99_wait_s: m.wait_percentile(99.0),
+                wall_ms: best * 1e3,
+            });
         }
-        let m = metrics.expect("at least one iteration");
-        let events_per_sec = if best > 0.0 {
-            m.events() as f64 / best
-        } else {
-            0.0
-        };
-        println!(
-            "{:6}  {:8} requests  {:>12.0} events/s  p50 sojourn {:>9.1}s  p99 {:>9.1}s  wall {:.2}ms",
-            kind.label(),
-            m.served(),
-            events_per_sec,
-            m.sojourn_percentile(50.0),
-            m.sojourn_percentile(99.0),
-            best * 1e3
-        );
-        rows.push(PolicyRow {
-            policy: kind.label(),
-            served: m.served(),
-            mounts: m.mounts(),
-            events: m.events(),
-            events_per_sec,
-            p50_sojourn_s: m.sojourn_percentile(50.0),
-            p99_sojourn_s: m.sojourn_percentile(99.0),
-            p50_wait_s: m.wait_percentile(50.0),
-            p99_wait_s: m.wait_percentile(99.0),
-            wall_ms: best * 1e3,
-        });
     }
 
     let report = Report {

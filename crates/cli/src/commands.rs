@@ -21,7 +21,7 @@ use tapesim_sched::{
     ParallelConfig, PolicyKind, SchedConfig,
 };
 use tapesim_serve::{serve_run, supervisor_run, HealthPolicy, ServeConfig, SuperviseConfig};
-use tapesim_sim::Simulator;
+use tapesim_sim::{SeekPolicy, Simulator};
 use tapesim_workload::{
     replicate_workload, ArrivalSpec, ObjectSizeSpec, ReplicationSpec, RequestSpec, Workload,
     WorkloadSpec,
@@ -156,7 +156,7 @@ pub fn simulate(args: &Args) -> Result<String, CommandError> {
     let m: u8 = args.get_or("m", 4)?;
     let samples: usize = args.get_or("samples", 200)?;
     let seed: u64 = args.get_or("seed", 0xD15Cu64)?;
-    let mut sim = Simulator::with_natural_policy(placement, m);
+    let mut sim = Simulator::with_natural_policy(placement, m).with_seek(seek_policy_from(args)?);
     let run = sim.run_sampled(&workload, samples, seed);
     if args.has("json") {
         return Ok(serde_json::to_string_pretty(&run)?);
@@ -201,7 +201,7 @@ pub fn serve(args: &Args) -> Result<String, CommandError> {
         .get(rank)
         .ok_or_else(|| CommandError(format!("no request with rank {rank}")))?;
     let m: u8 = args.get_or("m", 4)?;
-    let mut sim = Simulator::with_natural_policy(placement, m);
+    let mut sim = Simulator::with_natural_policy(placement, m).with_seek(seek_policy_from(args)?);
     let (metrics, tracer) = sim.serve_traced(&request.objects);
     let timeline = if args.has("trace") {
         format!("\ntimeline:\n{tracer}")
@@ -388,6 +388,7 @@ fn campaign(args: &Args) -> Result<String, CommandError> {
         .with_shards(shards)
         .with_max_batch(max_batch)
         .with_audit(true)
+        .with_seek(seek_policy_from(args)?)
         .with_channel_bound(channel_bound)
         .with_snapshot_every(snapshot_every);
 
@@ -691,6 +692,7 @@ fn chaos_campaign(args: &Args) -> Result<String, CommandError> {
         .with_shards(shards)
         .with_max_batch(max_batch)
         .with_audit(true)
+        .with_seek(seek_policy_from(args)?)
         .with_channel_bound(channel_bound)
         .with_snapshot_every(snapshot_every);
 
@@ -980,6 +982,21 @@ fn parallel_config_from(args: &Args) -> Result<ParallelConfig, CommandError> {
     Ok(par)
 }
 
+/// Resolves the `--seek-policy greedy|exact|approx|auto` knob shared by
+/// `simulate`, `serve`, `sched` and `faults`. The flag overrides the
+/// `TAPESIM_SEEK` environment variable; the default is the greedy sweep,
+/// bit-identical to runs recorded before seek policies existed.
+fn seek_policy_from(args: &Args) -> Result<SeekPolicy, CommandError> {
+    match args.get("seek-policy") {
+        None => Ok(SeekPolicy::from_env()),
+        Some(text) => SeekPolicy::parse(text).ok_or_else(|| {
+            CommandError(format!(
+                "flag --seek-policy: expected greedy|exact|approx|auto, got '{text}'"
+            ))
+        }),
+    }
+}
+
 /// Builds the placement policy for a canonical scheme name.
 fn placement_for(scheme: &str, m: u8) -> Box<dyn PlacementPolicy> {
     match scheme {
@@ -1008,6 +1025,7 @@ pub fn sched(args: &Args) -> Result<String, CommandError> {
     let audit = !args.has("no-audit");
     let audit_mode = parse_audit_mode(args)?;
     let par = parallel_config_from(args)?;
+    let seek = seek_policy_from(args)?;
     let spec = ArrivalSpec {
         per_hour: rate,
         seed,
@@ -1028,7 +1046,8 @@ pub fn sched(args: &Args) -> Result<String, CommandError> {
             let cfg = SchedConfig::new(spec, samples)
                 .with_max_batch(max_batch)
                 .with_audit(audit)
-                .with_audit_mode(audit_mode);
+                .with_audit_mode(audit_mode)
+                .with_seek(seek);
             let out =
                 run_scheduled_parallel(&mut sim, &workload, kind.build().as_ref(), &cfg, &par);
             for report in out.reports.iter().filter(|r| !r.is_clean()) {
@@ -1281,6 +1300,7 @@ pub fn faults(args: &Args) -> Result<String, CommandError> {
     let intensity: f64 = args.get_or("intensity", 1.0)?;
     let audit_mode = parse_audit_mode(args)?;
     let par = parallel_config_from(args)?;
+    let seek = seek_policy_from(args)?;
     let replicate_gb: u64 = args.get_or("replicate-gb", if smoke { 4096 } else { 0 })?;
     let spec = ArrivalSpec {
         per_hour: rate,
@@ -1323,7 +1343,8 @@ pub fn faults(args: &Args) -> Result<String, CommandError> {
             let cfg = SchedConfig::new(spec, samples)
                 .with_max_batch(max_batch)
                 .with_audit(true)
-                .with_audit_mode(audit_mode);
+                .with_audit_mode(audit_mode)
+                .with_seek(seek);
             let out = run_scheduled_faulty_parallel(
                 &mut sim,
                 &workload,

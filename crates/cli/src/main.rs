@@ -29,6 +29,10 @@ COMMANDS:
                --m M --libraries N --tapes T -o FILE
   simulate   serve a popularity-sampled request stream
                -w WORKLOAD -p PLACEMENT --samples N --seed S --m M [--json]
+               [--seek-policy greedy|exact|approx|auto]  (in-tape service
+               order: greedy sweep, exact LTSP DP, ratio-2 approx, or
+               auto = exact for small batches; default TAPESIM_SEEK or
+               greedy)
   serve      serve one pre-defined request and show the decomposition
                -w WORKLOAD -p PLACEMENT --request RANK --m M [--trace]
              or, with --campaign, run the long-running sharded service
@@ -41,7 +45,8 @@ COMMANDS:
                [--channel-bound N] [--snapshot-every N]
                [--parallel on|off] [--threads N]  (shard-thread count:
                --shards, then --threads, then one per library; off = 1)
-               [--smoke] [--check] [--json]
+               [--seek-policy greedy|exact|approx|auto] [--smoke]
+               [--check] [--json]
              or, with --chaos, run the campaign supervised under a
              nonzero hardware fault plan plus seeded shard kills and
              stalls: dead shards restart from checkpoint replay, a
@@ -58,6 +63,7 @@ COMMANDS:
                -w WORKLOAD --scheme all|pbp|opp|cpp --policy all|fcfs|batch|sltf
                --rate PER_HOUR --samples N --seed S --m M --max-batch N
                [--smoke] [--json] [--no-audit] [--audit-mode streaming|batch]
+               [--seek-policy greedy|exact|approx|auto]
                [--parallel on|off] [--threads N]  (default: TAPESIM_PARALLEL /
                TAPESIM_THREADS; multi-library runs execute one partition per
                library under conservative time windows, bit-identical)
@@ -69,6 +75,7 @@ COMMANDS:
                --intensity X --mtbf-hours H --jams-per-hour R
                --spots-per-tape R --replicate-gb GB [--smoke] [--json]
                [--audit-mode streaming|batch] [--parallel on|off] [--threads N]
+               [--seek-policy greedy|exact|approx|auto]
   report     explain a run at resource granularity: per-drive/per-arm span
              time budgets (seek/rewind/transfer/load/unload/exchange/idle/
              failed, summing to the makespan), job-phase means, robot-
@@ -114,7 +121,14 @@ fn main() {
         .and_then(|a| commands::place(&a)),
         "simulate" => Args::parse(
             rest,
-            &["workload", "placement", "m", "samples", "seed"],
+            &[
+                "workload",
+                "placement",
+                "m",
+                "samples",
+                "seed",
+                "seek-policy",
+            ],
             &["json"],
         )
         .map_err(Into::into)
@@ -142,6 +156,7 @@ fn main() {
                 "intensity",
                 "parallel",
                 "threads",
+                "seek-policy",
             ],
             &["trace", "campaign", "chaos", "smoke", "check", "json"],
         )
@@ -170,6 +185,7 @@ fn main() {
                 "audit-mode",
                 "parallel",
                 "threads",
+                "seek-policy",
             ],
             &["json", "smoke", "no-audit"],
         )
@@ -197,6 +213,7 @@ fn main() {
                 "audit-mode",
                 "parallel",
                 "threads",
+                "seek-policy",
             ],
             &["json", "smoke"],
         )

@@ -34,6 +34,7 @@ fn main() {
         ("ext_online", figures::ext_online::run),
         ("ext_queue", figures::ext_queue::run),
         ("ext_sched", figures::ext_sched::run),
+        ("ext_seek", figures::ext_seek::run),
         ("ext_robots", figures::ext_robots::run),
         ("ext_tail", figures::ext_tail::run),
         ("ext_replication", figures::ext_replication::run),

@@ -1,0 +1,13 @@
+//! Regenerates the ext_seek extension experiment. Pass `--quick` for a
+//! shrunken instance.
+
+fn main() {
+    let settings = tapesim_experiments::figures::settings_from_args();
+    let result = tapesim_experiments::figures::ext_seek::run(&settings);
+    let report = tapesim_experiments::harness::render_and_save(
+        &result,
+        &tapesim_experiments::harness::results_dir(),
+    )
+    .expect("write results");
+    println!("{report}");
+}

@@ -1,0 +1,231 @@
+//! Extension — in-tape service order under load.
+//!
+//! `ext_sched` varied the scheduling policy above the tape; this figure
+//! varies the planner *inside* it. Per-tape batching coalesces every
+//! queued request for a mounted tape into one service pass, and the
+//! order that pass visits extents is the [`tapesim_sim::SeekPolicy`]:
+//! `greedy` (the default five-candidate sweep), `exact` (the polynomial
+//! LTSP dynamic program, provably optimal per batch), and `approx` (the
+//! ratio-2 sweep). Nine series: three placement schemes × three seek
+//! policies, all under `batch` scheduling where multi-extent passes —
+//! the only place the planner matters — actually form.
+//!
+//! The headline: per-batch optimal ordering is a second-order effect on
+//! sojourn next to placement and batching, but the exact planner never
+//! pays more drive seek time than the greedy sweep on any cell here
+//! (the per-scheme seek budgets are recorded in the figure notes).
+
+use crate::harness::{sweep, Scheme};
+use crate::settings::ExperimentSettings;
+use tapesim_analysis::{ExperimentResult, Series};
+use tapesim_obs::SpanKind;
+use tapesim_sched::{run_scheduled, PolicyKind, SchedConfig};
+use tapesim_sim::queue::ArrivalSpec;
+use tapesim_sim::{SeekPolicy, Simulator};
+
+/// Swept arrival rates, restores per hour. Same log sweep as
+/// `ext_sched`: batches deep enough for service order to matter only
+/// form once the queue backs up, at the top of the range.
+pub fn rates() -> Vec<f64> {
+    vec![1.0, 4.0, 16.0, 64.0]
+}
+
+/// The compared planners, in lattice order (`exact ≤ greedy`,
+/// `exact ≤ approx ≤ 2·exact` on every batch's planned seek distance).
+pub const SEEKS: [SeekPolicy; 3] = [SeekPolicy::Greedy, SeekPolicy::ExactDp, SeekPolicy::Approx];
+
+/// Short scheme tag for the compound series labels.
+fn short(scheme: Scheme) -> &'static str {
+    match scheme {
+        Scheme::ParallelBatch => "pbp",
+        Scheme::ObjectProbability => "opp",
+        Scheme::ClusterProbability => "cpp",
+    }
+}
+
+/// Runs one (scheme, seek policy, rate) cell under `batch` scheduling;
+/// returns (mean sojourn, aggregate drive seek seconds).
+pub fn cell(
+    base: &ExperimentSettings,
+    scheme: Scheme,
+    seek: SeekPolicy,
+    per_hour: f64,
+) -> (f64, f64) {
+    let system = base.system();
+    let workload = base.generate_workload();
+    let placement = scheme
+        .policy(base.m)
+        .place(&workload, &system)
+        .expect("placement");
+    let mut sim = Simulator::with_natural_policy(placement, base.m);
+    let cfg = SchedConfig::new(
+        ArrivalSpec {
+            per_hour,
+            seed: base.sim_seed,
+        },
+        base.samples,
+    )
+    .with_seek(seek)
+    .with_obs(true);
+    let out = run_scheduled(
+        &mut sim,
+        &workload,
+        PolicyKind::BatchByTape.build().as_ref(),
+        &cfg,
+    );
+    let budget = out.budget.expect("obs on");
+    (
+        out.metrics.avg_sojourn(),
+        budget.drive_total(SpanKind::Seek),
+    )
+}
+
+/// Runs the experiment. x is the arrival rate; y the mean sojourn time,
+/// one series per placement scheme × seek policy.
+pub fn run(base: &ExperimentSettings) -> ExperimentResult {
+    let rs = rates();
+    let system = base.system();
+    let workload = base.generate_workload();
+
+    let n = rs.len();
+    let points: Vec<(Scheme, SeekPolicy, usize)> = Scheme::ALL
+        .iter()
+        .flat_map(|&s| {
+            SEEKS
+                .iter()
+                .flat_map(move |&k| (0..n).map(move |i| (s, k, i)))
+        })
+        .collect();
+    let values: Vec<(f64, f64)> = sweep(points, |&(scheme, seek, i)| {
+        let placement = scheme
+            .policy(base.m)
+            .place(&workload, &system)
+            .expect("placement");
+        let mut sim = Simulator::with_natural_policy(placement, base.m);
+        let cfg = SchedConfig::new(
+            ArrivalSpec {
+                per_hour: rs[i],
+                seed: base.sim_seed,
+            },
+            base.samples,
+        )
+        .with_seek(seek)
+        .with_obs(true);
+        let out = run_scheduled(
+            &mut sim,
+            &workload,
+            PolicyKind::BatchByTape.build().as_ref(),
+            &cfg,
+        );
+        let budget = out.budget.expect("obs on");
+        (
+            out.metrics.avg_sojourn(),
+            budget.drive_total(SpanKind::Seek),
+        )
+    });
+
+    let mut result = ExperimentResult::new(
+        "ext_seek",
+        "Mean restore sojourn vs. arrival rate (in-tape seek policy × placement)",
+        "arrivals per hour",
+        "sojourn time (s)",
+        rs.clone(),
+    );
+    let top_rate = rs.len() - 1;
+    for (si, &scheme) in Scheme::ALL.iter().enumerate() {
+        let mut seek_note = format!(
+            "{} drive seek seconds at {}/h (batch):",
+            scheme.label(),
+            rs[top_rate]
+        );
+        for (ki, &seek) in SEEKS.iter().enumerate() {
+            let off = (si * SEEKS.len() + ki) * rs.len();
+            let ys = values[off..off + rs.len()].iter().map(|v| v.0).collect();
+            result.push_series(Series::new(
+                format!("{}/{}", short(scheme), seek.label()),
+                ys,
+            ));
+            seek_note.push_str(&format!(
+                " {} {:.0}",
+                seek.label(),
+                values[off + top_rate].1
+            ));
+        }
+        result.push_note(seek_note);
+    }
+    result.push_note(format!(
+        "Per-tape batching throughout; the seek policy reorders each \
+         batch's in-tape service pass (greedy = 5-candidate sweep, exact \
+         = LTSP dynamic program, approx = ratio-2 sweep); {} requests \
+         per point",
+        base.samples
+    ));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::quick_settings;
+
+    #[test]
+    fn nine_series_and_exact_never_pays_more_seek_than_greedy() {
+        let mut s = quick_settings();
+        s.samples = 40;
+        let r = run(&s);
+        assert_eq!(r.series.len(), 9);
+        assert_eq!(r.x, rates());
+
+        // The headline acceptance: at the highest swept rate — where the
+        // deepest batches form — the exact planner's aggregate drive
+        // seek time never exceeds greedy's, for every placement scheme.
+        // (The per-batch guarantee is exact ≤ greedy on planned seek
+        // distance; with identical batches and the linear positioning
+        // model that carries through to seek seconds here.)
+        let top = *rates().last().expect("rates");
+        for scheme in Scheme::ALL {
+            let (_, greedy_seek) = cell(&s, scheme, SeekPolicy::Greedy, top);
+            let (_, exact_seek) = cell(&s, scheme, SeekPolicy::ExactDp, top);
+            assert!(
+                exact_seek <= greedy_seek,
+                "{}: exact planner should not pay more seek at {top}/h: \
+                 exact {exact_seek:.1}s vs greedy {greedy_seek:.1}s",
+                scheme.label()
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_series_anchors_to_the_default_config() {
+        let mut s = quick_settings();
+        s.samples = 25;
+        let rate = rates()[0];
+        let (sojourn, _) = cell(&s, Scheme::ParallelBatch, SeekPolicy::Greedy, rate);
+
+        let system = s.system();
+        let workload = s.generate_workload();
+        let placement = Scheme::ParallelBatch
+            .policy(s.m)
+            .place(&workload, &system)
+            .expect("placement");
+        let mut sim = Simulator::with_natural_policy(placement, s.m);
+        let cfg = SchedConfig::new(
+            ArrivalSpec {
+                per_hour: rate,
+                seed: s.sim_seed,
+            },
+            s.samples,
+        );
+        let out = run_scheduled(
+            &mut sim,
+            &workload,
+            PolicyKind::BatchByTape.build().as_ref(),
+            &cfg,
+        );
+        assert_eq!(
+            sojourn,
+            out.metrics.avg_sojourn(),
+            "explicit greedy drifted from the default config"
+        );
+    }
+}

@@ -12,6 +12,7 @@ pub mod ext_replication;
 pub mod ext_robots;
 pub mod ext_scale;
 pub mod ext_sched;
+pub mod ext_seek;
 pub mod ext_striping;
 pub mod ext_tail;
 pub mod ext_technology;

@@ -64,7 +64,7 @@ use tapesim_obs::{TimeAccountant, TimeBudget, Topology};
 use tapesim_placement::Placement;
 use tapesim_sim::catalog::{tape_jobs, TapeJob};
 use tapesim_sim::seek_order;
-use tapesim_sim::{Simulator, SwitchPolicy};
+use tapesim_sim::{SeekPolicy, Simulator, SwitchPolicy};
 use tapesim_workload::{ArrivalProcess, ArrivalSpec, RequestStream, Workload};
 
 /// How the engine feeds the trace auditor when auditing is on.
@@ -100,6 +100,11 @@ pub struct SchedConfig {
     /// [`TimeBudget`] to the outcome. Off by default; when off the
     /// only cost is one `None` check per emitted trace event.
     pub obs: bool,
+    /// The in-tape service-order planner. Per-tape-local (mount and
+    /// batch decisions are untouched), so parallel partition eligibility
+    /// is unchanged. [`SeekPolicy::Greedy`] — the default — is
+    /// bit-identical to runs recorded before seek policies existed.
+    pub seek: SeekPolicy,
 }
 
 impl SchedConfig {
@@ -112,6 +117,7 @@ impl SchedConfig {
             audit: false,
             audit_mode: AuditMode::default(),
             obs: false,
+            seek: SeekPolicy::Greedy,
         }
     }
 
@@ -136,6 +142,13 @@ impl SchedConfig {
     /// Enables span time accounting (a [`TimeBudget`] on the outcome).
     pub fn with_obs(mut self, obs: bool) -> SchedConfig {
         self.obs = obs;
+        self
+    }
+
+    /// Selects the in-tape service-order planner (default:
+    /// [`SeekPolicy::Greedy`]).
+    pub fn with_seek(mut self, seek: SeekPolicy) -> SchedConfig {
+        self.seek = seek;
         self
     }
 }
@@ -319,6 +332,7 @@ pub(crate) fn run_sequential(
     workload: &Workload,
     cfg: &SchedConfig,
 ) -> SchedOutcome {
+    sim.set_seek(cfg.seek);
     let mut stream = ArrivalProcess::new(cfg.arrivals);
     let sampler = workload.request_sampler();
     let mut pick_rng = ChaCha12Rng::seed_from_u64(cfg.arrivals.seed ^ 0x9A3E);
@@ -406,6 +420,7 @@ pub(crate) fn run_sequential_faulty(
     plan: &FaultPlan,
     alternates: &BTreeMap<ObjectId, Vec<ObjectId>>,
 ) -> SchedOutcome {
+    sim.set_seek(cfg.seek);
     let clock = plan.clock();
     let mut stream = ArrivalProcess::new(cfg.arrivals);
     let sampler = workload.request_sampler();
@@ -602,6 +617,8 @@ struct SchedSim<'a> {
     policy: &'a dyn SchedPolicy,
     switch_policy: SwitchPolicy,
     batch_cap: usize,
+    /// The in-tape service-order planner (from [`SchedConfig::seek`]).
+    seek: SeekPolicy,
     /// Arrival times and workload-request indices in submission order.
     /// Owned so the incremental [`ShardEngine`] can append while the
     /// event loop runs; the batch gear fills it up front.
@@ -753,10 +770,16 @@ impl SchedSim<'_> {
             let Some(&job) = self.pending[tape_idx].front() else {
                 break;
             };
-            // Reuses the member scratch: `plan_into` yields the exact
-            // order `seek_order::plan` would, without its per-job vectors.
+            // Reuses the member scratch: under the default greedy policy
+            // `plan_with` yields the exact order `seek_order::plan`
+            // would, without its per-job vectors.
             let mut plan = std::mem::take(&mut self.plan_scratch);
-            seek_order::plan_into(self.head[drive], &self.jobs[job].work.extents, &mut plan);
+            seek_order::plan_with(
+                self.seek,
+                self.head[drive],
+                &self.jobs[job].work.extents,
+                &mut plan,
+            );
             let mut pos = self.head[drive];
             let mut seek_s = 0.0;
             let mut xfer_s = 0.0;
@@ -1481,6 +1504,7 @@ impl<'a> ShardEngine<'a> {
             policy,
             switch_policy,
             batch_cap: cfg.max_batch,
+            seek: cfg.seek,
             arrivals: Vec::new(),
             job_catalog,
             mounted,

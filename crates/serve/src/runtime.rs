@@ -20,7 +20,7 @@ use tapesim_sched::{
     tape_jobs, PolicyKind, RequestRecord, SchedConfig, SchedMetrics, ShardEngine, ShardReport,
     TapeJob,
 };
-use tapesim_sim::Simulator;
+use tapesim_sim::{SeekPolicy, Simulator};
 use tapesim_workload::{ArrivalSpec, RequestStream, Workload};
 
 use crate::health::Health;
@@ -49,6 +49,10 @@ pub struct ServeConfig {
     pub audit: bool,
     /// Whether shards run the span accountant (`tapesim-obs` budgets).
     pub obs: bool,
+    /// The in-tape service-order planner every shard uses
+    /// ([`SeekPolicy::Greedy`] by default — bit-identical to pre-policy
+    /// runs).
+    pub seek: SeekPolicy,
     /// Capacity of each shard's submission channel. Full channel blocks
     /// ingestion — backpressure, never loss.
     pub channel_bound: usize,
@@ -68,6 +72,7 @@ impl ServeConfig {
             max_batch: 0,
             audit: false,
             obs: false,
+            seek: SeekPolicy::Greedy,
             channel_bound: 256,
             snapshot_every: 0,
         }
@@ -91,6 +96,12 @@ impl ServeConfig {
         self
     }
 
+    /// Selects the in-tape service-order planner for every shard.
+    pub fn with_seek(mut self, seek: SeekPolicy) -> ServeConfig {
+        self.seek = seek;
+        self
+    }
+
     /// Sets the per-shard submission channel capacity (min 1).
     pub fn with_channel_bound(mut self, bound: usize) -> ServeConfig {
         self.channel_bound = bound;
@@ -109,6 +120,7 @@ impl ServeConfig {
         cfg.max_batch = self.max_batch;
         cfg.audit = self.audit;
         cfg.obs = self.obs;
+        cfg.seek = self.seek;
         cfg
     }
 }

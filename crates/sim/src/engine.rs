@@ -19,7 +19,7 @@
 use crate::catalog::TapeJob;
 use crate::metrics::RequestMetrics;
 use crate::policy::SwitchPolicy;
-use crate::seek_order;
+use crate::seek_order::{self, SeekPolicy};
 use tapesim_des::{Resource, Scheduler, SimTime, TraceEvent, Tracer, World};
 use tapesim_model::tape::Extent;
 use tapesim_model::{Bytes, DriveId, SystemConfig, TapeId};
@@ -78,6 +78,8 @@ struct RequestSim<'a> {
     n_switches: u32,
     robot_wait: f64,
     tracer: Tracer,
+    /// In-tape service-order planner ([`SeekPolicy::Greedy`] by default).
+    seek_policy: SeekPolicy,
     /// Seek-plan scratch reused by [`Self::start_service`] across jobs
     /// instead of allocating per-job order vectors.
     plan_scratch: Vec<Extent>,
@@ -97,7 +99,12 @@ impl<'a> RequestSim<'a> {
         // Scratch-backed planning: the exact order `seek_order::plan`
         // yields, without its per-job candidate vectors.
         let mut plan = std::mem::take(&mut self.plan_scratch);
-        seek_order::plan_into(self.state.head[drive], &self.jobs[job].extents, &mut plan);
+        seek_order::plan_with(
+            self.seek_policy,
+            self.state.head[drive],
+            &self.jobs[job].extents,
+            &mut plan,
+        );
         let mut pos = self.state.head[drive];
         let mut seek_s = 0.0;
         let mut xfer_s = 0.0;
@@ -271,6 +278,30 @@ pub fn serve_request_traced(
     jobs: Vec<TapeJob>,
     trace: bool,
 ) -> (RequestMetrics, Tracer) {
+    serve_request_seek(
+        cfg,
+        placement,
+        policy,
+        state,
+        jobs,
+        trace,
+        SeekPolicy::Greedy,
+    )
+}
+
+/// The general engine entry: [`serve_request_traced`] with an explicit
+/// in-tape [`SeekPolicy`]. [`SeekPolicy::Greedy`] reproduces the
+/// pre-policy engine bit for bit.
+#[allow(clippy::too_many_arguments)]
+pub fn serve_request_seek(
+    cfg: &SystemConfig,
+    placement: &Placement,
+    policy: &SwitchPolicy,
+    state: &mut MountState,
+    jobs: Vec<TapeJob>,
+    trace: bool,
+    seek_policy: SeekPolicy,
+) -> (RequestMetrics, Tracer) {
     let n_drives = cfg.total_drives();
     let n_libs = cfg.libraries as usize;
     let bytes: Bytes = jobs.iter().map(|j| j.bytes()).sum();
@@ -297,6 +328,7 @@ pub fn serve_request_traced(
         } else {
             Tracer::disabled()
         },
+        seek_policy,
         plan_scratch: Vec::new(),
     };
 

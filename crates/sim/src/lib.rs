@@ -37,4 +37,5 @@ pub mod simulator;
 
 pub use metrics::{RequestMetrics, RunMetrics};
 pub use policy::SwitchPolicy;
+pub use seek_order::SeekPolicy;
 pub use simulator::Simulator;

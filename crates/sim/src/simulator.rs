@@ -8,9 +8,10 @@
 //! popularity and average the metrics (the paper draws 200).
 
 use crate::catalog::tape_jobs;
-use crate::engine::{serve_request, MountState};
+use crate::engine::{serve_request_seek, MountState};
 use crate::metrics::{RequestMetrics, RunMetrics};
 use crate::policy::SwitchPolicy;
+use crate::seek_order::SeekPolicy;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use tapesim_model::{ObjectId, SystemConfig};
@@ -22,6 +23,7 @@ pub struct Simulator {
     config: SystemConfig,
     placement: Placement,
     policy: SwitchPolicy,
+    seek: SeekPolicy,
     state: MountState,
 }
 
@@ -34,6 +36,7 @@ impl Simulator {
             config,
             placement,
             policy,
+            seek: SeekPolicy::Greedy,
             state,
         }
     }
@@ -43,6 +46,25 @@ impl Simulator {
     pub fn with_natural_policy(placement: Placement, m: u8) -> Simulator {
         let policy = SwitchPolicy::for_placement(&placement, m);
         Simulator::new(placement, policy)
+    }
+
+    /// Builder form of [`Simulator::set_seek`].
+    pub fn with_seek(mut self, seek: SeekPolicy) -> Simulator {
+        self.seek = seek;
+        self
+    }
+
+    /// Selects the in-tape service-order planner. The default
+    /// ([`SeekPolicy::Greedy`]) reproduces the pre-policy engine bit for
+    /// bit; per-tape-local, so switch behaviour and tape selection are
+    /// untouched.
+    pub fn set_seek(&mut self, seek: SeekPolicy) {
+        self.seek = seek;
+    }
+
+    /// The active seek policy.
+    pub fn seek(&self) -> SeekPolicy {
+        self.seek
     }
 
     /// The placement being simulated.
@@ -69,13 +91,16 @@ impl Simulator {
     /// call.
     pub fn serve(&mut self, objects: &[ObjectId]) -> RequestMetrics {
         let jobs = tape_jobs(&self.placement, objects);
-        serve_request(
+        serve_request_seek(
             &self.config,
             &self.placement,
             &self.policy,
             &mut self.state,
             jobs,
+            false,
+            self.seek,
         )
+        .0
     }
 
     /// Serves one request and returns the event timeline alongside the
@@ -83,13 +108,14 @@ impl Simulator {
     /// `tapesim serve --trace` view).
     pub fn serve_traced(&mut self, objects: &[ObjectId]) -> (RequestMetrics, tapesim_des::Tracer) {
         let jobs = tape_jobs(&self.placement, objects);
-        crate::engine::serve_request_traced(
+        serve_request_seek(
             &self.config,
             &self.placement,
             &self.policy,
             &mut self.state,
             jobs,
             true,
+            self.seek,
         )
     }
 

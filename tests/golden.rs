@@ -1,7 +1,8 @@
 //! Golden-trace snapshot wall.
 //!
-//! Every placement scheme runs three engine modes — the sequential FCFS
-//! gear (`queued`), the concurrent batching scheduler (`sched`) and the
+//! Every placement scheme runs the engine modes — the sequential FCFS
+//! gear (`queued`), the concurrent batching scheduler (`sched`), the
+//! same scheduler under the exact-DP seek policy (`sched-exact`) and the
 //! faulty concurrent gear under a seeded moderate fault plan
 //! (`faults-smoke`) — with the trace auditor enabled. Each run's audit
 //! verdict and event-count fingerprint (entries, jobs, transfers,
@@ -31,7 +32,7 @@ use tapesim_faults::{ChaosPlan, ChaosSpec, FaultPlan, FaultSpec};
 use tapesim_sched::{run_scheduled, run_scheduled_faulty, BatchByTape, Fcfs, SchedConfig};
 use tapesim_serve::{supervisor_run, ServeConfig, SuperviseConfig};
 use tapesim_sim::queue::ArrivalSpec;
-use tapesim_sim::Simulator;
+use tapesim_sim::{SeekPolicy, Simulator};
 
 /// The audited shape of one deterministic run.
 #[derive(Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -89,6 +90,14 @@ fn fingerprint(scheme: Scheme, mode: &str) -> Fingerprint {
     let out = match mode {
         "queued" => run_scheduled(&mut sim, &w, &Fcfs, &cfg),
         "sched" => run_scheduled(&mut sim, &w, &BatchByTape, &cfg),
+        // The exact-DP policy gets its own wall: same stream, optimal
+        // in-tape order. Mount and exchange counts must match `sched`
+        // (the policy is per-tape-local); only within-tape transfer
+        // shape may move.
+        "sched-exact" => {
+            let cfg = cfg.with_seek(SeekPolicy::ExactDp);
+            run_scheduled(&mut sim, &w, &BatchByTape, &cfg)
+        }
         "faults-smoke" => {
             let plan = FaultPlan::generate(&FaultSpec::moderate(29), &system);
             run_scheduled_faulty(&mut sim, &w, &BatchByTape, &cfg, &plan, &BTreeMap::new())
@@ -262,6 +271,11 @@ fn golden_queued_traces_match() {
 #[test]
 fn golden_sched_traces_match() {
     run_mode("sched");
+}
+
+#[test]
+fn golden_sched_exact_traces_match() {
+    run_mode("sched-exact");
 }
 
 #[test]
